@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints it,
+so running ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+evaluation artefacts in one go.  Heavyweight artefacts (the compiled TPC-H
+designs and the synthetic dataset) are built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrow.tpch import generate_tpch_data
+
+
+@pytest.fixture(scope="session")
+def tpch_tables():
+    """The dataset used by the simulation-backed benchmarks."""
+    return generate_tpch_data(800, seed=5)
+
+
+@pytest.fixture(scope="session")
+def compiled_queries():
+    from repro.queries import ALL_QUERIES
+
+    return {query.name: query.compile() for query in ALL_QUERIES}
+
+
+def run_once(benchmark, func):
+    """Run a benchmark exactly once (the artefacts are deterministic and the
+    heavier ones compile six full designs; statistical repetition adds nothing)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,87 @@
+"""Ablation: throughput scaling of the ``parallelize`` template (Section IV-B).
+
+The paper motivates the template with an 8-cycle adder that must sustain one
+packet per cycle: wrapping it in ``parallelize_i<..., channel>`` with 8
+channels restores full throughput.  This ablation sweeps the channel count
+and measures, in the event-driven simulator, how many cycles the design needs
+to process a fixed input stream -- the design-choice the template exists for.
+
+Expected shape: total cycles drop roughly linearly with the channel count
+until the channel count reaches the processing-unit latency (8), after which
+adding more units does not help.
+"""
+
+from conftest import run_once
+
+from repro.lang import compile_project
+from repro.sim import Simulator
+from repro.sim.behavior import PrimitiveBehavior
+from repro.sim.packets import Packet
+
+SOURCE_TEMPLATE = """
+Group AdderInput {{ data0: Bit(32), data1: Bit(32), }}
+type Input = Stream(AdderInput, d=1);
+Group AdderResult {{ data: Bit(32), overflow: Bit(1), }}
+type Result = Stream(AdderResult, d=1);
+external impl adder_32 of process_unit_s<type Input, type Result>;
+streamlet accel_s {{ input: Input in, output: Result out, }}
+impl accel_i of accel_s {{
+    instance engine(parallelize_i<type Input, type Result, impl adder_32, {channels}>),
+    input => engine.input,
+    engine.output => output,
+}}
+top accel_i;
+"""
+
+
+class EightCycleAdder(PrimitiveBehavior):
+    """The paper's premise: a 32-bit adder with an 8-cycle latency."""
+
+    latency = 8
+
+    def fire(self, ctx) -> bool:
+        if not ctx.has_input("input") or not ctx.can_send("output"):
+            return False
+        if ctx.get_state("busy_until", 0) > ctx.now:
+            return False
+        packet = ctx.take("input")
+        if packet.value is None:
+            ctx.send("output", Packet(None, last=packet.last), delay=self.latency)
+            return True
+        a, b = packet.value
+        ctx.send("output", Packet(((a + b) & 0xFFFFFFFF, 0), last=packet.last), delay=self.latency)
+        ctx.set_state("busy_until", ctx.now + self.latency)
+        return True
+
+
+def process(channels: int, packets):
+    result = compile_project(SOURCE_TEMPLATE.format(channels=channels))
+    simulator = Simulator(
+        result.project,
+        behaviors={"adder_32": lambda impl: EightCycleAdder(impl)},
+        channel_capacity=2,
+    )
+    simulator.drive("input", packets)
+    trace = simulator.run()
+    outputs = trace.output_values("output")
+    assert len(outputs) == len(packets)
+    return trace.end_time
+
+
+def test_ablation_parallelize_channels(benchmark):
+    packets = [(i, i + 7) for i in range(96)]
+    sweep = (1, 2, 4, 8)
+
+    def run_sweep():
+        return {channels: process(channels, packets) for channels in sweep}
+
+    cycles = run_once(benchmark, run_sweep)
+
+    print("\nparallelize ablation: cycles to process 96 packets through an 8-cycle adder")
+    for channels in sweep:
+        rate = len(packets) / cycles[channels]
+        print(f"  channels={channels}: {cycles[channels]:>5} cycles  ({rate:.2f} packets/cycle)")
+
+    # Monotone improvement, and a clear (>=3x) win for 8 channels over 1.
+    assert cycles[1] > cycles[2] > cycles[4] >= cycles[8]
+    assert cycles[1] / cycles[8] >= 3.0

@@ -1,0 +1,58 @@
+"""Benchmark / regeneration of Figure 2: the Tydi-lang workflow in big data.
+
+The benchmark executes every box of the figure for TPC-H Q6: Arrow schema ->
+Fletcher-generated readers -> (automatic) SQL translation -> Tydi-lang
+compilation with the standard library -> VHDL, and finally validates the
+resulting accelerator functionally against the numpy reference.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.arrow.fletcher import fletcher_interface_source, reader_behaviors
+from repro.arrow.tpch import LINEITEM_SCHEMA, golden_q6
+from repro.lang import compile_sources
+from repro.queries.q6 import SQL as Q6_SQL
+from repro.report.figures import figure2
+from repro.sim import Simulator
+from repro.sql import translate_select
+from repro.vhdl.backend import VhdlBackend
+
+
+def test_figure2_bigdata_flow(benchmark, tpch_tables):
+    def flow():
+        # Apache Arrow data schema -> Fletcher -> memory-access components.
+        fletcher_source = fletcher_interface_source([LINEITEM_SCHEMA])
+        # SQL application -> Tydi source code (the future-work trans-compiler).
+        translation = translate_select(Q6_SQL, LINEITEM_SCHEMA, name="figure2_q6")
+        # Tydi-lang compiler (+ standard library) -> VHDL component.
+        result = compile_sources(
+            [(fletcher_source, "fletcher.td"), (translation.source, "query.td")],
+            top=translation.top,
+            project_name="figure2_q6",
+        )
+        vhdl_loc = VhdlBackend(result.project).total_loc()
+        # FPGA application (simulated): stream the dataset through the design.
+        simulator = Simulator(
+            result.project,
+            behaviors=reader_behaviors([LINEITEM_SCHEMA], {"lineitem": tpch_tables["lineitem"]}),
+            channel_capacity=4,
+        )
+        trace = simulator.run()
+        measured = trace.output_values(translation.output_ports[0])[-1]
+        return translation, result, vhdl_loc, measured
+
+    translation, result, vhdl_loc, measured = run_once(benchmark, flow)
+    reference = golden_q6(tpch_tables)
+
+    print("\n" + figure2())
+    print("\nflow artefacts for TPC-H Q6:")
+    print(f"  generated Tydi-lang query logic: {translation.loc()} LoC")
+    print(f"  compiled design:                 {result.project.statistics()}")
+    print(f"  generated VHDL:                  {vhdl_loc} LoC")
+    print(f"  simulated revenue:               {measured:,.2f}")
+    print(f"  numpy reference:                 {reference:,.2f}")
+
+    assert result.drc.passed()
+    assert vhdl_loc > 500
+    assert measured == pytest.approx(reference, rel=1e-9)

@@ -1,0 +1,44 @@
+"""Benchmark / regeneration of Figure 4: automatic voider and duplicator insertion.
+
+Figure 4 shows the paper's ``b0 = a + 10; b1 = a * 2`` example before and
+after sugaring.  The benchmark regenerates that figure from a live compilation
+and additionally measures the effect of sugaring on a real design (TPC-H Q1):
+the hand-desugared variant needs more query-logic LoC for the same hardware,
+which is the "design effort saved by sugaring" the paper reports
+(402 -> 284 LoC; here proportionally similar).
+"""
+
+from conftest import run_once
+
+from repro.report.figures import figure4
+from repro.queries import QUERIES
+from repro.utils.text import count_loc
+
+
+def test_figure4_sugaring(benchmark, compiled_queries):
+    text = run_once(benchmark, figure4)
+    print("\n" + text)
+
+    # The regenerated figure shows both states and the inserted components.
+    assert "before sugaring" in text and "after sugaring" in text
+    assert "duplicator" in text and "voider" in text
+    assert "inserted 1 duplicator(s) and 1 voider(s)" in text
+
+    # Quantified on TPC-H Q1: sugaring removes the need for hand-written
+    # duplicators/voiders, saving query-logic lines while the DRC still passes.
+    sugared = QUERIES["q1"]
+    manual = QUERIES["q1_no_sugar"]
+    sugared_loc = count_loc(sugared.query_source, "tydi")
+    manual_loc = count_loc(manual.query_source, "tydi")
+    saved = manual_loc - sugared_loc
+    print(f"\nTPC-H Q1 query logic: {manual_loc} LoC hand-desugared vs {sugared_loc} LoC sugared "
+          f"({saved} LoC saved, {100 * saved / manual_loc:.0f}%)")
+    assert saved > 0
+
+    report = compiled_queries["q1"].sugaring
+    print(f"sugaring on Q1 inserted {report.duplicators_inserted} duplicator(s) and "
+          f"{report.voiders_inserted} voider(s) automatically")
+    assert report.duplicators_inserted >= 3
+    assert report.voiders_inserted >= 8
+    assert compiled_queries["q1"].drc.passed()
+    assert compiled_queries["q1_no_sugar"].drc.passed()

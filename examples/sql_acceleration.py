@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The big-data workflow of Figure 2: SQL -> Tydi-lang -> VHDL, validated in simulation.
+
+This example drives the whole accelerator-design flow the paper motivates:
+
+1. take a SQL query (TPC-H Q6) over an Arrow-style schema,
+2. generate the memory-access interfaces with the Fletcher substitute,
+3. translate the query automatically to Tydi-lang (the paper's future-work
+   trans-compiler, implemented in :mod:`repro.sql`),
+4. compile to Tydi-IR, apply sugaring, run the DRC and emit VHDL,
+5. stream a synthetic TPC-H dataset through the compiled design with the
+   event-driven simulator and compare against the numpy reference answer,
+6. report the line-of-code ratios that Table IV is built from.
+
+Run with:  python examples/sql_acceleration.py
+"""
+
+from repro.arrow.fletcher import fletcher_interface_source, reader_behaviors
+from repro.arrow.tpch import LINEITEM_SCHEMA, generate_tpch_data, golden_q6
+from repro.lang import compile_sources
+from repro.queries.q6 import SQL as Q6_SQL
+from repro.sim import Simulator
+from repro.sql import translate_select
+from repro.utils.text import count_loc
+from repro.vhdl.backend import VhdlBackend
+
+def main() -> None:
+    print("== 1. the SQL query (TPC-H Q6) ==")
+    print(Q6_SQL.strip())
+
+    print("\n== 2. Fletcher-generated memory interface ==")
+    fletcher_source = fletcher_interface_source([LINEITEM_SCHEMA])
+    print(f"  {count_loc(fletcher_source, 'tydi')} LoC of reader interface for "
+          f"{len(LINEITEM_SCHEMA)} lineitem columns")
+
+    print("\n== 3. automatic SQL -> Tydi-lang translation ==")
+    translation = translate_select(Q6_SQL, LINEITEM_SCHEMA, name="q6_accel")
+    print(f"  generated {translation.loc()} LoC of Tydi-lang query logic")
+    print("  excerpt:")
+    for line in translation.source.splitlines()[12:24]:
+        print(f"    {line}")
+
+    print("\n== 4. compile to Tydi-IR and VHDL ==")
+    result = compile_sources(
+        [(fletcher_source, "fletcher.td"), (translation.source, "q6.td")],
+        top=translation.top,
+        project_name="q6_accel",
+    )
+    for stage in result.stages:
+        print(f"  {stage}")
+    vhdl_loc = VhdlBackend(result.project).total_loc()
+    tydi_loc = translation.loc() + count_loc(fletcher_source, "tydi")
+    print(f"  generated VHDL: {vhdl_loc} LoC "
+          f"(ratio vs. query logic: {vhdl_loc / translation.loc():.1f}x)")
+
+    print("\n== 5. functional validation in the Tydi simulator ==")
+    tables = generate_tpch_data(600, seed=2023)
+    simulator = Simulator(
+        result.project,
+        behaviors=reader_behaviors([LINEITEM_SCHEMA], {"lineitem": tables["lineitem"]}),
+        channel_capacity=4,
+    )
+    trace = simulator.run()
+    measured = trace.output_values(translation.output_ports[0])[-1]
+    reference = golden_q6(tables)
+    print(f"  simulated revenue: {measured:,.2f}")
+    print(f"  numpy reference:   {reference:,.2f}")
+    assert abs(measured - reference) < 1e-6 * max(1.0, abs(reference))
+    print("  MATCH — the generated hardware computes the query correctly")
+
+    print("\n== 6. design-effort summary (the Table IV quantities) ==")
+    print(f"  raw SQL:             {count_loc(Q6_SQL, 'sql'):>6} LoC")
+    print(f"  Tydi-lang (total):   {tydi_loc:>6} LoC")
+    print(f"  generated VHDL:      {vhdl_loc:>6} LoC")
+
+
+if __name__ == "__main__":
+    main()

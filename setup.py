@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline build environment has no ``wheel`` package, so PEP 517 editable
+installs (which build an editable wheel) fail with ``invalid command
+'bdist_wheel'``.  Keeping a ``setup.py`` lets ``pip install -e .`` fall back
+to the legacy ``setup.py develop`` path, which needs neither network access
+nor the wheel package.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

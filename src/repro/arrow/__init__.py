@@ -1,0 +1,55 @@
+"""Arrow-style schemas, columnar datasets and the Fletcher-equivalent generator.
+
+The paper's big-data workflow (Figure 2) starts from an Apache Arrow schema
+and uses Fletcher to generate the hardware components that stream the
+in-memory columnar data into the FPGA.  Neither Arrow nor Fletcher is
+available in this reproduction environment, so this package provides the
+closest synthetic equivalents:
+
+* :mod:`repro.arrow.schema` -- a minimal Arrow-like schema model (fields with
+  logical SQL-ish types) and its mapping onto Tydi logical types,
+* :mod:`repro.arrow.dataset` -- in-memory columnar tables backed by numpy,
+* :mod:`repro.arrow.fletcher` -- the Fletcher substitute: generate, from a
+  schema, the Tydi-lang interface streamlets of the memory readers (the
+  "Fletcher part" counted in Table IV) plus simulator behaviours that stream
+  a dataset through those interfaces,
+* :mod:`repro.arrow.tpch` -- TPC-H table schemas, a seeded synthetic data
+  generator, and golden (reference) implementations of the evaluated queries.
+"""
+
+from repro.arrow.schema import ArrowField, ArrowSchema, arrow_type_to_tydi
+from repro.arrow.dataset import Column, Table
+from repro.arrow.fletcher import (
+    FletcherReaderBehavior,
+    fletcher_interface_source,
+    fletcher_type_preamble,
+    reader_behaviors,
+)
+from repro.arrow.tpch import (
+    TPCH_SCHEMAS,
+    generate_tpch_data,
+    golden_q1,
+    golden_q3,
+    golden_q5,
+    golden_q6,
+    golden_q19,
+)
+
+__all__ = [
+    "ArrowField",
+    "ArrowSchema",
+    "arrow_type_to_tydi",
+    "Column",
+    "Table",
+    "FletcherReaderBehavior",
+    "fletcher_interface_source",
+    "fletcher_type_preamble",
+    "reader_behaviors",
+    "TPCH_SCHEMAS",
+    "generate_tpch_data",
+    "golden_q1",
+    "golden_q3",
+    "golden_q5",
+    "golden_q6",
+    "golden_q19",
+]

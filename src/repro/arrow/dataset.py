@@ -1,0 +1,122 @@
+"""In-memory columnar datasets (the Apache Arrow stand-in).
+
+A :class:`Table` is a named collection of equal-length :class:`Column` s.
+Numeric columns are stored as numpy arrays so that the golden query
+implementations (:mod:`repro.arrow.tpch`) can be fully vectorised; string
+columns are stored as numpy object arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.arrow.schema import ArrowSchema
+from repro.errors import TydiTypeError
+
+
+@dataclass
+class Column:
+    """One column of a table."""
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, np.ndarray):
+            self.values = np.asarray(self.values)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def to_list(self) -> list:
+        return self.values.tolist()
+
+
+class Table:
+    """A named collection of equal-length columns."""
+
+    def __init__(self, name: str, columns: Mapping[str, Iterable] | None = None) -> None:
+        self.name = name
+        self._columns: dict[str, Column] = {}
+        if columns:
+            for column_name, values in columns.items():
+                self.add_column(column_name, values)
+
+    # -- construction ------------------------------------------------------------
+
+    def add_column(self, name: str, values: Iterable) -> Column:
+        column = Column(name=name, values=np.asarray(values))
+        if self._columns and len(column) != self.num_rows:
+            raise TydiTypeError(
+                f"column {name!r} has {len(column)} rows but table {self.name!r} has "
+                f"{self.num_rows}"
+            )
+        self._columns[name] = column
+        return column
+
+    @classmethod
+    def from_schema(cls, schema: ArrowSchema, data: Mapping[str, Iterable]) -> "Table":
+        """Build a table validating that every schema column is present."""
+        missing = [f.name for f in schema.fields if f.name not in data]
+        if missing:
+            raise TydiTypeError(f"data for schema {schema.name!r} is missing columns {missing}")
+        table = cls(schema.name)
+        for f in schema.fields:
+            table.add_column(f.name, data[f.name])
+        return table
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError as exc:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from exc
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name).values
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def select(self, names: list[str]) -> "Table":
+        """A new table containing only the named columns."""
+        return Table(self.name, {n: self._columns[n].values for n in names})
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """A new table containing only the rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        return Table(self.name, {n: c.values[mask] for n, c in self._columns.items()})
+
+    def head(self, count: int) -> "Table":
+        return Table(self.name, {n: c.values[:count] for n, c in self._columns.items()})
+
+    def rows(self) -> list[dict[str, object]]:
+        """Row-oriented view (handy for feeding the simulator)."""
+        names = self.column_names()
+        return [
+            {name: self._columns[name].values[index].item()
+             if hasattr(self._columns[name].values[index], "item")
+             else self._columns[name].values[index]
+             for name in names}
+            for index in range(self.num_rows)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self.num_rows}, columns={self.column_names()})"

@@ -1,0 +1,145 @@
+"""Arrow-like schemas and their mapping onto Tydi logical types.
+
+A schema is a named, ordered collection of fields; every field carries one of
+a small set of logical column types that covers what the TPC-H queries need:
+
+========  =========================================  =======================
+type      meaning                                    Tydi logical type
+========  =========================================  =======================
+int64     64-bit integer key / quantity              ``Stream(Bit(64), d=1)``
+int32     32-bit integer                             ``Stream(Bit(32), d=1)``
+decimal   fixed-point decimal(15,2) money amount     ``Stream(Bit(ceil(log2(10^15-1))), d=1)``
+date      days since epoch                           ``Stream(Bit(32), d=1)``
+utf8      variable-length string (bounded to 32 B)   ``Stream(Bit(256), d=1)``
+bool      single bit                                 ``Stream(Bit(1), d=1)``
+========  =========================================  =======================
+
+The decimal mapping is the paper's own example of the Tydi-lang math system:
+``Bit(ceil(log2(10^15 - 1)))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import TydiTypeError
+from repro.spec.logical_types import Bit, LogicalType, Stream
+
+#: Supported Arrow-like column types.
+COLUMN_TYPES = ("int64", "int32", "decimal", "date", "utf8", "bool")
+
+#: The shared Tydi-lang type alias used for each column type (see
+#: :func:`repro.arrow.fletcher.fletcher_type_preamble`); using one named alias
+#: per category keeps strict type equality satisfied across tables.
+TYPE_ALIASES = {
+    "int64": "tpch_int",
+    "int32": "tpch_int32",
+    "decimal": "tpch_decimal",
+    "date": "tpch_date",
+    "utf8": "tpch_char",
+    "bool": "tpch_flag",
+}
+
+
+def decimal_bit_width(precision: int = 15) -> int:
+    """Bits needed for a decimal of ``precision`` digits (paper Section IV-A)."""
+    return math.ceil(math.log2(10**precision - 1))
+
+
+def arrow_type_to_tydi(column_type: str) -> LogicalType:
+    """Map an Arrow-like column type to its Tydi logical (stream) type."""
+    if column_type == "int64":
+        return Stream.new(Bit(64), dimension=1)
+    if column_type == "int32":
+        return Stream.new(Bit(32), dimension=1)
+    if column_type == "decimal":
+        return Stream.new(Bit(decimal_bit_width(15)), dimension=1)
+    if column_type == "date":
+        return Stream.new(Bit(32), dimension=1)
+    if column_type == "utf8":
+        return Stream.new(Bit(256), dimension=1)
+    if column_type == "bool":
+        return Stream.new(Bit(1), dimension=1)
+    raise TydiTypeError(f"unsupported Arrow column type {column_type!r}")
+
+
+def tydi_type_expression(column_type: str) -> str:
+    """The Tydi-lang source text of the logical type of a column type."""
+    if column_type == "int64":
+        return "Stream(Bit(64), d=1)"
+    if column_type == "int32":
+        return "Stream(Bit(32), d=1)"
+    if column_type == "decimal":
+        return "Stream(Bit(ceil(log2(10^15 - 1))), d=1)"
+    if column_type == "date":
+        return "Stream(Bit(32), d=1)"
+    if column_type == "utf8":
+        return "Stream(Bit(256), d=1)"
+    if column_type == "bool":
+        return "Stream(Bit(1), d=1)"
+    raise TydiTypeError(f"unsupported Arrow column type {column_type!r}")
+
+
+@dataclass(frozen=True)
+class ArrowField:
+    """One column of a schema."""
+
+    name: str
+    column_type: str
+    nullable: bool = False
+    #: Marks primary-key columns; the paper treats these as the reader's
+    #: command/input side.
+    primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if self.column_type not in COLUMN_TYPES:
+            raise TydiTypeError(
+                f"field {self.name!r} has unsupported column type {self.column_type!r}"
+            )
+
+    def tydi_type(self) -> LogicalType:
+        return arrow_type_to_tydi(self.column_type)
+
+    def type_alias(self) -> str:
+        return TYPE_ALIASES[self.column_type]
+
+
+@dataclass(frozen=True)
+class ArrowSchema:
+    """A named, ordered collection of fields (one per column)."""
+
+    name: str
+    fields: tuple[ArrowField, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for f in self.fields:
+            if f.name in seen:
+                raise TydiTypeError(f"schema {self.name!r} has duplicate field {f.name!r}")
+            seen.add(f.name)
+
+    @classmethod
+    def of(cls, name: str, **columns: str) -> "ArrowSchema":
+        return cls(name=name, fields=tuple(ArrowField(n, t) for n, t in columns.items()))
+
+    def field(self, name: str) -> ArrowField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"schema {self.name!r} has no field {name!r}")
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def __contains__(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def subset(self, names: list[str]) -> "ArrowSchema":
+        """A schema containing only the named columns (order preserved)."""
+        return ArrowSchema(
+            name=self.name, fields=tuple(f for f in self.fields if f.name in names)
+        )

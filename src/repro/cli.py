@@ -1,0 +1,80 @@
+"""Command-line interface: ``tydi-compile``.
+
+Compiles one or more Tydi-lang source files to Tydi-IR and (optionally)
+VHDL, mirroring the workflow of Figure 1:
+
+.. code-block:: console
+
+    $ tydi-compile design.td --top my_top --vhdl-dir out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tydi-compile",
+        description="Compile Tydi-lang sources to Tydi-IR and VHDL.",
+    )
+    parser.add_argument("sources", nargs="+", help="Tydi-lang source files (.td)")
+    parser.add_argument("--top", help="name of the top-level implementation", default=None)
+    parser.add_argument("--no-stdlib", action="store_true", help="do not include the standard library")
+    parser.add_argument("--no-sugaring", action="store_true", help="disable duplicator/voider insertion")
+    parser.add_argument("--ir-out", help="write textual Tydi-IR to this file", default=None)
+    parser.add_argument("--vhdl-dir", help="write generated VHDL files into this directory", default=None)
+    parser.add_argument("--stats", action="store_true", help="print design statistics")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    from repro.lang import compile_sources
+    from repro.errors import TydiError
+
+    sources = []
+    for path_text in args.sources:
+        path = pathlib.Path(path_text)
+        sources.append((path.read_text(), path.name))
+
+    try:
+        result = compile_sources(
+            sources,
+            top=args.top,
+            include_stdlib=not args.no_stdlib,
+            sugaring=not args.no_sugaring,
+        )
+    except TydiError as exc:
+        print(f"error ({exc.stage}): {exc.render()}", file=sys.stderr)
+        return 1
+
+    for stage in result.stages:
+        print(f"[{stage.name}] {stage.detail}")
+
+    if args.stats:
+        for key, value in result.project.statistics().items():
+            print(f"  {key}: {value}")
+
+    if args.ir_out:
+        pathlib.Path(args.ir_out).write_text(result.ir_text())
+        print(f"wrote Tydi-IR to {args.ir_out}")
+
+    if args.vhdl_dir:
+        from repro.vhdl import generate_vhdl
+
+        out_dir = pathlib.Path(args.vhdl_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        files = generate_vhdl(result.project)
+        for name, text in files.items():
+            (out_dir / name).write_text(text)
+        print(f"wrote {len(files)} VHDL file(s) to {out_dir}")
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

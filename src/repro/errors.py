@@ -1,0 +1,156 @@
+"""Error and diagnostic types used across the Tydi-lang reproduction.
+
+Every user-facing failure in the toolchain is reported through one of the
+exception classes defined here so that callers (CLI, tests, benchmark harness)
+can distinguish *which stage* of the pipeline rejected the input:
+
+* :class:`TydiSyntaxError` -- lexer / parser failures.
+* :class:`TydiNameError` -- unresolved identifiers during evaluation.
+* :class:`TydiTypeError` -- logical-type construction or expression typing
+  failures.
+* :class:`TydiEvaluationError` -- template instantiation, ``for``/``if``
+  expansion, assertion failures and other evaluation-time problems.
+* :class:`TydiDRCError` -- design-rule-check violations (type equality on
+  connections, port usage counts, clock-domain mismatches).
+* :class:`TydiBackendError` -- Tydi-IR emission or VHDL generation problems.
+* :class:`TydiSimulationError` -- simulator configuration or runtime errors.
+
+All of them carry an optional :class:`repro.utils.source.SourceSpan` so that
+messages can point at the offending location in the Tydi-lang source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TydiError(Exception):
+    """Base class for all errors raised by the toolchain."""
+
+    #: Short machine-readable stage name ("parse", "evaluate", "drc", ...).
+    stage: str = "general"
+
+    def __init__(self, message: str, span: Optional[object] = None) -> None:
+        self.message = message
+        self.span = span
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        """Return the formatted, location-annotated message."""
+        if self.span is not None:
+            return f"{self.span}: {self.message}"
+        return self.message
+
+
+class TydiSyntaxError(TydiError):
+    """Raised by the lexer or parser on malformed Tydi-lang source."""
+
+    stage = "parse"
+
+
+class TydiNameError(TydiError):
+    """Raised when an identifier cannot be resolved in any visible scope."""
+
+    stage = "resolve"
+
+
+class TydiTypeError(TydiError):
+    """Raised for invalid logical-type construction or mis-typed expressions."""
+
+    stage = "type"
+
+
+class TydiEvaluationError(TydiError):
+    """Raised during evaluation/expansion of the source into a flat design."""
+
+    stage = "evaluate"
+
+
+class TydiAssertionError(TydiEvaluationError):
+    """Raised when a Tydi-lang ``assert(...)`` fails during evaluation."""
+
+    stage = "assert"
+
+
+class TydiDRCError(TydiError):
+    """Raised when the design-rule check rejects an evaluated design."""
+
+    stage = "drc"
+
+
+class TydiBackendError(TydiError):
+    """Raised by the Tydi-IR emitter or the VHDL backend."""
+
+    stage = "backend"
+
+
+class TydiSimulationError(TydiError):
+    """Raised by the event-driven simulator."""
+
+    stage = "simulate"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A non-fatal message produced by a pipeline stage.
+
+    Diagnostics are collected (rather than raised) for conditions the paper
+    describes as reportable-but-recoverable, e.g. the DRC report listing the
+    sugaring decisions that were applied, or simulator warnings about ports
+    that never fired.
+    """
+
+    severity: str  # "info" | "warning" | "error"
+    stage: str
+    message: str
+    span: Optional[object] = None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        loc = f"{self.span}: " if self.span is not None else ""
+        return f"[{self.severity}/{self.stage}] {loc}{self.message}"
+
+
+class DiagnosticSink:
+    """Accumulates :class:`Diagnostic` objects emitted by pipeline stages."""
+
+    def __init__(self) -> None:
+        self._items: list[Diagnostic] = []
+
+    def emit(self, severity: str, stage: str, message: str, span: object | None = None) -> Diagnostic:
+        diag = Diagnostic(severity=severity, stage=stage, message=message, span=span)
+        self._items.append(diag)
+        return diag
+
+    def info(self, stage: str, message: str, span: object | None = None) -> Diagnostic:
+        return self.emit("info", stage, message, span)
+
+    def warning(self, stage: str, message: str, span: object | None = None) -> Diagnostic:
+        return self.emit("warning", stage, message, span)
+
+    def error(self, stage: str, message: str, span: object | None = None) -> Diagnostic:
+        return self.emit("error", stage, message, span)
+
+    @property
+    def items(self) -> list[Diagnostic]:
+        return list(self._items)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == "warning"]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == "error"]
+
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self._items)
+
+    def extend(self, other: "DiagnosticSink") -> None:
+        self._items.extend(other._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)

@@ -1,0 +1,102 @@
+"""Tydi-IR testbench model.
+
+Section V-C of the paper describes a prediction-strategy testbench: give the
+component a sequence of input transfers and verify that the output transfers
+match what the high-level simulation predicted.  A testbench therefore is a
+set of timestamped *vectors* per port:
+
+* input vectors drive data packets into input ports,
+* expected vectors assert the data packets appearing on output ports.
+
+The simulator (:mod:`repro.sim.testbench_gen`) produces these from a recorded
+simulation trace; :mod:`repro.vhdl.testbench` lowers them to a VHDL testbench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TestbenchEvent:
+    """A single transfer on a port at a given time (in clock cycles)."""
+
+    time: int
+    port: str
+    values: tuple[int, ...]
+    #: Per-dimension "last" flags closing nesting levels, outermost first.
+    last: tuple[bool, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"testbench event time must be >= 0, got {self.time}")
+
+
+@dataclass
+class TestbenchVector:
+    """All events for one port, in time order."""
+
+    port: str
+    direction: str  # "drive" for inputs, "expect" for outputs
+    events: list[TestbenchEvent] = field(default_factory=list)
+
+    def add(self, event: TestbenchEvent) -> None:
+        if event.port != self.port:
+            raise ValueError(f"event port {event.port!r} does not match vector port {self.port!r}")
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.time)
+
+    def last_time(self) -> int:
+        return max((e.time for e in self.events), default=0)
+
+
+@dataclass
+class Testbench:
+    """A complete testbench for one implementation."""
+
+    implementation: str
+    vectors: dict[str, TestbenchVector] = field(default_factory=dict)
+    clock_period_ns: float = 10.0
+    name: Optional[str] = None
+
+    def vector(self, port: str, direction: str) -> TestbenchVector:
+        if port not in self.vectors:
+            self.vectors[port] = TestbenchVector(port=port, direction=direction)
+        return self.vectors[port]
+
+    def drive(self, time: int, port: str, values: Iterable[int], last: Iterable[bool] = ()) -> None:
+        """Record an input stimulus transfer."""
+        self.vector(port, "drive").add(
+            TestbenchEvent(time=time, port=port, values=tuple(values), last=tuple(last))
+        )
+
+    def expect(self, time: int, port: str, values: Iterable[int], last: Iterable[bool] = ()) -> None:
+        """Record an expected output transfer."""
+        self.vector(port, "expect").add(
+            TestbenchEvent(time=time, port=port, values=tuple(values), last=tuple(last))
+        )
+
+    def duration(self) -> int:
+        """Total simulated cycles covered by the testbench."""
+        return max((v.last_time() for v in self.vectors.values()), default=0) + 1
+
+    def drive_vectors(self) -> list[TestbenchVector]:
+        return [v for v in self.vectors.values() if v.direction == "drive"]
+
+    def expect_vectors(self) -> list[TestbenchVector]:
+        return [v for v in self.vectors.values() if v.direction == "expect"]
+
+    def emit(self) -> str:
+        """Emit the textual Tydi-IR testbench syntax."""
+        lines = [f"testbench {self.name or self.implementation} for {self.implementation} {{"]
+        lines.append(f"  clock_period: {self.clock_period_ns}ns;")
+        for vector in self.vectors.values():
+            keyword = "drive" if vector.direction == "drive" else "expect"
+            for event in vector.events:
+                values = ", ".join(str(v) for v in event.values)
+                last = "".join("1" if flag else "0" for flag in event.last)
+                last_part = f" last={last}" if last else ""
+                lines.append(f"  @{event.time} {keyword} {vector.port} [{values}]{last_part};")
+        lines.append("}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,23 @@
+"""Tydi-lang frontend: lexer, parser, evaluator, sugaring, DRC and compile driver.
+
+The public entry point is :func:`repro.lang.compile.compile_project`, which
+runs the full frontend pipeline of Figure 3 in the paper:
+
+    source text -> parser -> AST
+        -> evaluation (variables, templates, for/if/assert expansion)
+        -> sugaring (automatic duplicator/voider insertion)
+        -> design rule check
+        -> Tydi-IR (:class:`repro.ir.Project`)
+"""
+
+from repro.lang.compile import CompilationResult, compile_project, compile_sources
+from repro.lang.parser import parse_source
+from repro.lang.lexer import tokenize
+
+__all__ = [
+    "CompilationResult",
+    "compile_project",
+    "compile_sources",
+    "parse_source",
+    "tokenize",
+]

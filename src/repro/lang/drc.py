@@ -1,0 +1,262 @@
+"""Design rule check (DRC).
+
+The paper's frontend (Figure 3) runs a DRC over the evaluated design and
+produces a report.  Two rules are called out explicitly in Section III:
+
+1. **Type equality on connections** -- the logical types of two connected
+   ports must be identical (strict equality by default, structural equality
+   when the connection carries the ``@structural`` attribute), because the
+   type information is erased in the generated VHDL.
+2. **Port usage count** -- every port must be used exactly once, because the
+   stream handshake is point-to-point.
+
+We additionally check connection *direction legality* (a connection must go
+from a data source to a data sink within the implementation), protocol
+complexity compatibility, clock-domain agreement, and that ports carry Stream
+types (a warning otherwise, since non-stream ports have no physical mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DiagnosticSink, TydiDRCError
+from repro.ir.model import (
+    Connection,
+    Implementation,
+    Port,
+    PortDirection,
+    PortRef,
+    Project,
+)
+from repro.spec.compat import check_connection_compatibility
+from repro.spec.logical_types import Stream
+
+
+@dataclass
+class DRCViolation:
+    """One violated design rule."""
+
+    rule: str
+    implementation: str
+    message: str
+    severity: str = "error"  # "error" | "warning"
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.rule} in {self.implementation}: {self.message}"
+
+
+@dataclass
+class DRCReport:
+    """Aggregated result of the design rule check."""
+
+    violations: list[DRCViolation] = field(default_factory=list)
+    connections_checked: int = 0
+    ports_checked: int = 0
+
+    @property
+    def errors(self) -> list[DRCViolation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> list[DRCViolation]:
+        return [v for v in self.violations if v.severity == "warning"]
+
+    def passed(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        return (
+            f"DRC checked {self.connections_checked} connection(s) and "
+            f"{self.ports_checked} port endpoint(s): "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+
+    def raise_if_failed(self) -> None:
+        if not self.passed():
+            details = "\n".join(str(v) for v in self.errors)
+            raise TydiDRCError(f"design rule check failed:\n{details}")
+
+
+def _endpoint_role(
+    project: Project, implementation: Implementation, ref: PortRef
+) -> tuple[str, Port]:
+    """Classify a connection endpoint as a "source" or "sink" within the impl.
+
+    Within an implementation, data is *sourced* by the implementation's own
+    input ports and by instance output ports; it is *sunk* by the
+    implementation's own output ports and by instance input ports.
+    """
+    port = project.resolve_port(implementation, ref)
+    if ref.instance is None:
+        role = "source" if port.direction is PortDirection.IN else "sink"
+    else:
+        role = "source" if port.direction is PortDirection.OUT else "sink"
+    return role, port
+
+
+def check_project(
+    project: Project,
+    diagnostics: DiagnosticSink | None = None,
+    *,
+    require_streams: bool = True,
+) -> DRCReport:
+    """Run the design rule check over every non-external implementation."""
+    diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
+    report = DRCReport()
+
+    for implementation in project.implementations.values():
+        if implementation.external:
+            continue
+        _check_implementation(project, implementation, report, require_streams)
+
+    for violation in report.violations:
+        if violation.severity == "error":
+            diagnostics.error("drc", str(violation))
+        else:
+            diagnostics.warning("drc", str(violation))
+    return report
+
+
+def _check_implementation(
+    project: Project,
+    implementation: Implementation,
+    report: DRCReport,
+    require_streams: bool,
+) -> None:
+    streamlet = project.streamlet_of(implementation)
+
+    # Rule 0: ports should carry Stream types (warning otherwise).
+    if require_streams:
+        for port in streamlet.ports:
+            if not isinstance(port.logical_type, Stream) and not port.logical_type.is_null():
+                report.violations.append(
+                    DRCViolation(
+                        rule="stream-port",
+                        implementation=implementation.name,
+                        message=(
+                            f"port {port.name!r} has non-stream type "
+                            f"{port.logical_type.to_tydi()}; it has no physical mapping"
+                        ),
+                        severity="warning",
+                    )
+                )
+
+    # Collect all endpoints that must be used exactly once.
+    source_usage: dict[str, int] = {}
+    sink_usage: dict[str, int] = {}
+    endpoint_ports: dict[str, Port] = {}
+
+    def register(ref: PortRef, role: str, port: Port) -> None:
+        key = str(ref)
+        endpoint_ports[key] = port
+        if role == "source":
+            source_usage.setdefault(key, 0)
+        else:
+            sink_usage.setdefault(key, 0)
+
+    for port in streamlet.ports:
+        ref = PortRef(port=port.name)
+        role = "source" if port.direction is PortDirection.IN else "sink"
+        register(ref, role, port)
+        report.ports_checked += 1
+    for instance in implementation.instances:
+        inner = project.streamlet_of(project.implementation(instance.implementation))
+        for port in inner.ports:
+            ref = PortRef(port=port.name, instance=instance.name)
+            role = "source" if port.direction is PortDirection.OUT else "sink"
+            register(ref, role, port)
+            report.ports_checked += 1
+
+    # Rule 1 & 2 prerequisites: walk the connections.
+    for connection in implementation.connections:
+        report.connections_checked += 1
+        _check_connection(project, implementation, connection, report)
+        source_role, _ = _endpoint_role(project, implementation, connection.source)
+        sink_role, _ = _endpoint_role(project, implementation, connection.sink)
+        if source_role == "source":
+            source_usage[str(connection.source)] = source_usage.get(str(connection.source), 0) + 1
+        if sink_role == "sink":
+            sink_usage[str(connection.sink)] = sink_usage.get(str(connection.sink), 0) + 1
+
+    # Rule 2: port usage count -- every endpoint used exactly once.
+    for key, count in source_usage.items():
+        if count == 0:
+            report.violations.append(
+                DRCViolation(
+                    rule="port-usage",
+                    implementation=implementation.name,
+                    message=f"source endpoint {key} is never used (enable sugaring to auto-void it)",
+                )
+            )
+        elif count > 1:
+            report.violations.append(
+                DRCViolation(
+                    rule="port-usage",
+                    implementation=implementation.name,
+                    message=(
+                        f"source endpoint {key} drives {count} sinks "
+                        "(enable sugaring to auto-insert a duplicator)"
+                    ),
+                )
+            )
+    for key, count in sink_usage.items():
+        if count == 0:
+            report.violations.append(
+                DRCViolation(
+                    rule="port-usage",
+                    implementation=implementation.name,
+                    message=f"sink endpoint {key} is never driven",
+                )
+            )
+        elif count > 1:
+            report.violations.append(
+                DRCViolation(
+                    rule="port-usage",
+                    implementation=implementation.name,
+                    message=f"sink endpoint {key} is driven {count} times",
+                )
+            )
+
+
+def _check_connection(
+    project: Project,
+    implementation: Implementation,
+    connection: Connection,
+    report: DRCReport,
+) -> None:
+    source_role, source_port = _endpoint_role(project, implementation, connection.source)
+    sink_role, sink_port = _endpoint_role(project, implementation, connection.sink)
+
+    # Direction legality.
+    if source_role != "source" or sink_role != "sink":
+        report.violations.append(
+            DRCViolation(
+                rule="direction",
+                implementation=implementation.name,
+                message=(
+                    f"connection {connection} has illegal direction: "
+                    f"{connection.source} acts as a {source_role} and "
+                    f"{connection.sink} acts as a {sink_role}"
+                ),
+            )
+        )
+        return
+
+    # Type equality, complexity, throughput and clock domain.
+    compatibility = check_connection_compatibility(
+        source_port.logical_type,
+        sink_port.logical_type,
+        strict=not connection.structural,
+        source_clock=source_port.clock_domain.name,
+        sink_clock=sink_port.clock_domain.name,
+    )
+    if not compatibility:
+        for reason in compatibility.reasons:
+            report.violations.append(
+                DRCViolation(
+                    rule="type-equality",
+                    implementation=implementation.name,
+                    message=f"connection {connection}: {reason}",
+                )
+            )

@@ -1,0 +1,152 @@
+"""Hand-written lexer for Tydi-lang.
+
+The original compiler uses a Pest PEG grammar; we use a straightforward
+single-pass scanner.  Comments (``//`` line and ``/* */`` block) and
+whitespace are skipped; every other character must belong to a token or a
+:class:`~repro.errors.TydiSyntaxError` is raised with the offending location.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TydiSyntaxError
+from repro.lang.tokens import Token, TokenKind
+from repro.utils.source import SourceFile
+
+# Multi-character operators, longest first so that e.g. "=>" wins over "=".
+_OPERATORS: list[tuple[str, TokenKind]] = [
+    ("=>", TokenKind.ARROW),
+    ("->", TokenKind.RANGE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NEQ),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AND),
+    ("||", TokenKind.OR),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    ("<", TokenKind.LANGLE),
+    (">", TokenKind.RANGLE),
+    (",", TokenKind.COMMA),
+    (";", TokenKind.SEMICOLON),
+    (":", TokenKind.COLON),
+    (".", TokenKind.DOT),
+    ("@", TokenKind.AT),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("^", TokenKind.CARET),
+    ("!", TokenKind.NOT),
+]
+
+
+def tokenize(text: str, filename: str = "<string>") -> list[Token]:
+    """Tokenize Tydi-lang source text into a list of tokens ending with EOF."""
+    source = SourceFile(text, filename)
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+
+    while i < n:
+        ch = text[i]
+
+        # Whitespace
+        if ch in " \t\r\n":
+            i += 1
+            continue
+
+        # Line comment
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+
+        # Block comment
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise TydiSyntaxError("unterminated block comment", source.span(i, n))
+            i = end + 2
+            continue
+
+        # String literal (single or double quoted, with backslash escapes)
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            chars: list[str] = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    escape = text[j + 1]
+                    chars.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(escape, escape))
+                    j += 2
+                else:
+                    chars.append(text[j])
+                    j += 1
+            if j >= n:
+                raise TydiSyntaxError("unterminated string literal", source.span(i, n))
+            tokens.append(
+                Token(TokenKind.STRING, text[i : j + 1], source.span(i, j + 1), "".join(chars))
+            )
+            i = j + 1
+            continue
+
+        # Number literal (integer or float)
+        if ch.isdigit():
+            j = i
+            is_float = False
+            while j < n and (text[j].isdigit() or text[j] == "_"):
+                j += 1
+            if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and (text[j].isdigit() or text[j] == "_"):
+                    j += 1
+            if j < n and text[j] in "eE" and (
+                (j + 1 < n and text[j + 1].isdigit())
+                or (j + 2 < n and text[j + 1] in "+-" and text[j + 2].isdigit())
+            ):
+                is_float = True
+                j += 1
+                if text[j] in "+-":
+                    j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            literal = text[i:j].replace("_", "")
+            if is_float:
+                tokens.append(Token(TokenKind.FLOAT, text[i:j], source.span(i, j), float(literal)))
+            else:
+                tokens.append(Token(TokenKind.INT, text[i:j], source.span(i, j), int(literal)))
+            i = j
+            continue
+
+        # Identifier / keyword
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            tokens.append(Token(TokenKind.IDENT, word, source.span(i, j), word))
+            i = j
+            continue
+
+        # Operators and punctuation
+        matched = False
+        for literal, kind in _OPERATORS:
+            if text.startswith(literal, i):
+                tokens.append(Token(kind, literal, source.span(i, i + len(literal))))
+                i += len(literal)
+                matched = True
+                break
+        if matched:
+            continue
+
+        raise TydiSyntaxError(f"unexpected character {ch!r}", source.span(i, i + 1))
+
+    tokens.append(Token(TokenKind.EOF, "", source.span(n, n)))
+    return tokens

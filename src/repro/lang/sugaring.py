@@ -1,0 +1,225 @@
+"""Sugaring: automatic duplicator and voider insertion (Section IV-D).
+
+Tydi streams are point-to-point: every output port may drive exactly one
+input port (the handshake has a single ready).  Software-style designs,
+however, routinely use one value several times or ignore values entirely.
+Sugaring releases that restriction by rewriting the evaluated design:
+
+* a **source endpoint** (an input port of the enclosing implementation, or an
+  output port of an inner instance) that is connected to *multiple* sinks is
+  rerouted through an automatically inserted **duplicator** whose channel
+  count and logical type are inferred from the connections;
+* a source endpoint that is connected to *no* sink at all is terminated with
+  an automatically inserted **voider**.
+
+Both primitives come from the standard library's hard-coded generators
+(:mod:`repro.stdlib.components`).  The rewrite is recorded in a
+:class:`SugaringReport` so the effect can be inspected (Figure 4) and counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DiagnosticSink
+from repro.ir.model import (
+    Connection,
+    Implementation,
+    Instance,
+    Port,
+    PortDirection,
+    PortRef,
+    Project,
+)
+from repro.stdlib.components import build_duplicator, build_voider
+from repro.utils.names import unique_namer
+
+
+@dataclass
+class SugaringAction:
+    """One rewrite applied by sugaring."""
+
+    kind: str  # "duplicator" | "voider"
+    implementation: str
+    source: str
+    channels: int = 0
+    inserted_instance: str = ""
+
+
+@dataclass
+class SugaringReport:
+    """All rewrites applied across a project."""
+
+    actions: list[SugaringAction] = field(default_factory=list)
+
+    @property
+    def duplicators_inserted(self) -> int:
+        return sum(1 for a in self.actions if a.kind == "duplicator")
+
+    @property
+    def voiders_inserted(self) -> int:
+        return sum(1 for a in self.actions if a.kind == "voider")
+
+    def for_implementation(self, name: str) -> list[SugaringAction]:
+        return [a for a in self.actions if a.implementation == name]
+
+    def summary(self) -> str:
+        return (
+            f"sugaring inserted {self.duplicators_inserted} duplicator(s) and "
+            f"{self.voiders_inserted} voider(s)"
+        )
+
+
+def _source_endpoints(project: Project, implementation: Implementation) -> dict[PortRef, Port]:
+    """All legal source endpoints inside ``implementation`` with their ports.
+
+    Inside an implementation, data is *sourced* by the implementation's own
+    input ports (data entering the component) and by output ports of inner
+    instances.
+    """
+    endpoints: dict[PortRef, Port] = {}
+    streamlet = project.streamlet_of(implementation)
+    for port in streamlet.ports:
+        if port.direction is PortDirection.IN:
+            endpoints[PortRef(port=port.name)] = port
+    for instance in implementation.instances:
+        inner = project.streamlet_of(project.implementation(instance.implementation))
+        for port in inner.ports:
+            if port.direction is PortDirection.OUT:
+                endpoints[PortRef(port=port.name, instance=instance.name)] = port
+    return endpoints
+
+
+def apply_sugaring(
+    project: Project,
+    diagnostics: DiagnosticSink | None = None,
+) -> SugaringReport:
+    """Apply duplicator/voider insertion to every non-external implementation."""
+    diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
+    report = SugaringReport()
+    namer = unique_namer("sugar")
+
+    # Iterate over a snapshot because sugaring adds new (external, primitive)
+    # implementations to the project while we walk it.
+    for implementation in list(project.implementations.values()):
+        if implementation.external:
+            continue
+        _sugar_implementation(project, implementation, report, diagnostics, namer)
+    return report
+
+
+def _sugar_implementation(
+    project: Project,
+    implementation: Implementation,
+    report: SugaringReport,
+    diagnostics: DiagnosticSink,
+    namer,
+) -> None:
+    endpoints = _source_endpoints(project, implementation)
+
+    usage: dict[PortRef, list[Connection]] = {ref: [] for ref in endpoints}
+    for connection in implementation.connections:
+        if connection.source in usage:
+            usage[connection.source].append(connection)
+
+    for ref, connections in usage.items():
+        port = endpoints[ref]
+        if len(connections) > 1:
+            _insert_duplicator(
+                project, implementation, ref, port, connections, report, diagnostics, namer
+            )
+        elif len(connections) == 0:
+            _insert_voider(project, implementation, ref, port, report, diagnostics, namer)
+
+
+def _insert_duplicator(
+    project: Project,
+    implementation: Implementation,
+    source: PortRef,
+    port: Port,
+    connections: list[Connection],
+    report: SugaringReport,
+    diagnostics: DiagnosticSink,
+    namer,
+) -> None:
+    channels = len(connections)
+    primitive = build_duplicator(project, port.logical_type, channels, port.clock_domain)
+    instance_name = namer(f"dup_{source.port}")
+    implementation.add_instance(
+        Instance(
+            name=instance_name,
+            implementation=primitive.name,
+            metadata={"synthesized": True, "primitive": "duplicator"},
+        )
+    )
+
+    # The original source now feeds the duplicator input...
+    implementation.add_connection(
+        Connection(
+            source=source,
+            sink=PortRef(port="input", instance=instance_name),
+            logical_type=port.logical_type,
+            synthesized=True,
+        )
+    )
+    # ...and each previous sink is fed from one duplicator output.
+    for index, connection in enumerate(connections):
+        connection.source = PortRef(port=f"output_{index}", instance=instance_name)
+        connection.synthesized = True
+
+    report.actions.append(
+        SugaringAction(
+            kind="duplicator",
+            implementation=implementation.name,
+            source=str(source),
+            channels=channels,
+            inserted_instance=instance_name,
+        )
+    )
+    diagnostics.info(
+        "sugaring",
+        f"inserted duplicator {instance_name!r} ({channels} channels) for source "
+        f"{source} in {implementation.name!r}",
+    )
+
+
+def _insert_voider(
+    project: Project,
+    implementation: Implementation,
+    source: PortRef,
+    port: Port,
+    report: SugaringReport,
+    diagnostics: DiagnosticSink,
+    namer,
+) -> None:
+    primitive = build_voider(project, port.logical_type, port.clock_domain)
+    instance_name = namer(f"void_{source.port}")
+    implementation.add_instance(
+        Instance(
+            name=instance_name,
+            implementation=primitive.name,
+            metadata={"synthesized": True, "primitive": "voider"},
+        )
+    )
+    implementation.add_connection(
+        Connection(
+            source=source,
+            sink=PortRef(port="input", instance=instance_name),
+            logical_type=port.logical_type,
+            synthesized=True,
+        )
+    )
+    report.actions.append(
+        SugaringAction(
+            kind="voider",
+            implementation=implementation.name,
+            source=str(source),
+            channels=1,
+            inserted_instance=instance_name,
+        )
+    )
+    diagnostics.info(
+        "sugaring",
+        f"inserted voider {instance_name!r} for unused source {source} in "
+        f"{implementation.name!r}",
+    )

@@ -1,0 +1,114 @@
+"""Token definitions for the Tydi-lang lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.source import SourceSpan
+
+
+class TokenKind(enum.Enum):
+    """All token categories produced by the lexer."""
+
+    # Literals and identifiers
+    IDENT = "identifier"
+    INT = "integer"
+    FLOAT = "float"
+    STRING = "string"
+
+    # Punctuation
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LANGLE = "<"
+    RANGLE = ">"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    DOT = "."
+    AT = "@"
+
+    # Operators
+    ASSIGN = "="
+    ARROW = "=>"
+    RANGE = "->"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    CARET = "^"
+    EQ = "=="
+    NEQ = "!="
+    LE = "<="
+    GE = ">="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+
+    # End of file
+    EOF = "eof"
+
+
+#: Words with dedicated meaning.  They still lex as IDENT tokens (the parser
+#: decides contextually) except where a construct is unambiguous; keeping them
+#: listed here lets the parser reject their use as plain identifiers where it
+#: would be confusing.
+KEYWORDS = frozenset(
+    {
+        "package",
+        "use",
+        "const",
+        "type",
+        "Group",
+        "Union",
+        "Stream",
+        "Bit",
+        "Null",
+        "streamlet",
+        "impl",
+        "external",
+        "instance",
+        "of",
+        "in",
+        "out",
+        "for",
+        "if",
+        "else",
+        "assert",
+        "true",
+        "false",
+        "int",
+        "float",
+        "string",
+        "bool",
+        "clockdomain",
+        "simulation",
+        "state",
+        "on",
+        "send",
+        "ack",
+        "delay",
+        "top",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token with its source span."""
+
+    kind: TokenKind
+    text: str
+    span: SourceSpan
+    value: object = None
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.IDENT and self.text == word
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"

@@ -1,0 +1,188 @@
+"""Runtime values and scopes of the Tydi-lang evaluator.
+
+Section IV-A of the paper: Tydi-lang has five variable types -- integer,
+floating-point number, string, boolean and clock domain -- plus arrays of
+basic values.  All variables are immutable; *shadowing* in a nested scope is
+allowed and useful.
+
+Besides basic values, evaluation also passes around logical types, streamlet
+templates, implementation templates and concrete (already instantiated)
+implementations.  These are represented by small wrapper classes so that the
+evaluator can check the kind of every template argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TydiEvaluationError, TydiNameError
+from repro.spec.logical_types import LogicalType
+
+
+@dataclass(frozen=True)
+class ClockDomainValue:
+    """A clock-domain variable value (a name, compared by equality)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"clockdomain({self.name})"
+
+
+@dataclass(frozen=True)
+class TypeValue:
+    """A logical type used as a value (e.g. a ``type`` template argument)."""
+
+    logical_type: LogicalType
+
+    def __str__(self) -> str:
+        return self.logical_type.to_tydi()
+
+    def mangle_name(self) -> str:
+        return self.logical_type.mangle_name()
+
+
+@dataclass(frozen=True)
+class StreamletValue:
+    """Reference to a streamlet declaration (possibly a template)."""
+
+    name: str
+    declaration: object  # ast.StreamletDecl
+    package: str = "main"
+
+    def __str__(self) -> str:
+        return f"streamlet {self.name}"
+
+
+@dataclass(frozen=True)
+class ImplValue:
+    """Reference to an implementation declaration (possibly a template).
+
+    When the implementation template has already been partially applied (an
+    ``impl adder_32`` passed as a template argument), ``bound_arguments``
+    carries the evaluated arguments to use at instantiation time.
+    """
+
+    name: str
+    declaration: object  # ast.ImplDecl
+    package: str = "main"
+    bound_arguments: tuple[object, ...] = ()
+
+    def __str__(self) -> str:
+        return f"impl {self.name}"
+
+    def mangle_name(self) -> str:
+        return self.name
+
+
+#: The kinds a template parameter may declare, mapped to a predicate.
+def _is_int(v: object) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_float(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+PARAM_KIND_CHECKS = {
+    "int": _is_int,
+    "float": _is_float,
+    "string": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "clockdomain": lambda v: isinstance(v, ClockDomainValue),
+    "type": lambda v: isinstance(v, TypeValue),
+    "impl": lambda v: isinstance(v, ImplValue),
+}
+
+
+def describe_value(value: object) -> str:
+    """Human-readable kind name of a runtime value, for diagnostics."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, ClockDomainValue):
+        return "clockdomain"
+    if isinstance(value, TypeValue):
+        return "type"
+    if isinstance(value, StreamletValue):
+        return "streamlet"
+    if isinstance(value, ImplValue):
+        return "impl"
+    if isinstance(value, (list, tuple)):
+        return "array"
+    return type(value).__name__
+
+
+@dataclass
+class Binding:
+    """One immutable name binding inside a scope."""
+
+    name: str
+    value: object
+    kind: str = "const"  # const | param | loop | builtin
+    span: Optional[object] = None
+
+
+class Scope:
+    """A lexical scope with immutable bindings and shadowing.
+
+    Redefining a name *within the same scope* is an error (variables are
+    immutable); defining the same name in a *nested* scope shadows the outer
+    binding, which the paper explicitly allows.
+    """
+
+    def __init__(self, parent: Optional["Scope"] = None, name: str = "<scope>") -> None:
+        self.parent = parent
+        self.name = name
+        self._bindings: dict[str, Binding] = {}
+
+    def define(self, name: str, value: object, kind: str = "const", span: object | None = None) -> Binding:
+        if name in self._bindings:
+            raise TydiEvaluationError(
+                f"variable {name!r} is already defined in this scope; "
+                "Tydi-lang variables are immutable (shadow it in a nested scope instead)",
+                span,
+            )
+        binding = Binding(name=name, value=value, kind=kind, span=span)
+        self._bindings[name] = binding
+        return binding
+
+    def lookup(self, name: str, span: object | None = None) -> object:
+        binding = self.find(name)
+        if binding is None:
+            raise TydiNameError(f"undefined identifier {name!r}", span)
+        return binding.value
+
+    def find(self, name: str) -> Optional[Binding]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope._bindings:
+                return scope._bindings[name]
+            scope = scope.parent
+        return None
+
+    def contains(self, name: str) -> bool:
+        return self.find(name) is not None
+
+    def defined_here(self, name: str) -> bool:
+        return name in self._bindings
+
+    def child(self, name: str = "<scope>") -> "Scope":
+        return Scope(parent=self, name=name)
+
+    def local_names(self) -> list[str]:
+        return list(self._bindings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chain = []
+        scope: Optional[Scope] = self
+        while scope is not None:
+            chain.append(scope.name)
+            scope = scope.parent
+        return f"Scope({' -> '.join(chain)})"

@@ -1,0 +1,205 @@
+"""TPC-H Query 19 (discounted revenue) in Tydi-lang.
+
+Query 19 is the paper's worked example (Section VI): three OR-ed clauses,
+each combining a brand equality, a container-membership test, a quantity
+window and a size window, on top of shared ship-mode / ship-instruction /
+join-key predicates.  Because the three clauses have the same structure, the
+design stores the per-clause constants in arrays and expands the clause
+hardware with the generative ``for`` syntax -- exactly the pattern the paper
+uses to motivate arrays and ``for`` (four container comparators feeding a
+4-input ``or``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arrow.dataset import Table
+from repro.arrow.schema import ArrowField, ArrowSchema
+from repro.arrow.tpch import golden_q19, joined_table_for
+from repro.queries.base import TpchQuery
+from repro.sim.engine import SimulationTrace
+
+SQL = """
+select
+    sum(l_extendedprice * (1 - l_discount)) as revenue
+from
+    lineitem,
+    part
+where
+    (
+        p_partkey = l_partkey
+        and p_brand = 'Brand#12'
+        and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        and l_quantity >= 1 and l_quantity <= 1 + 10
+        and p_size between 1 and 5
+        and l_shipmode in ('AIR', 'AIR REG')
+        and l_shipinstruct = 'DELIVER IN PERSON'
+    )
+    or
+    (
+        p_partkey = l_partkey
+        and p_brand = 'Brand#23'
+        and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+        and l_quantity >= 10 and l_quantity <= 10 + 10
+        and p_size between 1 and 10
+        and l_shipmode in ('AIR', 'AIR REG')
+        and l_shipinstruct = 'DELIVER IN PERSON'
+    )
+    or
+    (
+        p_partkey = l_partkey
+        and p_brand = 'Brand#34'
+        and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+        and l_quantity >= 20 and l_quantity <= 20 + 10
+        and p_size between 1 and 15
+        and l_shipmode in ('AIR', 'AIR REG')
+        and l_shipinstruct = 'DELIVER IN PERSON'
+    );
+"""
+
+JOINED_SCHEMA = ArrowSchema(
+    name="lineitem_part",
+    fields=(
+        ArrowField("l_partkey", "int64"),
+        ArrowField("l_quantity", "decimal"),
+        ArrowField("l_extendedprice", "decimal"),
+        ArrowField("l_discount", "decimal"),
+        ArrowField("l_shipmode", "utf8"),
+        ArrowField("l_shipinstruct", "utf8"),
+        ArrowField("p_partkey", "int64"),
+        ArrowField("p_brand", "utf8"),
+        ArrowField("p_size", "int32"),
+        ArrowField("p_container", "utf8"),
+    ),
+)
+
+QUERY_SOURCE = """
+package q19;
+
+// TPC-H Query 19: discounted revenue over three OR-ed brand/container clauses.
+// The three clauses share one structure, so their constants live in arrays
+// and the clause hardware is expanded with the generative `for` syntax.
+
+const clause_count = 3;
+const brands = ["Brand#12", "Brand#23", "Brand#34"];
+const quantity_low = [1.0, 10.0, 20.0];
+const size_high = [5, 10, 15];
+const containers = [
+    ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+    ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+    ["LG CASE", "LG BOX", "LG PACK", "LG PKG"]
+];
+
+streamlet q19_s {
+    revenue: tpch_decimal out,
+}
+
+impl q19_i of q19_s {
+    instance data(lineitem_part_reader_i),
+
+    // ---- predicates shared by all three clauses ----
+    // join key: p_partkey = l_partkey
+    instance cmp_partkey(compare_eq_i<type tpch_int>),
+    data.l_partkey => cmp_partkey.lhs,
+    data.p_partkey => cmp_partkey.rhs,
+    // l_shipmode in ('AIR', 'AIR REG')
+    instance cmp_air(compare_const_eq_i<type tpch_char, "AIR">),
+    data.l_shipmode => cmp_air.input,
+    instance cmp_air_reg(compare_const_eq_i<type tpch_char, "AIR REG">),
+    data.l_shipmode => cmp_air_reg.input,
+    instance shipmode_or(or_i<2>),
+    cmp_air.result => shipmode_or.input[0],
+    cmp_air_reg.result => shipmode_or.input[1],
+    // l_shipinstruct = 'DELIVER IN PERSON'
+    instance cmp_instruct(compare_const_eq_i<type tpch_char, "DELIVER IN PERSON">),
+    data.l_shipinstruct => cmp_instruct.input,
+    // shared = join key && ship mode && ship instruction
+    instance shared_and(and_i<3>),
+    cmp_partkey.result => shared_and.input[0],
+    shipmode_or.output => shared_and.input[1],
+    cmp_instruct.result => shared_and.input[2],
+
+    // ---- the three structurally identical clauses ----
+    instance clause_or(or_i<clause_count>),
+    for i in 0->clause_count {
+        // p_brand = brands[i]
+        instance cmp_brand(compare_const_eq_i<type tpch_char, brands[i]>),
+        data.p_brand => cmp_brand.input,
+        // p_container in containers[i]
+        instance container_or(or_i<4>),
+        for j in 0->4 {
+            instance cmp_container(compare_const_eq_i<type tpch_char, containers[i][j]>),
+            data.p_container => cmp_container.input,
+            cmp_container.result => container_or.input[j],
+        }
+        // quantity_low[i] <= l_quantity <= quantity_low[i] + 10
+        instance qty_lo(const_float_generator_i<type tpch_decimal, quantity_low[i]>),
+        instance cmp_qty_lo(compare_ge_i<type tpch_decimal>),
+        data.l_quantity => cmp_qty_lo.lhs,
+        qty_lo.output => cmp_qty_lo.rhs,
+        instance qty_hi(const_float_generator_i<type tpch_decimal, quantity_low[i] + 10.0>),
+        instance cmp_qty_hi(compare_le_i<type tpch_decimal>),
+        data.l_quantity => cmp_qty_hi.lhs,
+        qty_hi.output => cmp_qty_hi.rhs,
+        // 1 <= p_size <= size_high[i]
+        instance size_lo(const_int_generator_i<type tpch_int32, 1>),
+        instance cmp_size_lo(compare_ge_i<type tpch_int32>),
+        data.p_size => cmp_size_lo.lhs,
+        size_lo.output => cmp_size_lo.rhs,
+        instance size_hi(const_int_generator_i<type tpch_int32, size_high[i]>),
+        instance cmp_size_hi(compare_le_i<type tpch_int32>),
+        data.p_size => cmp_size_hi.lhs,
+        size_hi.output => cmp_size_hi.rhs,
+        // clause = conjunction of the clause-local and shared predicates
+        instance clause_and(and_i<7>),
+        cmp_brand.result => clause_and.input[0],
+        container_or.output => clause_and.input[1],
+        cmp_qty_lo.result => clause_and.input[2],
+        cmp_qty_hi.result => clause_and.input[3],
+        cmp_size_lo.result => clause_and.input[4],
+        cmp_size_hi.result => clause_and.input[5],
+        shared_and.output => clause_and.input[6],
+        clause_and.output => clause_or.input[i],
+    }
+
+    // ---- revenue = sum(l_extendedprice * (1 - l_discount)) over kept rows ----
+    instance one(const_float_generator_i<type tpch_decimal, 1.0>),
+    instance one_minus_disc(subtractor_i<type tpch_decimal, type tpch_decimal>),
+    one.output => one_minus_disc.lhs,
+    data.l_discount => one_minus_disc.rhs,
+    instance disc_price(multiplier_i<type tpch_decimal, type tpch_decimal>),
+    data.l_extendedprice => disc_price.lhs,
+    one_minus_disc.output => disc_price.rhs,
+    instance keep_filter(filter_i<type tpch_decimal>),
+    disc_price.output => keep_filter.input,
+    clause_or.output => keep_filter.keep,
+    instance revenue_sum(sum_i<type tpch_decimal, type tpch_decimal>),
+    keep_filter.output => revenue_sum.input,
+    revenue_sum.output => revenue,
+}
+
+top q19_i;
+"""
+
+
+def _datasets(tables: Mapping[str, Table]) -> dict[str, Table]:
+    return {"lineitem_part": joined_table_for("q19", tables)}
+
+
+def _extract(trace: SimulationTrace) -> float:
+    values = trace.output_values("revenue")
+    return float(values[-1]) if values else 0.0
+
+
+QUERY = TpchQuery(
+    name="q19",
+    title="TPC-H 19",
+    sql=SQL,
+    query_source=QUERY_SOURCE,
+    schemas=[JOINED_SCHEMA],
+    top="q19_i",
+    dataset_builder=_datasets,
+    golden=golden_q19,
+    extract_result=_extract,
+)

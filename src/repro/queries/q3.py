@@ -1,0 +1,145 @@
+"""TPC-H Query 3 (shipping priority) in Tydi-lang.
+
+Query 3 joins customer, orders and lineitem, keeps the BUILDING market
+segment with the order/ship date window, and sums the discounted revenue per
+order.  As in the paper, nested query evaluation and materialised joins are
+out of scope for the streaming accelerator: the Fletcher reader streams the
+*join-aligned* projection (one row per lineitem with its order and customer
+attributes), and the hardware applies the predicates and the keyed
+aggregation.  DESIGN.md documents the substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arrow.dataset import Table
+from repro.arrow.schema import ArrowField, ArrowSchema
+from repro.arrow.tpch import golden_q3, joined_table_for
+from repro.queries.base import TpchQuery
+from repro.sim.engine import SimulationTrace
+
+SQL = """
+select
+    l_orderkey,
+    sum(l_extendedprice * (1 - l_discount)) as revenue,
+    o_orderdate,
+    o_shippriority
+from
+    customer,
+    orders,
+    lineitem
+where
+    c_mktsegment = 'BUILDING'
+    and c_custkey = o_custkey
+    and l_orderkey = o_orderkey
+    and o_orderdate < date '1995-03-15'
+    and l_shipdate > date '1995-03-15'
+group by
+    l_orderkey,
+    o_orderdate,
+    o_shippriority
+order by
+    revenue desc,
+    o_orderdate;
+"""
+
+#: The join-aligned projection streamed by the Fletcher reader.
+JOINED_SCHEMA = ArrowSchema(
+    name="customer_orders_lineitem",
+    fields=(
+        ArrowField("l_orderkey", "int64"),
+        ArrowField("l_extendedprice", "decimal"),
+        ArrowField("l_discount", "decimal"),
+        ArrowField("l_shipdate", "date"),
+        ArrowField("o_orderdate", "date"),
+        ArrowField("o_shippriority", "int32"),
+        ArrowField("c_mktsegment", "utf8"),
+    ),
+)
+
+QUERY_SOURCE = """
+package q3;
+
+// TPC-H Query 3: shipping priority (revenue per order in the BUILDING segment).
+
+const date_1995_03_15 = 1169;
+
+type q3_result = Stream(Bit(128), d=1);
+
+streamlet q3_s {
+    revenue_by_order: q3_result out,
+}
+
+impl q3_i of q3_s {
+    instance data(customer_orders_lineitem_reader_i),
+
+    // c_mktsegment = 'BUILDING'
+    instance cmp_segment(compare_const_eq_i<type tpch_char, "BUILDING">),
+    data.c_mktsegment => cmp_segment.input,
+
+    // o_orderdate < 1995-03-15
+    instance order_cutoff(const_int_generator_i<type tpch_date, date_1995_03_15>),
+    instance cmp_orderdate(compare_lt_i<type tpch_date>),
+    data.o_orderdate => cmp_orderdate.lhs,
+    order_cutoff.output => cmp_orderdate.rhs,
+
+    // l_shipdate > 1995-03-15
+    instance ship_cutoff(const_int_generator_i<type tpch_date, date_1995_03_15>),
+    instance cmp_shipdate(compare_gt_i<type tpch_date>),
+    data.l_shipdate => cmp_shipdate.lhs,
+    ship_cutoff.output => cmp_shipdate.rhs,
+
+    // keep = conjunction of the three predicates
+    instance keep(and_i<3>),
+    cmp_segment.result => keep.input[0],
+    cmp_orderdate.result => keep.input[1],
+    cmp_shipdate.result => keep.input[2],
+
+    // revenue term: l_extendedprice * (1 - l_discount)
+    instance one(const_float_generator_i<type tpch_decimal, 1.0>),
+    instance one_minus_disc(subtractor_i<type tpch_decimal, type tpch_decimal>),
+    one.output => one_minus_disc.lhs,
+    data.l_discount => one_minus_disc.rhs,
+    instance disc_price(multiplier_i<type tpch_decimal, type tpch_decimal>),
+    data.l_extendedprice => disc_price.lhs,
+    one_minus_disc.output => disc_price.rhs,
+
+    // filter the group key and the revenue term with the shared keep signal
+    instance key_filter(filter_i<type tpch_int>),
+    data.l_orderkey => key_filter.input,
+    keep.output => key_filter.keep,
+    instance revenue_filter(filter_i<type tpch_decimal>),
+    disc_price.output => revenue_filter.input,
+    keep.output => revenue_filter.keep,
+
+    // revenue per order
+    instance agg_revenue(group_sum_i<type tpch_int, type tpch_decimal, type q3_result>),
+    key_filter.output => agg_revenue.key,
+    revenue_filter.output => agg_revenue.value,
+    agg_revenue.output => revenue_by_order,
+}
+
+top q3_i;
+"""
+
+
+def _datasets(tables: Mapping[str, Table]) -> dict[str, Table]:
+    return {"customer_orders_lineitem": joined_table_for("q3", tables)}
+
+
+def _extract(trace: SimulationTrace) -> dict[int, float]:
+    return {int(key): float(value) for key, value in trace.output_values("revenue_by_order")}
+
+
+QUERY = TpchQuery(
+    name="q3",
+    title="TPC-H 3",
+    sql=SQL,
+    query_source=QUERY_SOURCE,
+    schemas=[JOINED_SCHEMA],
+    top="q3_i",
+    dataset_builder=_datasets,
+    golden=golden_q3,
+    extract_result=_extract,
+)

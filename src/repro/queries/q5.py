@@ -1,0 +1,151 @@
+"""TPC-H Query 5 (local supplier volume) in Tydi-lang.
+
+Query 5 sums the discounted revenue per nation for orders placed in 1994
+whose customer and supplier come from the same ASIA nation.  The Fletcher
+reader streams the join-aligned projection (lineitem with its order,
+customer, supplier, nation and region attributes); the hardware applies the
+region / date / same-nation predicates and aggregates per nation name.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arrow.dataset import Table
+from repro.arrow.schema import ArrowField, ArrowSchema
+from repro.arrow.tpch import golden_q5, joined_table_for
+from repro.queries.base import TpchQuery
+from repro.sim.engine import SimulationTrace
+
+SQL = """
+select
+    n_name,
+    sum(l_extendedprice * (1 - l_discount)) as revenue
+from
+    customer,
+    orders,
+    lineitem,
+    supplier,
+    nation,
+    region
+where
+    c_custkey = o_custkey
+    and l_orderkey = o_orderkey
+    and l_suppkey = s_suppkey
+    and c_nationkey = s_nationkey
+    and s_nationkey = n_nationkey
+    and n_regionkey = r_regionkey
+    and r_name = 'ASIA'
+    and o_orderdate >= date '1994-01-01'
+    and o_orderdate < date '1994-01-01' + interval '1' year
+group by
+    n_name
+order by
+    revenue desc;
+"""
+
+JOINED_SCHEMA = ArrowSchema(
+    name="q5_joined",
+    fields=(
+        ArrowField("l_extendedprice", "decimal"),
+        ArrowField("l_discount", "decimal"),
+        ArrowField("o_orderdate", "date"),
+        ArrowField("c_nationkey", "int64"),
+        ArrowField("s_nationkey", "int64"),
+        ArrowField("n_name", "utf8"),
+        ArrowField("r_name", "utf8"),
+    ),
+)
+
+QUERY_SOURCE = """
+package q5;
+
+// TPC-H Query 5: local supplier volume (revenue per ASIA nation, 1994 orders).
+
+const date_1994_01_01 = 731;
+const date_1995_01_01 = 1096;
+
+type q5_result = Stream(Bit(128), d=1);
+
+streamlet q5_s {
+    revenue_by_nation: q5_result out,
+}
+
+impl q5_i of q5_s {
+    instance data(q5_joined_reader_i),
+
+    // r_name = 'ASIA'
+    instance cmp_region(compare_const_eq_i<type tpch_char, "ASIA">),
+    data.r_name => cmp_region.input,
+
+    // customer and supplier nation must match (local supplier)
+    instance cmp_nation(compare_eq_i<type tpch_int>),
+    data.c_nationkey => cmp_nation.lhs,
+    data.s_nationkey => cmp_nation.rhs,
+
+    // o_orderdate >= 1994-01-01
+    instance date_from(const_int_generator_i<type tpch_date, date_1994_01_01>),
+    instance cmp_date_from(compare_ge_i<type tpch_date>),
+    data.o_orderdate => cmp_date_from.lhs,
+    date_from.output => cmp_date_from.rhs,
+
+    // o_orderdate < 1995-01-01
+    instance date_to(const_int_generator_i<type tpch_date, date_1995_01_01>),
+    instance cmp_date_to(compare_lt_i<type tpch_date>),
+    data.o_orderdate => cmp_date_to.lhs,
+    date_to.output => cmp_date_to.rhs,
+
+    // keep = conjunction of the four predicates
+    instance keep(and_i<4>),
+    cmp_region.result => keep.input[0],
+    cmp_nation.result => keep.input[1],
+    cmp_date_from.result => keep.input[2],
+    cmp_date_to.result => keep.input[3],
+
+    // revenue term: l_extendedprice * (1 - l_discount)
+    instance one(const_float_generator_i<type tpch_decimal, 1.0>),
+    instance one_minus_disc(subtractor_i<type tpch_decimal, type tpch_decimal>),
+    one.output => one_minus_disc.lhs,
+    data.l_discount => one_minus_disc.rhs,
+    instance disc_price(multiplier_i<type tpch_decimal, type tpch_decimal>),
+    data.l_extendedprice => disc_price.lhs,
+    one_minus_disc.output => disc_price.rhs,
+
+    // filter the nation name and the revenue term with the shared keep signal
+    instance key_filter(filter_i<type tpch_char>),
+    data.n_name => key_filter.input,
+    keep.output => key_filter.keep,
+    instance revenue_filter(filter_i<type tpch_decimal>),
+    disc_price.output => revenue_filter.input,
+    keep.output => revenue_filter.keep,
+
+    // revenue per nation
+    instance agg_revenue(group_sum_i<type tpch_char, type tpch_decimal, type q5_result>),
+    key_filter.output => agg_revenue.key,
+    revenue_filter.output => agg_revenue.value,
+    agg_revenue.output => revenue_by_nation,
+}
+
+top q5_i;
+"""
+
+
+def _datasets(tables: Mapping[str, Table]) -> dict[str, Table]:
+    return {"q5_joined": joined_table_for("q5", tables)}
+
+
+def _extract(trace: SimulationTrace) -> dict[str, float]:
+    return {str(key): float(value) for key, value in trace.output_values("revenue_by_nation")}
+
+
+QUERY = TpchQuery(
+    name="q5",
+    title="TPC-H 5",
+    sql=SQL,
+    query_source=QUERY_SOURCE,
+    schemas=[JOINED_SCHEMA],
+    top="q5_i",
+    dataset_builder=_datasets,
+    golden=golden_q5,
+    extract_result=_extract,
+)

@@ -1,0 +1,128 @@
+"""TPC-H Query 6 (forecasting revenue change) in Tydi-lang.
+
+The simplest of the evaluated queries: a conjunction of range predicates over
+``lineitem`` followed by a single summed product.  Five comparators feed a
+five-input ``and``; the product ``l_extendedprice * l_discount`` is filtered
+by the combined keep signal and reduced by a ``sum`` accumulator.
+
+The reader's unused columns are terminated by sugaring-inserted voiders and
+the multiply-used ``l_discount`` / ``l_shipdate`` columns are fanned out by
+sugaring-inserted duplicators -- this query is the clearest illustration of
+Section IV-D.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arrow.dataset import Table
+from repro.arrow.tpch import LINEITEM_SCHEMA, golden_q6
+from repro.queries.base import TpchQuery
+from repro.sim.engine import SimulationTrace
+
+SQL = """
+select
+    sum(l_extendedprice * l_discount) as revenue
+from
+    lineitem
+where
+    l_shipdate >= date '1994-01-01'
+    and l_shipdate < date '1994-01-01' + interval '1' year
+    and l_discount between 0.05 and 0.07
+    and l_quantity < 24;
+"""
+
+QUERY_SOURCE = """
+package q6;
+
+// TPC-H Query 6: forecasting revenue change.
+// revenue = sum(l_extendedprice * l_discount) over 1994 shipments with a
+// discount between 0.05 and 0.07 and a quantity below 24.
+
+const date_1994_01_01 = 731;
+const date_1995_01_01 = 1096;
+
+streamlet q6_s {
+    revenue: tpch_decimal out,
+}
+
+impl q6_i of q6_s {
+    // the Fletcher-generated reader streams the lineitem columns
+    instance lineitem(lineitem_reader_i),
+
+    // condition: l_shipdate >= 1994-01-01
+    instance date_from(const_int_generator_i<type tpch_date, date_1994_01_01>),
+    instance cmp_date_from(compare_ge_i<type tpch_date>),
+    lineitem.l_shipdate => cmp_date_from.lhs,
+    date_from.output => cmp_date_from.rhs,
+
+    // condition: l_shipdate < 1995-01-01
+    instance date_to(const_int_generator_i<type tpch_date, date_1995_01_01>),
+    instance cmp_date_to(compare_lt_i<type tpch_date>),
+    lineitem.l_shipdate => cmp_date_to.lhs,
+    date_to.output => cmp_date_to.rhs,
+
+    // condition: l_discount >= 0.05
+    instance disc_min(const_float_generator_i<type tpch_decimal, 0.05>),
+    instance cmp_disc_min(compare_ge_i<type tpch_decimal>),
+    lineitem.l_discount => cmp_disc_min.lhs,
+    disc_min.output => cmp_disc_min.rhs,
+
+    // condition: l_discount <= 0.07
+    instance disc_max(const_float_generator_i<type tpch_decimal, 0.07>),
+    instance cmp_disc_max(compare_le_i<type tpch_decimal>),
+    lineitem.l_discount => cmp_disc_max.lhs,
+    disc_max.output => cmp_disc_max.rhs,
+
+    // condition: l_quantity < 24
+    instance qty_max(const_float_generator_i<type tpch_decimal, 24.0>),
+    instance cmp_qty(compare_lt_i<type tpch_decimal>),
+    lineitem.l_quantity => cmp_qty.lhs,
+    qty_max.output => cmp_qty.rhs,
+
+    // keep = conjunction of the five predicates
+    instance keep(and_i<5>),
+    cmp_date_from.result => keep.input[0],
+    cmp_date_to.result => keep.input[1],
+    cmp_disc_min.result => keep.input[2],
+    cmp_disc_max.result => keep.input[3],
+    cmp_qty.result => keep.input[4],
+
+    // revenue term: l_extendedprice * l_discount
+    instance revenue_term(multiplier_i<type tpch_decimal, type tpch_decimal>),
+    lineitem.l_extendedprice => revenue_term.lhs,
+    lineitem.l_discount => revenue_term.rhs,
+
+    // filter the kept terms and reduce them to a single sum
+    instance keep_filter(filter_i<type tpch_decimal>),
+    revenue_term.output => keep_filter.input,
+    keep.output => keep_filter.keep,
+    instance revenue_sum(sum_i<type tpch_decimal, type tpch_decimal>),
+    keep_filter.output => revenue_sum.input,
+    revenue_sum.output => revenue,
+}
+
+top q6_i;
+"""
+
+
+def _datasets(tables: Mapping[str, Table]) -> dict[str, Table]:
+    return {"lineitem": tables["lineitem"]}
+
+
+def _extract(trace: SimulationTrace) -> float:
+    values = trace.output_values("revenue")
+    return float(values[-1]) if values else 0.0
+
+
+QUERY = TpchQuery(
+    name="q6",
+    title="TPC-H 6",
+    sql=SQL,
+    query_source=QUERY_SOURCE,
+    schemas=[LINEITEM_SCHEMA],
+    top="q6_i",
+    dataset_builder=_datasets,
+    golden=golden_q6,
+    extract_result=_extract,
+)

@@ -1,0 +1,63 @@
+"""Line-of-code accounting for the Table IV evaluation.
+
+The paper's headline numbers are LoC ratios:
+
+.. math::
+
+    LoC_a = LoC_q + LoC_f + LoC_s \\qquad
+    R_q = LoC_{vhdl} / LoC_q \\qquad
+    R_a = LoC_{vhdl} / LoC_a
+
+where *q* is the query logic, *f* the Fletcher-generated interface and *s*
+the standard library.  :func:`table4_rows` evaluates every query design of
+:mod:`repro.queries` and returns one :class:`repro.queries.base.QueryLoc` per
+row of Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.queries import ALL_QUERIES
+from repro.queries.base import QueryLoc
+from repro.utils.text import count_loc
+
+
+@dataclass(frozen=True)
+class LocBreakdown:
+    """Generic LoC breakdown of an arbitrary pair of sources."""
+
+    tydi_loc: int
+    vhdl_loc: int
+
+    @property
+    def ratio(self) -> float:
+        return self.vhdl_loc / self.tydi_loc if self.tydi_loc else 0.0
+
+
+def loc_breakdown(tydi_source: str, vhdl_files: dict[str, str]) -> LocBreakdown:
+    """Measure a Tydi-lang source against its generated VHDL."""
+    tydi = count_loc(tydi_source, language="tydi")
+    vhdl = sum(count_loc(text, language="vhdl") for text in vhdl_files.values())
+    return LocBreakdown(tydi_loc=tydi, vhdl_loc=vhdl)
+
+
+def table4_rows() -> list[QueryLoc]:
+    """Compute the LoC breakdown of every Table-IV row (compiles each query)."""
+    return [query.loc() for query in ALL_QUERIES]
+
+
+#: The numbers reported in the paper's Table IV, for paper-vs-measured
+#: comparison in EXPERIMENTS.md and the benchmark output.
+PAPER_TABLE4 = {
+    "TPC-H 1 (without sugaring)": {"raw_sql": 20, "query_logic": 402, "total": 709, "vhdl": 7547, "rq": 18.77, "ra": 10.50},
+    "TPC-H 1": {"raw_sql": 20, "query_logic": 284, "total": 601, "vhdl": 7547, "rq": 26.57, "ra": 12.56},
+    "TPC-H 3": {"raw_sql": 22, "query_logic": 166, "total": 483, "vhdl": 6291, "rq": 37.90, "ra": 13.02},
+    "TPC-H 5": {"raw_sql": 24, "query_logic": 197, "total": 514, "vhdl": 6992, "rq": 35.49, "ra": 13.60},
+    "TPC-H 6": {"raw_sql": 9, "query_logic": 108, "total": 425, "vhdl": 4586, "rq": 42.46, "ra": 10.79},
+    "TPC-H 19": {"raw_sql": 35, "query_logic": 297, "total": 614, "vhdl": 11734, "rq": 39.51, "ra": 19.11},
+}
+
+#: Paper constants for the shared parts.
+PAPER_FLETCHER_LOC = 166
+PAPER_STDLIB_LOC = 151

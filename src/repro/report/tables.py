@@ -1,0 +1,135 @@
+"""Regeneration of Tables I-IV of the paper.
+
+Tables I-III are descriptive; we regenerate them from the *implementation*
+(type registry, feature registry, comparison matrix) so that the benchmark
+that prints them doubles as a consistency check: if a term disappears from
+the code base, the table changes and the test notices.
+Table IV is fully measured -- it compiles every TPC-H design and counts LoC.
+"""
+
+from __future__ import annotations
+
+from repro.queries import ALL_QUERIES
+from repro.report.loc import PAPER_FLETCHER_LOC, PAPER_STDLIB_LOC, PAPER_TABLE4
+from repro.stdlib.source import stdlib_loc
+from repro.utils.text import format_table
+
+
+def table1() -> str:
+    """Table I: terms used in Tydi-spec and Tydi-IR."""
+    from repro.spec.logical_types import Bit, Group, Null, Stream, Union
+    from repro.ir.model import Connection, Implementation, Instance, Port, Streamlet, ClockDomain
+
+    rows = [
+        ["Null", "Logical type", Null.__doc__.strip().splitlines()[0]],
+        ["Bit(x)", "Logical type", Bit.__doc__.strip().splitlines()[0]],
+        ["Group(x,y)", "Logical type", Group.__doc__.strip().splitlines()[0]],
+        ["Union(x,y)", "Logical type", Union.__doc__.strip().splitlines()[0]],
+        ["Stream(x)", "Logical type", Stream.__doc__.strip().splitlines()[0]],
+        ["Port", "Hardware element", Port.__doc__.strip().splitlines()[0]],
+        ["Streamlet", "Hardware element", Streamlet.__doc__.strip().splitlines()[0]],
+        ["Implementation", "Hardware element", Implementation.__doc__.strip().splitlines()[0]],
+        ["Connection", "Hardware element", Connection.__doc__.strip().splitlines()[0]],
+        ["Instance", "Hardware element", Instance.__doc__.strip().splitlines()[0]],
+        ["Clock domain", "Hardware clock", ClockDomain.__doc__.strip().splitlines()[0]],
+    ]
+    return "Table I: terms used in Tydi-spec and Tydi-IR\n" + format_table(
+        ["Term", "Type", "Meaning (from the implementing class)"], rows
+    )
+
+
+def table2() -> str:
+    """Table II: features based on variables in Tydi-lang."""
+    rows = [
+        [
+            "for x in x_array { /*scope*/ }",
+            "syntax",
+            "instances and connections in the scope are expanded once per value of x "
+            "(repro.lang.evaluate, ForStmt expansion)",
+        ],
+        [
+            "if (x) { /*scope*/ }",
+            "syntax",
+            "x must be a boolean; the scope is expanded only when x is true "
+            "(repro.lang.evaluate, IfStmt expansion)",
+        ],
+        [
+            "assert(var)",
+            "builtin function",
+            "evaluation fails with TydiAssertionError when var is false "
+            "(repro.lang.evaluate, AssertStmt)",
+        ],
+    ]
+    return "Table II: features based on variables in Tydi-lang\n" + format_table(
+        ["Term", "Type", "Meaning"], rows
+    )
+
+
+#: The comparison matrix of Table III (a qualitative literature table).
+HDL_COMPARISON = [
+    # language, base language, design aspects, paradigm support, output
+    ("Genesis2", "SystemVerilog", "architecture, configuration, functionality", "OOP", "HDL"),
+    ("Clash", "Haskell", "architecture, configuration, functionality", "FP", "HDL"),
+    (
+        "Vitis HLS",
+        "C/C++",
+        "architecture, configuration, functionality",
+        "bit-level stream, FP, OOP with templates",
+        "HDL",
+    ),
+    (
+        "CHISEL",
+        "Scala",
+        "architecture, configuration, functionality",
+        "bit-level stream, FP, OOP with templates",
+        "HDL, FIRRTL",
+    ),
+    ("Kamel", "IP-XACT", "architecture", "other", "HDL"),
+    ("Veriscala", "Scala", "architecture, configuration, functionality", "FP, OOP", "HDL + driver (FPGA)"),
+    (
+        "Tydi-lang",
+        "None",
+        "architecture, configuration",
+        "built-in typed stream, OOP with templates",
+        "depends on the Tydi-IR backend, currently VHDL",
+    ),
+]
+
+
+def table3() -> str:
+    """Table III: comparison of Tydi-lang with other high-level HDLs."""
+    rows = [list(entry) for entry in HDL_COMPARISON]
+    return "Table III: comparison with other high-level HDLs\n" + format_table(
+        ["Language", "Base language", "Supported design aspects", "Paradigm support", "Output"],
+        rows,
+    )
+
+
+def table4(include_paper: bool = True) -> str:
+    """Table IV: LoC for translating TPC-H queries to Tydi-lang (measured)."""
+    headers = [
+        "Query",
+        "Raw SQL",
+        "Query logic (LoCq)",
+        "Total Tydi-lang (LoCa)",
+        "Generated VHDL",
+        "Rq = VHDL/LoCq",
+        "Ra = VHDL/LoCa",
+    ]
+    rows: list[list[str]] = []
+    fletcher_locs: list[int] = []
+    for query in ALL_QUERIES:
+        loc = query.loc()
+        fletcher_locs.append(loc.fletcher)
+        row = loc.as_row()
+        if include_paper and loc.query in PAPER_TABLE4:
+            paper = PAPER_TABLE4[loc.query]
+            row[-2] += f" (paper {paper['rq']:.2f})"
+            row[-1] += f" (paper {paper['ra']:.2f})"
+        rows.append(row)
+    header_lines = [
+        "Table IV: LoC for translating TPC-H queries to Tydi-lang",
+        f"LoC for Fletcher part (LoCf): {max(fletcher_locs)} (paper: {PAPER_FLETCHER_LOC})",
+        f"LoC for Tydi-lang standard library (LoCs): {stdlib_loc()} (paper: {PAPER_STDLIB_LOC})",
+    ]
+    return "\n".join(header_lines) + "\n" + format_table(headers, rows)

@@ -1,0 +1,47 @@
+"""Event-driven simulator for Tydi-lang designs (Section V of the paper).
+
+The simulator serves the three purposes described in the paper:
+
+1. **functional prediction** -- given input data sequences on the top-level
+   ports, compute the output sequences,
+2. **bottleneck analysis** -- record, per connection, how long packets wait
+   and how long sources are blocked by backpressure, so the most congested
+   component can be identified,
+3. **testbench generation** -- record the observed transfers into a Tydi-IR
+   testbench (:class:`repro.ir.Testbench`) that can be lowered to VHDL.
+
+Component behaviour comes from three sources: hard-coded Python behaviours
+for standard-library primitives, behaviours parsed from in-source
+``simulation { ... }`` blocks, and user-registered Python callables.
+"""
+
+from repro.sim.packets import Packet
+from repro.sim.engine import Channel, Component, SimulationTrace, Simulator
+from repro.sim.behavior import (
+    BehaviorContext,
+    PrimitiveBehavior,
+    ScriptedBehavior,
+    behavior_for,
+    register_behavior,
+)
+from repro.sim.bottleneck import BottleneckReport, analyze_bottlenecks
+from repro.sim.deadlock import DeadlockReport, detect_deadlock
+from repro.sim.testbench_gen import testbench_from_trace
+
+__all__ = [
+    "Packet",
+    "Channel",
+    "Component",
+    "SimulationTrace",
+    "Simulator",
+    "BehaviorContext",
+    "PrimitiveBehavior",
+    "ScriptedBehavior",
+    "behavior_for",
+    "register_behavior",
+    "BottleneckReport",
+    "analyze_bottlenecks",
+    "DeadlockReport",
+    "detect_deadlock",
+    "testbench_from_trace",
+]

@@ -1,0 +1,603 @@
+"""Component behaviours for the simulator.
+
+Three behaviour sources are supported (Section V-A):
+
+* :class:`PrimitiveBehavior` subclasses -- hard-coded Python models of the
+  standard-library primitives (duplicator, voider, arithmetic, comparators,
+  filter, aggregators, ...), selected via the implementation's primitive
+  kind,
+* :class:`ScriptedBehavior` -- behaviour compiled from an in-source
+  ``simulation { state ...; on receive(...) { ... } }`` block,
+* user-registered behaviours (:func:`register_behavior` or the ``behaviors``
+  argument of :class:`repro.sim.Simulator`) for external implementations
+  designed outside the Tydi world.
+
+A behaviour implements ``fire(ctx) -> bool``: examine the input channels,
+consume packets (``ctx.take`` -- the handshake acknowledge), and produce
+packets (``ctx.send``).  Returning True means progress was made and the
+engine will call ``fire`` again within the same delta cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import TydiSimulationError
+from repro.ir.model import Implementation
+from repro.lang import ast
+from repro.lang.expr import evaluate_expr
+from repro.lang.values import Scope
+from repro.sim.packets import Packet
+from repro.stdlib.components import primitive_kind
+
+
+class BehaviorContext:
+    """The API a behaviour uses to interact with the engine."""
+
+    def __init__(self, simulator, component) -> None:
+        self.simulator = simulator
+        self.component = component
+
+    # -- time and state ----------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.simulator.now
+
+    def get_state(self, name: str, default: object = None) -> object:
+        return self.component.state.get(name, default)
+
+    def set_state(self, name: str, value: object) -> None:
+        self.component.state[name] = value
+        self.component.state_log.append((self.now, name, value))
+
+    # -- input side ---------------------------------------------------------------
+
+    def has_input(self, port: str) -> bool:
+        channel = self.component.inputs.get(port)
+        return channel is not None and channel.has_data()
+
+    def peek(self, port: str) -> Optional[Packet]:
+        channel = self.component.inputs.get(port)
+        if channel is None:
+            return None
+        return channel.peek()
+
+    def take(self, port: str) -> Packet:
+        """Consume (acknowledge) the head packet of an input port."""
+        channel = self.component.inputs.get(port)
+        if channel is None or not channel.has_data():
+            raise TydiSimulationError(
+                f"component {self.component.path} tried to take from empty port {port!r}"
+            )
+        return self.simulator.pop(channel)
+
+    def input_ports(self) -> list[str]:
+        return list(self.component.inputs)
+
+    # -- output side -----------------------------------------------------------------
+
+    def can_send(self, port: str) -> bool:
+        channel = self.component.outputs.get(port)
+        return channel is not None and channel.can_accept()
+
+    def send(self, port: str, packet: Packet | object, delay: int = 0) -> None:
+        """Emit a packet on an output port, optionally after ``delay`` cycles."""
+        channel = self.component.outputs.get(port)
+        if channel is None:
+            # Output not connected anywhere (e.g. voided away at a higher
+            # level); silently drop, like hardware whose ready is tied high.
+            return
+        if not isinstance(packet, Packet):
+            packet = Packet(value=packet)
+        if delay <= 0:
+            self.simulator.push(channel, packet)
+        else:
+            self.simulator.schedule(delay, lambda: self.simulator.push(channel, packet))
+
+    def output_ports(self) -> list[str]:
+        return list(self.component.outputs)
+
+
+class PrimitiveBehavior:
+    """Base class of hard-coded primitive behaviours."""
+
+    #: Cycles between consuming the inputs and producing the output.
+    latency: int = 1
+
+    def __init__(self, implementation: Implementation) -> None:
+        self.implementation = implementation
+        self.metadata = implementation.metadata
+
+    def argument(self, index: int, default: object = None) -> object:
+        arguments = self.metadata.get("arguments", ())
+        if index < len(arguments):
+            return arguments[index]
+        return default
+
+    def fire(self, ctx: BehaviorContext) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _merge_last(*packets: Packet) -> tuple[bool, ...]:
+    """Combine last flags of synchronised inputs (element-wise or)."""
+    longest = max((len(p.last) for p in packets), default=0)
+    merged = []
+    for index in range(longest):
+        merged.append(any(index < len(p.last) and p.last[index] for p in packets))
+    return tuple(merged)
+
+
+class DuplicatorBehavior(PrimitiveBehavior):
+    """Copy each input packet to every output; all outputs must have space."""
+
+    latency = 0
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not ctx.has_input("input"):
+            return False
+        if not all(ctx.can_send(port) for port in ctx.output_ports()):
+            return False
+        packet = ctx.take("input")
+        for port in ctx.output_ports():
+            ctx.send(port, packet)
+        return True
+
+
+class VoiderBehavior(PrimitiveBehavior):
+    """Always ready: consume and discard everything."""
+
+    latency = 0
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        progressed = False
+        for port in ctx.input_ports():
+            if ctx.has_input(port):
+                ctx.take(port)
+                progressed = True
+        return progressed
+
+
+class DemuxBehavior(PrimitiveBehavior):
+    """Round-robin distribution of input packets over the output channels."""
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not ctx.has_input("input"):
+            return False
+        outputs = sorted(ctx.output_ports())
+        if not outputs:
+            return False
+        index = int(ctx.get_state("selected", 0))
+        port = outputs[index % len(outputs)]
+        if not ctx.can_send(port):
+            return False
+        packet = ctx.take("input")
+        ctx.send(port, packet, delay=self.latency)
+        ctx.set_state("selected", (index + 1) % len(outputs))
+        return True
+
+
+class MuxBehavior(PrimitiveBehavior):
+    """Round-robin arbitration of the input channels onto the output."""
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not ctx.can_send("output"):
+            return False
+        inputs = sorted(ctx.input_ports())
+        if not inputs:
+            return False
+        index = int(ctx.get_state("selected", 0))
+        for offset in range(len(inputs)):
+            port = inputs[(index + offset) % len(inputs)]
+            if ctx.has_input(port):
+                packet = ctx.take(port)
+                ctx.send("output", packet, delay=self.latency)
+                ctx.set_state("selected", (index + offset + 1) % len(inputs))
+                return True
+        return False
+
+
+class ConstGeneratorBehavior(PrimitiveBehavior):
+    """Emit the configured constant whenever the consumer has space."""
+
+    latency = 0
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not ctx.can_send("output"):
+            return False
+        value = self.argument(1, 0)
+        if hasattr(value, "logical_type"):
+            value = 0
+        ctx.send("output", Packet(value=value))
+        return True
+
+
+class BinaryOpBehavior(PrimitiveBehavior):
+    """Two-input synchronised operator (arithmetic or comparison)."""
+
+    def __init__(self, implementation: Implementation, operator: Callable[[object, object], object]) -> None:
+        super().__init__(implementation)
+        self.operator = operator
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not (ctx.has_input("lhs") and ctx.has_input("rhs")):
+            return False
+        # Arithmetic primitives name their output "output", comparators name
+        # it "result"; use whichever single output port the streamlet has.
+        outputs = ctx.output_ports()
+        out_port = outputs[0] if outputs else "output"
+        if outputs and not ctx.can_send(out_port):
+            return False
+        lhs = ctx.take("lhs")
+        rhs = ctx.take("rhs")
+        last = _merge_last(lhs, rhs)
+        if lhs.value is None or rhs.value is None:
+            # A pure close packet: propagate the sequence delimiter.
+            ctx.send(out_port, Packet(value=None, last=last), delay=self.latency)
+            return True
+        result = self.operator(lhs.value, rhs.value)
+        ctx.send(out_port, Packet(value=result, last=last), delay=self.latency)
+        return True
+
+
+class ConstCompareBehavior(PrimitiveBehavior):
+    """Compare each input element against a compile-time constant."""
+
+    def __init__(self, implementation: Implementation) -> None:
+        super().__init__(implementation)
+        self.reference = self.argument(1, 0)
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not ctx.has_input("input"):
+            return False
+        if not ctx.can_send("result") and ctx.output_ports():
+            return False
+        packet = ctx.take("input")
+        if packet.value is None:
+            ctx.send("result", Packet(value=None, last=packet.last), delay=self.latency)
+            return True
+        value = packet.value
+        equal = str(value) == str(self.reference) if isinstance(self.reference, str) else value == self.reference
+        ctx.send("result", Packet(value=bool(equal), last=packet.last), delay=self.latency)
+        return True
+
+
+class LogicOpBehavior(PrimitiveBehavior):
+    """N-input boolean combinator (and / or / not)."""
+
+    def __init__(self, implementation: Implementation, op: str) -> None:
+        super().__init__(implementation)
+        self.op = op
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        inputs = sorted(ctx.input_ports())
+        if not inputs or not all(ctx.has_input(p) for p in inputs):
+            return False
+        if not ctx.can_send("output") and ctx.output_ports():
+            return False
+        packets = [ctx.take(p) for p in inputs]
+        last = _merge_last(*packets)
+        values = [p.value for p in packets]
+        if all(v is None for v in values):
+            ctx.send("output", Packet(value=None, last=last), delay=self.latency)
+            return True
+        bools = [bool(v) for v in values if v is not None]
+        if self.op == "and":
+            result = all(bools)
+        elif self.op == "or":
+            result = any(bools)
+        else:  # "not"
+            result = not bools[0]
+        ctx.send("output", Packet(value=result, last=last), delay=self.latency)
+        return True
+
+
+class Combine2Behavior(PrimitiveBehavior):
+    """Combine two synchronised element streams into one tuple-valued stream."""
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not (ctx.has_input("in0") and ctx.has_input("in1")):
+            return False
+        if not ctx.can_send("output") and ctx.output_ports():
+            return False
+        first = ctx.take("in0")
+        second = ctx.take("in1")
+        last = _merge_last(first, second)
+        if first.value is None and second.value is None:
+            ctx.send("output", Packet(value=None, last=last), delay=self.latency)
+            return True
+        ctx.send("output", Packet(value=(first.value, second.value), last=last), delay=self.latency)
+        return True
+
+
+class FilterBehavior(PrimitiveBehavior):
+    """Forward the data packet only when the keep bit is true."""
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not (ctx.has_input("input") and ctx.has_input("keep")):
+            return False
+        if not ctx.can_send("output") and ctx.output_ports():
+            return False
+        data = ctx.take("input")
+        keep = ctx.take("keep")
+        last = _merge_last(data, keep)
+        if data.value is not None and keep.value:
+            ctx.send("output", Packet(value=data.value, last=last), delay=self.latency)
+        elif any(last):
+            # The dropped packet closed a sequence: forward an empty close
+            # packet so downstream aggregators still terminate.
+            ctx.send("output", Packet(value=None, last=last), delay=self.latency)
+        return True
+
+
+class AccumulatorBehavior(PrimitiveBehavior):
+    """Reduce the input sequence to one result packet (sum/count/avg/min/max)."""
+
+    def __init__(self, implementation: Implementation, kind: str) -> None:
+        super().__init__(implementation)
+        self.kind = kind
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not ctx.has_input("input"):
+            return False
+        packet = ctx.take("input")
+        values: list[object] = ctx.get_state("values", None) or []
+        if packet.value is not None:
+            values = values + [packet.value]
+        ctx.set_state("values", values)
+        if packet.closes_outermost():
+            result = self._reduce(values)
+            ctx.send("output", Packet(value=result, last=(True,)), delay=self.latency)
+            ctx.set_state("values", [])
+        return True
+
+    def _reduce(self, values: list[object]) -> object:
+        if self.kind == "count":
+            return len(values)
+        if not values:
+            return 0
+        if self.kind == "sum":
+            return sum(values)
+        if self.kind == "avg":
+            return sum(values) / len(values)
+        if self.kind == "min_acc":
+            return min(values)
+        if self.kind == "max_acc":
+            return max(values)
+        raise TydiSimulationError(f"unknown accumulator kind {self.kind!r}")
+
+
+class GroupAggregateBehavior(PrimitiveBehavior):
+    """Keyed aggregation: reduce the value stream per key (SQL GROUP BY)."""
+
+    def __init__(self, implementation: Implementation, kind: str) -> None:
+        super().__init__(implementation)
+        self.kind = kind
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        if not (ctx.has_input("key") and ctx.has_input("value")):
+            return False
+        key_packet = ctx.take("key")
+        value_packet = ctx.take("value")
+        last = _merge_last(key_packet, value_packet)
+        groups: dict = ctx.get_state("groups", None) or {}
+        if key_packet.value is not None and value_packet.value is not None:
+            bucket = groups.setdefault(key_packet.value, [])
+            bucket.append(value_packet.value)
+        ctx.set_state("groups", groups)
+        if last and last[-1]:
+            results = []
+            for key, values in groups.items():
+                if self.kind == "group_sum":
+                    aggregated: object = sum(values)
+                elif self.kind == "group_count":
+                    aggregated = len(values)
+                else:  # group_avg
+                    aggregated = sum(values) / len(values) if values else 0
+                results.append((key, aggregated))
+            for index, (key, aggregated) in enumerate(sorted(results, key=lambda kv: str(kv[0]))):
+                is_final = index == len(results) - 1
+                ctx.send(
+                    "output",
+                    Packet(value=(key, aggregated), last=(is_final,)),
+                    delay=self.latency + index,
+                )
+            if not results:
+                ctx.send("output", Packet(value=None, last=(True,)), delay=self.latency)
+            ctx.set_state("groups", {})
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Scripted behaviour from `simulation { ... }` blocks
+# ---------------------------------------------------------------------------
+
+
+class ScriptedBehavior:
+    """Behaviour compiled from an in-source simulation block (Section V-A)."""
+
+    def __init__(self, implementation: Implementation, block: ast.SimulationBlock) -> None:
+        self.implementation = implementation
+        self.block = block
+        self.latency = 0
+
+    def start(self, ctx: BehaviorContext) -> None:
+        scope = Scope(name="sim-init")
+        for state in self.block.states:
+            ctx.set_state(state.name, evaluate_expr(state.initial, scope))
+
+    # -- event matching ------------------------------------------------------------
+
+    def _event_ports(self, event: ast.EventExpr) -> list[str]:
+        if isinstance(event, ast.ReceiveEvent):
+            return [event.port]
+        if isinstance(event, ast.CombinedEvent):
+            return self._event_ports(event.left) + self._event_ports(event.right)
+        return []
+
+    def _event_satisfied(self, event: ast.EventExpr, ctx: BehaviorContext) -> bool:
+        if isinstance(event, ast.ReceiveEvent):
+            return ctx.has_input(event.port)
+        if isinstance(event, ast.CombinedEvent):
+            left = self._event_satisfied(event.left, ctx)
+            right = self._event_satisfied(event.right, ctx)
+            return (left and right) if event.op == "&&" else (left or right)
+        return False
+
+    def fire(self, ctx: BehaviorContext) -> bool:
+        for handler in self.block.handlers:
+            if self._event_satisfied(handler.event, ctx):
+                self._run_handler(handler, ctx)
+                return True
+        return False
+
+    # -- handler execution -------------------------------------------------------------
+
+    def _run_handler(self, handler: ast.EventHandler, ctx: BehaviorContext) -> None:
+        scope = Scope(name="sim-handler")
+        consumed: dict[str, Packet] = {}
+        last_flags: list[tuple[bool, ...]] = []
+        # Bind the value of every port named in the event (peek; explicit
+        # ack() statements consume).
+        for port in dict.fromkeys(self._event_ports(handler.event)):
+            packet = ctx.peek(port)
+            if packet is not None:
+                consumed[port] = packet
+                last_flags.append(packet.last)
+                scope.define(port, packet.value if packet.value is not None else 0)
+        for name, value in ctx.component.state.items():
+            if not scope.defined_here(name):
+                scope.define(name, value)
+
+        delay = 0
+        acked: set[str] = set()
+        for statement in handler.body:
+            delay = self._run_statement(statement, ctx, scope, consumed, acked, delay, last_flags)
+        # Implicit acknowledge: a handler that fired must consume at least the
+        # packets that triggered it, otherwise it would fire forever.
+        for port in consumed:
+            if port not in acked and ctx.has_input(port):
+                ctx.take(port)
+
+    def _run_statement(
+        self,
+        statement: ast.SimStmt,
+        ctx: BehaviorContext,
+        scope: Scope,
+        consumed: dict[str, Packet],
+        acked: set[str],
+        delay: int,
+        last_flags: list[tuple[bool, ...]],
+    ) -> int:
+        if isinstance(statement, ast.DelayStmt):
+            cycles = evaluate_expr(statement.cycles, scope)
+            return delay + int(cycles)
+        if isinstance(statement, ast.AckStmt):
+            if ctx.has_input(statement.port):
+                ctx.take(statement.port)
+            acked.add(statement.port)
+            return delay
+        if isinstance(statement, ast.SendStmt):
+            value = evaluate_expr(statement.value, scope)
+            merged_last = tuple(
+                any(flags[i] for flags in last_flags if i < len(flags))
+                for i in range(max((len(f) for f in last_flags), default=0))
+            )
+            ctx.send(statement.port, Packet(value=value, last=merged_last), delay=delay)
+            return delay
+        if isinstance(statement, ast.SetStateStmt):
+            value = evaluate_expr(statement.value, scope)
+            ctx.set_state(statement.name, value)
+            return delay
+        if isinstance(statement, ast.SimIfStmt):
+            condition = evaluate_expr(statement.condition, scope)
+            body = statement.then_body if condition else statement.else_body
+            for inner in body:
+                delay = self._run_statement(inner, ctx, scope, consumed, acked, delay, last_flags)
+            return delay
+        raise TydiSimulationError(f"unsupported simulation statement {type(statement).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Behaviour registry and selection
+# ---------------------------------------------------------------------------
+
+_USER_BEHAVIORS: dict[str, Callable[[Implementation], object]] = {}
+
+
+def register_behavior(implementation_name: str, factory: Callable[[Implementation], object]) -> None:
+    """Register a behaviour factory for an external implementation by name."""
+    _USER_BEHAVIORS[implementation_name] = factory
+
+
+def _comparison(op: str) -> Callable[[object, object], object]:
+    import operator
+
+    table = {
+        "compare_eq": operator.eq,
+        "compare_ne": operator.ne,
+        "compare_lt": operator.lt,
+        "compare_le": operator.le,
+        "compare_gt": operator.gt,
+        "compare_ge": operator.ge,
+    }
+    return table[op]
+
+
+def behavior_for(implementation: Implementation) -> object:
+    """Select the behaviour for an external implementation."""
+    # Explicit user registration wins.
+    factory = _USER_BEHAVIORS.get(implementation.name)
+    if factory is None:
+        template = implementation.metadata.get("template")
+        if isinstance(template, str):
+            factory = _USER_BEHAVIORS.get(template)
+    if factory is not None:
+        return factory(implementation)
+
+    # In-source simulation block.
+    if isinstance(implementation.simulation, ast.SimulationBlock):
+        return ScriptedBehavior(implementation, implementation.simulation)
+
+    # Standard-library primitive.
+    kind = primitive_kind(implementation)
+    if kind is not None:
+        import operator
+
+        if kind == "duplicator":
+            return DuplicatorBehavior(implementation)
+        if kind == "voider":
+            return VoiderBehavior(implementation)
+        if kind == "demux":
+            return DemuxBehavior(implementation)
+        if kind == "mux":
+            return MuxBehavior(implementation)
+        if kind in ("const_int_generator", "const_float_generator", "const_str_generator"):
+            return ConstGeneratorBehavior(implementation)
+        if kind == "adder":
+            return BinaryOpBehavior(implementation, operator.add)
+        if kind == "subtractor":
+            return BinaryOpBehavior(implementation, operator.sub)
+        if kind == "multiplier":
+            return BinaryOpBehavior(implementation, operator.mul)
+        if kind == "divider":
+            return BinaryOpBehavior(implementation, lambda a, b: a / b if b else 0)
+        if kind.startswith("compare_") and kind != "compare_const_eq":
+            return BinaryOpBehavior(implementation, _comparison(kind))
+        if kind == "compare_const_eq":
+            return ConstCompareBehavior(implementation)
+        if kind in ("and", "or", "not"):
+            return LogicOpBehavior(implementation, kind)
+        if kind == "filter":
+            return FilterBehavior(implementation)
+        if kind in ("sum", "count", "avg", "min_acc", "max_acc"):
+            return AccumulatorBehavior(implementation, kind)
+        if kind in ("group_sum", "group_avg", "group_count"):
+            return GroupAggregateBehavior(implementation, kind)
+        if kind == "combine2":
+            return Combine2Behavior(implementation)
+
+    raise TydiSimulationError(
+        f"no behaviour available for external implementation {implementation.name!r}; "
+        "register one with repro.sim.register_behavior or add a simulation block"
+    )

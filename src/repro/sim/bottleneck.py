@@ -1,0 +1,83 @@
+"""Bottleneck analysis (Section V-B).
+
+"The simulator should be able to record the waiting time of all output ports
+(blocked by handshaking).  Designers can investigate the output ports with
+the longest blockage to find the bottleneck component."
+
+The engine already records, per channel, how long packets sat in the queue
+(sink-side congestion) and how long the source was blocked because the queue
+was full (source-side backpressure).  This module turns those statistics into
+a ranked report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import SimulationTrace
+
+
+@dataclass
+class ChannelBottleneck:
+    """Summary of one channel's congestion."""
+
+    channel: str
+    source: str
+    sink: str
+    packets: int
+    average_queue_wait: float
+    blocked_sends: int
+    blocked_time: int
+
+    def congestion_score(self) -> float:
+        """A single ranking figure: time lost to waiting plus blockage."""
+        return self.average_queue_wait * self.packets + self.blocked_time
+
+
+@dataclass
+class BottleneckReport:
+    """Ranked list of the most congested channels of a run."""
+
+    entries: list[ChannelBottleneck] = field(default_factory=list)
+    total_time: int = 0
+
+    def worst(self, count: int = 5) -> list[ChannelBottleneck]:
+        return sorted(self.entries, key=lambda e: e.congestion_score(), reverse=True)[:count]
+
+    def bottleneck_component(self) -> str | None:
+        """The component whose input causes the largest blockage."""
+        ranked = self.worst(1)
+        if not ranked or ranked[0].congestion_score() == 0:
+            return None
+        return ranked[0].sink.split(".")[0] or None
+
+    def summary(self) -> str:
+        lines = [f"bottleneck analysis over {self.total_time} cycle(s):"]
+        for entry in self.worst(5):
+            lines.append(
+                f"  {entry.channel}: {entry.packets} packet(s), "
+                f"avg wait {entry.average_queue_wait:.2f} cycles, "
+                f"blocked {entry.blocked_time} cycle(s) ({entry.blocked_sends} send(s))"
+            )
+        if len(lines) == 1:
+            lines.append("  no congestion recorded")
+        return "\n".join(lines)
+
+
+def analyze_bottlenecks(trace: SimulationTrace) -> BottleneckReport:
+    """Build a :class:`BottleneckReport` from a finished simulation trace."""
+    report = BottleneckReport(total_time=trace.end_time)
+    for name, channel in trace.channels.items():
+        stats = channel.stats
+        report.entries.append(
+            ChannelBottleneck(
+                channel=name,
+                source=f"{channel.source[0] or 'top'}.{channel.source[1]}",
+                sink=f"{channel.sink[0] or 'top'}.{channel.sink[1]}",
+                packets=stats.packets_transferred,
+                average_queue_wait=stats.average_wait(),
+                blocked_sends=stats.blocked_sends,
+                blocked_time=stats.total_blocked_time,
+            )
+        )
+    return report

@@ -1,0 +1,128 @@
+"""Deadlock detection (Section V-B).
+
+"Because state transformation is caused by events, which are combinations of
+receiving data from different ports, analyzing the relationship between data
+flow and state could also help identify the potential for deadlock."
+
+After a run finishes (the event queue drains), a healthy design has consumed
+every packet.  If packets remain stuck in channels -- or sources remain
+blocked -- the design has stalled.  This module classifies such stalls and
+reports the wait-for relationships between the involved components, which is
+usually enough to spot cyclic waiting or a missing synchronisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import SimulationTrace, Simulator
+
+
+@dataclass
+class StalledChannel:
+    """A channel still holding data when the simulation stopped."""
+
+    channel: str
+    source: str
+    sink: str
+    queued_packets: int
+    pending_packets: int
+
+
+@dataclass
+class DeadlockReport:
+    """Result of the post-run deadlock analysis."""
+
+    stalled: list[StalledChannel] = field(default_factory=list)
+    waiting_components: list[str] = field(default_factory=list)
+    wait_cycles: list[list[str]] = field(default_factory=list)
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.stalled)
+
+    def summary(self) -> str:
+        if not self.deadlocked:
+            return "no deadlock: all packets were consumed"
+        lines = [f"potential deadlock: {len(self.stalled)} channel(s) still hold data"]
+        for stall in self.stalled:
+            lines.append(
+                f"  {stall.channel}: {stall.queued_packets} queued, "
+                f"{stall.pending_packets} blocked at the source"
+            )
+        if self.wait_cycles:
+            for cycle in self.wait_cycles:
+                lines.append("  wait cycle: " + " -> ".join(cycle))
+        elif self.waiting_components:
+            lines.append("  components waiting on more input: " + ", ".join(self.waiting_components))
+        return "\n".join(lines)
+
+
+def detect_deadlock(simulator: Simulator, trace: SimulationTrace | None = None) -> DeadlockReport:
+    """Inspect the channels of a finished simulation for stalls and wait cycles."""
+    from repro.stdlib.components import primitive_kind
+
+    report = DeadlockReport()
+
+    def always_producing(path: str) -> bool:
+        """Constant generators legitimately leave data behind after a run."""
+        component = simulator.components.get(path)
+        if component is None:
+            return False
+        return primitive_kind(component.implementation) in (
+            "const_int_generator",
+            "const_float_generator",
+            "const_str_generator",
+        )
+
+    for channel in simulator.channels:
+        if always_producing(channel.source[0]):
+            continue
+        if channel.queue or channel.pending:
+            report.stalled.append(
+                StalledChannel(
+                    channel=channel.name,
+                    source=f"{channel.source[0] or 'top'}.{channel.source[1]}",
+                    sink=f"{channel.sink[0] or 'top'}.{channel.sink[1]}",
+                    queued_packets=len(channel.queue),
+                    pending_packets=len(channel.pending),
+                )
+            )
+
+    if not report.stalled:
+        return report
+
+    # A component is "waiting" when at least one of its inputs has data but it
+    # still did not fire -- i.e. it waits for data on its *other* inputs.
+    waits_on: dict[str, set[str]] = {}
+    for path, component in simulator.components.items():
+        has_some = any(ch.has_data() for ch in component.inputs.values())
+        empty_inputs = [port for port, ch in component.inputs.items() if not ch.has_data()]
+        if has_some and empty_inputs:
+            report.waiting_components.append(path)
+            # The component waits on whoever sources its empty inputs.
+            sources = set()
+            for port in empty_inputs:
+                channel = component.inputs[port]
+                sources.add(channel.source[0] or "top")
+            waits_on[path] = sources
+
+    # Cycle detection over the wait-for graph.
+    visited: set[str] = set()
+
+    def walk(node: str, stack: list[str]) -> None:
+        if node in stack:
+            cycle = stack[stack.index(node):] + [node]
+            if cycle not in report.wait_cycles:
+                report.wait_cycles.append(cycle)
+            return
+        if node in visited or node not in waits_on:
+            return
+        visited.add(node)
+        for neighbour in waits_on[node]:
+            walk(neighbour, stack + [node])
+
+    for node in waits_on:
+        walk(node, [])
+
+    return report

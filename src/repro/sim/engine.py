@@ -1,0 +1,456 @@
+"""The event-driven simulation engine.
+
+The engine flattens a Tydi-IR project into *leaf components* (external
+implementations -- standard-library primitives or simulated externals)
+connected by *channels* (one per point-to-point stream connection, with a
+bounded queue that models the handshake backpressure), and then processes a
+time-ordered event queue.
+
+A component's behaviour object is asked to ``fire`` whenever one of its
+input channels receives data or one of its output channels frees space; the
+behaviour consumes packets with ``ctx.take`` (which is also the handshake
+acknowledge) and produces packets with ``ctx.send`` (optionally after a
+latency).  Every transfer is recorded so that bottleneck analysis and
+testbench generation can replay the run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.errors import TydiSimulationError
+from repro.ir.model import Implementation, PortDirection, Project
+from repro.sim.packets import Packet, sequence_to_packets
+from repro.spec.logical_types import Stream
+
+
+@dataclass
+class ChannelStats:
+    """Timing statistics of one channel, used by bottleneck analysis."""
+
+    packets_transferred: int = 0
+    total_queue_wait: int = 0
+    blocked_sends: int = 0
+    total_blocked_time: int = 0
+    last_activity: int = 0
+
+    def average_wait(self) -> float:
+        if self.packets_transferred == 0:
+            return 0.0
+        return self.total_queue_wait / self.packets_transferred
+
+
+class Channel:
+    """A point-to-point stream connection with a bounded queue."""
+
+    def __init__(
+        self,
+        name: str,
+        source: tuple[str, str],
+        sink: tuple[str, str],
+        capacity: int = 2,
+    ) -> None:
+        self.name = name
+        self.source = source  # (component path, port name)
+        self.sink = sink
+        self.capacity = max(1, capacity)
+        self.queue: deque[tuple[Packet, int]] = deque()
+        #: Packets produced by the source that did not fit in the queue yet.
+        self.pending: deque[tuple[Packet, int]] = deque()
+        self.stats = ChannelStats()
+        self.closed = False
+
+    def can_accept(self) -> bool:
+        return len(self.queue) < self.capacity and not self.pending
+
+    def occupancy(self) -> int:
+        return len(self.queue)
+
+    def has_data(self) -> bool:
+        return bool(self.queue)
+
+    def peek(self) -> Optional[Packet]:
+        if not self.queue:
+            return None
+        return self.queue[0][0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Channel({self.name}, {len(self.queue)}/{self.capacity})"
+
+
+@dataclass
+class Component:
+    """A leaf component of the flattened design."""
+
+    path: str
+    implementation: Implementation
+    behavior: object
+    inputs: dict[str, Channel] = field(default_factory=dict)
+    outputs: dict[str, Channel] = field(default_factory=dict)
+    state: dict[str, object] = field(default_factory=dict)
+    state_log: list[tuple[int, str, object]] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Component({self.path}, {self.implementation.name})"
+
+
+@dataclass
+class SimulationTrace:
+    """Everything recorded during one simulation run."""
+
+    outputs: dict[str, list[tuple[int, Packet]]] = field(default_factory=dict)
+    inputs: dict[str, list[tuple[int, Packet]]] = field(default_factory=dict)
+    channels: dict[str, Channel] = field(default_factory=dict)
+    end_time: int = 0
+    events_processed: int = 0
+    state_logs: dict[str, list[tuple[int, str, object]]] = field(default_factory=dict)
+
+    def output_values(self, port: str) -> list[object]:
+        return [p.value for _, p in self.outputs.get(port, []) if p.value is not None]
+
+    def output_packets(self, port: str) -> list[Packet]:
+        return [p for _, p in self.outputs.get(port, [])]
+
+
+class Simulator:
+    """Flattens a project and runs the event-driven simulation."""
+
+    def __init__(
+        self,
+        project: Project,
+        top: Optional[str] = None,
+        channel_capacity: int = 2,
+        behaviors: Optional[dict[str, object]] = None,
+    ) -> None:
+        from repro.sim.behavior import behavior_for  # local import avoids a cycle
+
+        self.project = project
+        self.top_name = top or project.top
+        if self.top_name is None:
+            raise TydiSimulationError("simulation requires a top-level implementation")
+        self.top = project.implementation(self.top_name)
+        if self.top.external:
+            raise TydiSimulationError("the top-level implementation must be structural")
+        self.channel_capacity = channel_capacity
+        self._behavior_overrides = behaviors or {}
+        self._behavior_for = behavior_for
+
+        self.components: dict[str, Component] = {}
+        self.channels: list[Channel] = []
+        self.input_channels: dict[str, Channel] = {}
+        self.output_channels: dict[str, Channel] = {}
+
+        self.now = 0
+        self._event_queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self._events_processed = 0
+        self.trace = SimulationTrace()
+
+        self._elaborate()
+
+    # -- elaboration -----------------------------------------------------------
+
+    def _elaborate(self) -> None:
+        edges: list[tuple[tuple[str, str], tuple[str, str]]] = []
+        self._collect("", self.top, edges)
+
+        top_streamlet = self.project.streamlet_of(self.top)
+
+        # Identify true sources and sinks of each connection chain.
+        next_hop: dict[tuple[str, str], tuple[str, str]] = {}
+        for source, sink in edges:
+            if source in next_hop:
+                raise TydiSimulationError(
+                    f"endpoint {source} drives more than one connection; run the DRC first"
+                )
+            next_hop[source] = sink
+
+        leaf_ports: set[tuple[str, str]] = set()
+        for path, component in self.components.items():
+            streamlet = self.project.streamlet_of(component.implementation)
+            for port in streamlet.ports:
+                leaf_ports.add((path, port.name))
+
+        def is_terminal_sink(key: tuple[str, str]) -> bool:
+            path, port_name = key
+            if key in leaf_ports:
+                port = self.project.streamlet_of(self.components[path].implementation).port(port_name)
+                return port.direction is PortDirection.IN
+            if path == "":
+                return top_streamlet.port(port_name).direction is PortDirection.OUT
+            return False
+
+        def true_sources() -> Iterable[tuple[str, str]]:
+            for path, component in self.components.items():
+                streamlet = self.project.streamlet_of(component.implementation)
+                for port in streamlet.ports:
+                    if port.direction is PortDirection.OUT:
+                        yield (path, port.name)
+            for port in top_streamlet.ports:
+                if port.direction is PortDirection.IN:
+                    yield ("", port.name)
+
+        for source in true_sources():
+            if source not in next_hop:
+                continue  # dangling source: DRC would have flagged it
+            hop = next_hop[source]
+            seen = {source}
+            while not is_terminal_sink(hop):
+                if hop not in next_hop or hop in seen:
+                    raise TydiSimulationError(
+                        f"connection chain starting at {source} does not terminate at a leaf port"
+                    )
+                seen.add(hop)
+                hop = next_hop[hop]
+            channel = Channel(
+                name=f"{source[0] or 'top'}.{source[1]} -> {hop[0] or 'top'}.{hop[1]}",
+                source=source,
+                sink=hop,
+                capacity=self.channel_capacity,
+            )
+            self.channels.append(channel)
+            self.trace.channels[channel.name] = channel
+            self._attach(channel)
+
+    def _collect(
+        self,
+        path: str,
+        implementation: Implementation,
+        edges: list[tuple[tuple[str, str], tuple[str, str]]],
+    ) -> None:
+        """Recursively walk structural implementations, creating leaf components."""
+        for instance in implementation.instances:
+            inner = self.project.implementation(instance.implementation)
+            inner_path = f"{path}/{instance.name}" if path else instance.name
+            if inner.external:
+                override = self._behavior_overrides.get(inner_path)
+                if override is None:
+                    override = self._behavior_overrides.get(inner.name)
+                if override is None:
+                    behavior = self._behavior_for(inner)
+                elif hasattr(override, "fire"):
+                    behavior = override
+                elif callable(override):
+                    # A factory: called with the implementation to build the behaviour.
+                    behavior = override(inner)
+                else:
+                    raise TydiSimulationError(
+                        f"behaviour override for {inner.name!r} must be a behaviour or a factory"
+                    )
+                self.components[inner_path] = Component(
+                    path=inner_path, implementation=inner, behavior=behavior
+                )
+            else:
+                self._collect(inner_path, inner, edges)
+
+        for connection in implementation.connections:
+            source_key = self._endpoint_key(path, implementation, connection.source)
+            sink_key = self._endpoint_key(path, implementation, connection.sink)
+            edges.append((source_key, sink_key))
+
+    def _endpoint_key(self, path: str, implementation: Implementation, ref) -> tuple[str, str]:
+        if ref.instance is None:
+            return (path, ref.port)
+        inner_path = f"{path}/{ref.instance}" if path else ref.instance
+        return (inner_path, ref.port)
+
+    def _attach(self, channel: Channel) -> None:
+        from repro.stdlib.components import primitive_kind
+
+        source_path, source_port = channel.source
+        sink_path, sink_port = channel.sink
+
+        # A constant generator feeding a voider would exchange packets forever
+        # (the voider is always ready); such a pair carries no information, so
+        # it is optimised away -- neither side sees the channel.
+        const_kinds = ("const_int_generator", "const_float_generator", "const_str_generator")
+        if source_path and sink_path:
+            source_kind = primitive_kind(self.components[source_path].implementation) if source_path in self.components else None
+            sink_kind = primitive_kind(self.components[sink_path].implementation) if sink_path in self.components else None
+            if source_kind in const_kinds and sink_kind == "voider":
+                channel.closed = True
+                return
+
+        if source_path == "":
+            self.input_channels[source_port] = channel
+        else:
+            self.components[source_path].outputs[source_port] = channel
+        if sink_path == "":
+            self.output_channels[sink_port] = channel
+        else:
+            self.components[sink_path].inputs[sink_port] = channel
+
+    # -- event queue -------------------------------------------------------------
+
+    def schedule(self, delay: int, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise TydiSimulationError(f"cannot schedule an event {delay} cycles in the past")
+        self._event_seq += 1
+        heapq.heappush(self._event_queue, (self.now + delay, self._event_seq, action))
+
+    def _notify_component(self, path: str) -> None:
+        component = self.components.get(path)
+        if component is None:
+            return
+        self.schedule(0, lambda: self._fire(component))
+
+    def _fire(self, component: Component) -> None:
+        from repro.sim.behavior import BehaviorContext  # local import avoids a cycle
+
+        ctx = BehaviorContext(self, component)
+        # Keep firing while the behaviour makes progress in this delta cycle.
+        for _ in range(10_000):
+            if not component.behavior.fire(ctx):
+                break
+        else:  # pragma: no cover - defensive guard against livelock
+            raise TydiSimulationError(
+                f"component {component.path} fired 10000 times at t={self.now}; "
+                "behaviour is likely not consuming its inputs"
+            )
+
+    # -- channel operations --------------------------------------------------------
+
+    def push(self, channel: Channel, packet: Packet, *, from_source: bool = True) -> None:
+        """Deliver a packet into a channel (or its pending queue when full)."""
+        stamped = Packet(value=packet.value, last=packet.last, produced_at=self.now)
+        if len(channel.queue) < channel.capacity and not channel.pending:
+            channel.queue.append((stamped, self.now))
+            channel.stats.last_activity = self.now
+            self._on_data_available(channel)
+        else:
+            channel.pending.append((stamped, self.now))
+            channel.stats.blocked_sends += 1
+
+    def pop(self, channel: Channel) -> Packet:
+        """Consume the head packet of a channel (the handshake acknowledge)."""
+        if not channel.queue:
+            raise TydiSimulationError(f"pop from empty channel {channel.name}")
+        packet, enqueued_at = channel.queue.popleft()
+        channel.stats.packets_transferred += 1
+        channel.stats.total_queue_wait += self.now - enqueued_at
+        channel.stats.last_activity = self.now
+        # Move a pending packet into the freed slot and account its blockage.
+        if channel.pending:
+            pending_packet, produced_at = channel.pending.popleft()
+            channel.stats.total_blocked_time += self.now - produced_at
+            channel.queue.append((pending_packet, self.now))
+            self._on_data_available(channel)
+        # Space freed: the source may be able to produce again.
+        source_path, _ = channel.source
+        if source_path:
+            self._notify_component(source_path)
+        return packet
+
+    def _on_data_available(self, channel: Channel) -> None:
+        sink_path, sink_port = channel.sink
+        if sink_path == "":
+            # Top-level output: record and consume immediately (the testbench
+            # environment is always ready).
+            packet, enqueued_at = channel.queue.popleft()
+            channel.stats.packets_transferred += 1
+            channel.stats.total_queue_wait += self.now - enqueued_at
+            self.trace.outputs.setdefault(sink_port, []).append((self.now, packet))
+            if channel.pending:
+                pending_packet, produced_at = channel.pending.popleft()
+                channel.stats.total_blocked_time += self.now - produced_at
+                channel.queue.append((pending_packet, self.now))
+                self.schedule(0, lambda: self._on_data_available(channel))
+            source_path, _ = channel.source
+            if source_path:
+                self._notify_component(source_path)
+        else:
+            self._notify_component(sink_path)
+
+    # -- stimulus and execution -------------------------------------------------------
+
+    def drive(
+        self,
+        port: str,
+        values: Iterable[object],
+        *,
+        dimensions: Optional[int] = None,
+        interval: int = 1,
+        start_time: int = 0,
+    ) -> None:
+        """Queue a stimulus sequence on a top-level input port."""
+        if port not in self.input_channels:
+            raise TydiSimulationError(
+                f"top-level implementation {self.top_name!r} has no driven input port {port!r}"
+            )
+        channel = self.input_channels[port]
+        if dimensions is None:
+            top_port = self.project.streamlet_of(self.top).port(port)
+            dimensions = (
+                top_port.logical_type.dimension
+                if isinstance(top_port.logical_type, Stream)
+                else 1
+            )
+        packets = sequence_to_packets(values, dimensions)
+
+        def feeder(index: int = 0) -> None:
+            if index >= len(packets):
+                return
+            if channel.can_accept():
+                packet = packets[index]
+                self.trace.inputs.setdefault(port, []).append((self.now, packet))
+                self.push(channel, packet)
+                self.schedule(max(1, interval), lambda: feeder(index + 1))
+            else:
+                # Backpressure from the design: retry next cycle.
+                channel.stats.blocked_sends += 1
+                self.schedule(1, lambda: feeder(index))
+
+        self.schedule(start_time, feeder)
+
+    def drive_packets(self, port: str, packets: Iterable[Packet], interval: int = 1) -> None:
+        """Queue explicit packets (with custom last flags) on an input port."""
+        if port not in self.input_channels:
+            raise TydiSimulationError(f"no driven input port {port!r}")
+        channel = self.input_channels[port]
+        packet_list = list(packets)
+
+        def feeder(index: int = 0) -> None:
+            if index >= len(packet_list):
+                return
+            if channel.can_accept():
+                self.trace.inputs.setdefault(port, []).append((self.now, packet_list[index]))
+                self.push(channel, packet_list[index])
+                self.schedule(max(1, interval), lambda: feeder(index + 1))
+            else:
+                self.schedule(1, lambda: feeder(index))
+
+        self.schedule(0, feeder)
+
+    def run(self, max_time: int = 1_000_000, max_events: int = 5_000_000) -> SimulationTrace:
+        """Process events until the queue drains (or a limit is hit)."""
+        # Give every behaviour a chance to initialise (constant generators
+        # start emitting without any input).
+        for component in self.components.values():
+            start = getattr(component.behavior, "start", None)
+            if callable(start):
+                from repro.sim.behavior import BehaviorContext
+
+                start(BehaviorContext(self, component))
+            self._notify_component(component.path)
+
+        while self._event_queue:
+            time, _, action = heapq.heappop(self._event_queue)
+            if time > max_time:
+                break
+            self.now = time
+            action()
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise TydiSimulationError(
+                    f"simulation exceeded {max_events} events; possible livelock"
+                )
+
+        self.trace.end_time = self.now
+        self.trace.events_processed = self._events_processed
+        for component in self.components.values():
+            if component.state_log:
+                self.trace.state_logs[component.path] = list(component.state_log)
+        return self.trace

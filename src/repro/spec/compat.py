@@ -1,0 +1,167 @@
+"""Type compatibility and equality rules used by the design rule check.
+
+The paper distinguishes two notions of equality for connection checking
+(Section IV-B):
+
+* **strict equality** (the default): the two ports must be declared with the
+  *same logical type variable* -- i.e. the same named type object.  Two
+  structurally identical types declared separately are *not* considered
+  equal, which avoids the "type equality problem" discussed in the paper.
+* **structural equality** (opt-in via an attribute on the connection): the
+  type *hierarchies* must match -- same constructors, same field names, same
+  widths and same stream parameters.
+
+On top of type equality, a connection is only legal when the directions are
+compatible (an output drives an input), the source protocol complexity is
+accepted by the sink, and both ports live in the same clock domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spec.logical_types import Bit, Group, LogicalType, Null, Stream, Union
+
+
+def structurally_equal(a: LogicalType, b: LogicalType) -> bool:
+    """Deep structural comparison of two logical types.
+
+    Stream parameters (dimension, direction, synchronicity, throughput, user)
+    must match exactly; complexity participates in the connection check
+    separately, so it is *not* part of structural equality.
+    """
+    if isinstance(a, Null) and isinstance(b, Null):
+        return True
+    if isinstance(a, Bit) and isinstance(b, Bit):
+        return a.width == b.width
+    if isinstance(a, Group) and isinstance(b, Group):
+        if len(a.fields) != len(b.fields):
+            return False
+        return all(
+            na == nb and structurally_equal(ta, tb)
+            for (na, ta), (nb, tb) in zip(a.fields, b.fields)
+        )
+    if isinstance(a, Union) and isinstance(b, Union):
+        if len(a.variants) != len(b.variants):
+            return False
+        return all(
+            na == nb and structurally_equal(ta, tb)
+            for (na, ta), (nb, tb) in zip(a.variants, b.variants)
+        )
+    if isinstance(a, Stream) and isinstance(b, Stream):
+        return (
+            a.dimension == b.dimension
+            and a.direction == b.direction
+            and a.synchronicity == b.synchronicity
+            and a.throughput == b.throughput
+            and a.keep == b.keep
+            and structurally_equal(a.element, b.element)
+            and structurally_equal(a.user, b.user)
+        )
+    return False
+
+
+def strictly_equal(a: LogicalType, b: LogicalType) -> bool:
+    """Strict type equality: same object identity, or same declared name with
+    structural equality as a backstop.
+
+    The Tydi-lang frontend interns named type declarations, so two ports that
+    were declared with the same ``type Foo = ...`` statement share one
+    ``LogicalType`` instance and compare equal by identity.  Anonymous types
+    (written inline) are only strictly equal to themselves.
+    """
+    if a is b:
+        return True
+    # Primitive leaf types carry no user intent beyond their width, so two
+    # inline `Bit(8)` occurrences are the same type.
+    if isinstance(a, (Bit, Null)) or isinstance(b, (Bit, Null)):
+        return structurally_equal(a, b)
+    name_a = getattr(a, "name", None)
+    name_b = getattr(b, "name", None)
+    if name_a and name_b and name_a == name_b:
+        return structurally_equal(a, b)
+    # Streams wrapping the same named element type (or a primitive element)
+    # are strictly equal if all their stream parameters match (a
+    # `type T = Stream(X)` alias is shared, but a stream written inline around
+    # a shared Group should still match another identical inline stream around
+    # the *same* Group object).
+    if isinstance(a, Stream) and isinstance(b, Stream):
+        if (
+            a.element is b.element
+            or isinstance(a.element, (Bit, Null))
+            or (
+                getattr(a.element, "name", None)
+                and getattr(a.element, "name", None) == getattr(b.element, "name", None)
+            )
+        ):
+            return structurally_equal(a, b)
+    return False
+
+
+@dataclass
+class CompatibilityReport:
+    """Outcome of a connection compatibility check."""
+
+    compatible: bool
+    reasons: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.compatible
+
+    @classmethod
+    def ok(cls) -> "CompatibilityReport":
+        return cls(True, [])
+
+    @classmethod
+    def fail(cls, *reasons: str) -> "CompatibilityReport":
+        return cls(False, list(reasons))
+
+
+def check_connection_compatibility(
+    source_type: LogicalType,
+    sink_type: LogicalType,
+    *,
+    strict: bool = True,
+    source_clock: str | None = None,
+    sink_clock: str | None = None,
+) -> CompatibilityReport:
+    """Check whether a source port may legally drive a sink port.
+
+    Parameters
+    ----------
+    source_type, sink_type:
+        The logical types bound to the two ports (normally ``Stream`` types).
+    strict:
+        Use strict type equality (the DRC default) or structural equality
+        (when the connection carries the "structural" attribute).
+    source_clock, sink_clock:
+        Clock-domain names; both ``None`` means the default domain.
+    """
+    reasons: list[str] = []
+
+    equal = strictly_equal(source_type, sink_type) if strict else structurally_equal(source_type, sink_type)
+    if not equal:
+        mode = "strict" if strict else "structural"
+        reasons.append(
+            f"logical types are not {mode}ly equal: {source_type.to_tydi()} vs {sink_type.to_tydi()}"
+        )
+
+    if isinstance(source_type, Stream) and isinstance(sink_type, Stream):
+        if not source_type.complexity.satisfies(sink_type.complexity):
+            reasons.append(
+                "source protocol complexity "
+                f"{source_type.complexity} exceeds sink complexity {sink_type.complexity}"
+            )
+        if float(source_type.throughput) > float(sink_type.throughput):
+            reasons.append(
+                f"source throughput {source_type.throughput} exceeds sink throughput {sink_type.throughput}"
+            )
+
+    if (source_clock or "default") != (sink_clock or "default"):
+        reasons.append(
+            f"clock domain mismatch: source in {source_clock!r}, sink in {sink_clock!r}"
+        )
+
+    if reasons:
+        return CompatibilityReport.fail(*reasons)
+    return CompatibilityReport.ok()

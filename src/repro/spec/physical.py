@@ -1,0 +1,134 @@
+"""Mapping from logical Stream types to physical signal bundles.
+
+The Tydi specification maps every logical ``Stream`` onto a *physical stream*:
+a valid/ready handshaked channel with
+
+* ``data``   -- ``element_width * lanes`` bits,
+* ``last``   -- ``dimension * lanes`` bits marking the end of each nesting
+  level (at complexity >= 8 a per-lane last; below that a per-transfer last),
+* ``stai`` / ``endi`` -- lane start/end indices (present with multiple lanes),
+* ``strb``   -- per-lane strobe (present at complexity >= 7 or with multiple
+  lanes),
+* ``user``   -- transfer-level user bits.
+
+The VHDL backend uses :func:`expand_stream` to derive the port signals of an
+entity from the logical types bound to its ports, which is exactly the
+information the type system preserves down to RTL.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TydiTypeError
+from repro.spec.logical_types import LogicalType, Stream
+
+
+@dataclass(frozen=True)
+class PhysicalSignal:
+    """One wire bundle of a physical stream (name, width, direction role)."""
+
+    name: str
+    width: int
+    #: "forward" signals travel source->sink, "reverse" signals sink->source.
+    role: str = "forward"
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise TydiTypeError(f"signal {self.name} has negative width {self.width}")
+        if self.role not in ("forward", "reverse"):
+            raise TydiTypeError(f"signal role must be forward/reverse, got {self.role!r}")
+
+
+@dataclass(frozen=True)
+class PhysicalStream:
+    """The complete signal bundle of one physical stream."""
+
+    signals: tuple[PhysicalSignal, ...]
+    element_width: int
+    lanes: int
+    dimension: int
+
+    def signal(self, name: str) -> PhysicalSignal:
+        for sig in self.signals:
+            if sig.name == name:
+                return sig
+        raise KeyError(name)
+
+    def signal_names(self) -> list[str]:
+        return [s.name for s in self.signals]
+
+    def total_forward_width(self) -> int:
+        """Total forward-direction payload width (excludes valid/ready)."""
+        return sum(s.width for s in self.signals if s.role == "forward" and s.name not in ("valid",))
+
+    def wire_count(self) -> int:
+        """Total number of physical wires including handshake."""
+        return sum(max(1, s.width) for s in self.signals)
+
+
+def _index_width(lanes: int) -> int:
+    """Bits needed to index a lane: ceil(log2(lanes)) with a minimum of 1."""
+    if lanes <= 1:
+        return 0
+    return max(1, math.ceil(math.log2(lanes)))
+
+
+def expand_stream(stream: LogicalType) -> PhysicalStream:
+    """Expand a logical ``Stream`` into its physical signal bundle.
+
+    Raises :class:`TydiTypeError` when given a non-Stream logical type, since
+    only streams have a physical representation on a port.
+    """
+    if not isinstance(stream, Stream):
+        raise TydiTypeError(
+            f"only Stream types have a physical representation, got {stream.to_tydi() if isinstance(stream, LogicalType) else stream!r}"
+        )
+
+    lanes = stream.throughput.lanes
+    element_width = stream.data_width()
+    dimension = stream.dimension
+    complexity = stream.complexity.major
+
+    signals: list[PhysicalSignal] = [
+        PhysicalSignal("valid", 1, "forward"),
+        PhysicalSignal("ready", 1, "reverse"),
+    ]
+    if element_width > 0:
+        signals.append(PhysicalSignal("data", element_width * lanes, "forward"))
+    if dimension > 0:
+        # Below complexity 8 the last flags apply to the whole transfer;
+        # at complexity 8 every lane carries its own last flags.
+        last_lanes = lanes if complexity >= 8 else 1
+        signals.append(PhysicalSignal("last", dimension * last_lanes, "forward"))
+    index_width = _index_width(lanes)
+    if index_width > 0:
+        if complexity >= 6:
+            signals.append(PhysicalSignal("stai", index_width, "forward"))
+        signals.append(PhysicalSignal("endi", index_width, "forward"))
+    if complexity >= 7 or (lanes > 1 and dimension > 0):
+        signals.append(PhysicalSignal("strb", lanes, "forward"))
+    user_width = stream.user.bit_width()
+    if user_width > 0:
+        signals.append(PhysicalSignal("user", user_width, "forward"))
+
+    return PhysicalStream(
+        signals=tuple(signals),
+        element_width=element_width,
+        lanes=lanes,
+        dimension=dimension,
+    )
+
+
+def stream_wire_summary(stream: Stream) -> dict[str, int]:
+    """Summarise wire usage of a stream; handy for reports and tests."""
+    phys = expand_stream(stream)
+    return {
+        "element_width": phys.element_width,
+        "lanes": phys.lanes,
+        "dimension": phys.dimension,
+        "forward_width": phys.total_forward_width(),
+        "wire_count": phys.wire_count(),
+        "signals": len(phys.signals),
+    }

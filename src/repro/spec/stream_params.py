@@ -1,0 +1,146 @@
+"""Stream-space parameters from the Tydi specification.
+
+A ``Stream`` logical type does not only name the element type that travels
+over the wires; it also fixes *how* the element travels:
+
+* :class:`Direction` -- whether data flows with (``FORWARD``) or against
+  (``REVERSE``) the parent stream.
+* :class:`Synchronicity` -- how the dimensionality information of a child
+  stream relates to its parent (``SYNC``, ``FLATTEN``, ``DESYNC``,
+  ``FLAT_DESYNC``).
+* :class:`Complexity` -- the protocol complexity level ``C`` (1..8) of the
+  Tydi physical-stream specification.  A source with complexity ``c`` may be
+  connected to a sink that accepts complexity ``>= c``.
+* :class:`Throughput` -- the number of element lanes per transfer (a positive
+  rational, stored as a float like the specification does).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import TydiTypeError
+
+
+class Direction(enum.Enum):
+    """Data-flow direction of a stream relative to its parent."""
+
+    FORWARD = "Forward"
+    REVERSE = "Reverse"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Synchronicity(enum.Enum):
+    """Relation between the dimensionality of a child stream and its parent."""
+
+    SYNC = "Sync"
+    FLATTEN = "Flatten"
+    DESYNC = "Desync"
+    FLAT_DESYNC = "FlatDesync"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Complexity:
+    """Protocol complexity level of a physical stream.
+
+    The Tydi specification defines complexity as a period-separated sequence
+    of integers (e.g. ``4.1.3``), ordered lexicographically where a missing
+    component counts as zero.  Higher complexity means the source makes fewer
+    guarantees, so a sink must support a complexity at least as high as the
+    source it is connected to.
+    """
+
+    levels: tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise TydiTypeError("complexity must have at least one level")
+        if any(l < 0 for l in self.levels):
+            raise TydiTypeError(f"complexity levels must be non-negative: {self.levels}")
+        if self.levels[0] < 1 or self.levels[0] > 8:
+            raise TydiTypeError(
+                f"major complexity level must be between 1 and 8, got {self.levels[0]}"
+            )
+
+    @classmethod
+    def parse(cls, text: str | int | float | "Complexity") -> "Complexity":
+        """Parse a complexity from ``"4.1.3"``, an int, or another Complexity."""
+        if isinstance(text, Complexity):
+            return text
+        if isinstance(text, int):
+            return cls((text,))
+        if isinstance(text, float):
+            if text.is_integer():
+                return cls((int(text),))
+            raise TydiTypeError(f"complexity must be integral or dotted string, got {text!r}")
+        parts = str(text).strip().split(".")
+        try:
+            levels = tuple(int(p) for p in parts)
+        except ValueError as exc:
+            raise TydiTypeError(f"invalid complexity {text!r}") from exc
+        return cls(levels)
+
+    @property
+    def major(self) -> int:
+        return self.levels[0]
+
+    def satisfies(self, sink: "Complexity") -> bool:
+        """Return True if a source of this complexity can drive ``sink``.
+
+        The sink must accept a complexity at least as high as the source
+        produces, i.e. ``self <= sink`` in the lexicographic order.
+        """
+        return self._key() <= sink._key()
+
+    def _key(self) -> tuple[int, ...]:
+        # Pad to a common comparison length of 8 with zeros.
+        return self.levels + (0,) * (8 - len(self.levels))
+
+    def __str__(self) -> str:
+        return ".".join(str(l) for l in self.levels)
+
+
+@dataclass(frozen=True)
+class Throughput:
+    """Number of element lanes per transfer (positive rational)."""
+
+    ratio: Fraction = Fraction(1)
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0:
+            raise TydiTypeError(f"throughput must be positive, got {self.ratio}")
+
+    @classmethod
+    def of(cls, value: "Throughput | int | float | str | Fraction") -> "Throughput":
+        if isinstance(value, Throughput):
+            return value
+        if isinstance(value, Fraction):
+            return cls(value)
+        if isinstance(value, int):
+            return cls(Fraction(value))
+        if isinstance(value, float):
+            return cls(Fraction(value).limit_denominator(1_000_000))
+        return cls(Fraction(str(value)))
+
+    @property
+    def lanes(self) -> int:
+        """Number of physical data lanes needed: ``ceil(throughput)``."""
+        return -((-self.ratio.numerator) // self.ratio.denominator)
+
+    def __float__(self) -> float:
+        return float(self.ratio)
+
+    def __str__(self) -> str:
+        if self.ratio.denominator == 1:
+            return str(self.ratio.numerator)
+        return f"{float(self.ratio):g}"
+
+    def __mul__(self, other: "Throughput") -> "Throughput":
+        return Throughput(self.ratio * other.ratio)

@@ -1,0 +1,47 @@
+"""SQL subset frontend and SQL -> Tydi-lang translation.
+
+Section VI of the paper translates TPC-H queries to Tydi-lang *by hand* and
+notes that "it is possible to design a tool to automatically compile SQL to
+Tydi-lang in the future".  This package implements that future-work tool for
+the SQL subset the evaluation needs:
+
+* ``SELECT`` of aggregates (``sum``, ``count``, ``avg``, ``min``, ``max``)
+  over arithmetic expressions and plain columns,
+* ``FROM`` a single table (or a join-aligned projection, matching how the
+  hardware designs receive multi-table queries),
+* ``WHERE`` with ``and`` / ``or`` / ``not``, comparisons, ``between`` and
+  ``in`` lists over columns, numeric / string / date literals,
+* ``GROUP BY`` one or two columns.
+
+The translator (:func:`repro.sql.translate.translate_select`) emits Tydi-lang
+in the same style as the hand-written designs of :mod:`repro.queries`, using
+the same standard-library templates, so its output compiles, passes the DRC
+and can be simulated.
+"""
+
+from repro.sql.ast import (
+    Aggregate,
+    BetweenExpr,
+    BinaryExpr,
+    ColumnRef,
+    InExpr,
+    Literal,
+    NotExpr,
+    SelectStatement,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.translate import TranslationResult, translate_select
+
+__all__ = [
+    "Aggregate",
+    "BetweenExpr",
+    "BinaryExpr",
+    "ColumnRef",
+    "InExpr",
+    "Literal",
+    "NotExpr",
+    "SelectStatement",
+    "parse_sql",
+    "TranslationResult",
+    "translate_select",
+]

@@ -1,0 +1,97 @@
+"""AST node definitions for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SqlExpr:
+    """Base class of SQL value/boolean expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(SqlExpr):
+    """A numeric, string or date literal (dates become integer day offsets)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """A reference to a column, optionally qualified with a table name."""
+
+    column: str
+    table: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.column
+
+
+@dataclass(frozen=True)
+class BinaryExpr(SqlExpr):
+    """A binary operation: arithmetic, comparison, AND or OR."""
+
+    op: str  # '+', '-', '*', '/', '=', '<>', '<', '<=', '>', '>=', 'and', 'or'
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class NotExpr(SqlExpr):
+    """Boolean negation."""
+
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class BetweenExpr(SqlExpr):
+    """``expr BETWEEN low AND high``."""
+
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+
+
+@dataclass(frozen=True)
+class InExpr(SqlExpr):
+    """``expr IN (v1, v2, ...)``."""
+
+    operand: SqlExpr
+    options: tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(SqlExpr):
+    """An aggregate function call: sum/count/avg/min/max."""
+
+    function: str
+    argument: Optional[SqlExpr]  # None for count(*)
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the SELECT list."""
+
+    expr: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT statement."""
+
+    items: list[SelectItem] = field(default_factory=list)
+    tables: list[str] = field(default_factory=list)
+    where: Optional[SqlExpr] = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[ColumnRef] = field(default_factory=list)
+
+    def aggregates(self) -> list[Aggregate]:
+        return [item.expr for item in self.items if isinstance(item.expr, Aggregate)]
+
+    def plain_columns(self) -> list[ColumnRef]:
+        return [item.expr for item in self.items if isinstance(item.expr, ColumnRef)]

@@ -1,0 +1,304 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (case-insensitive keywords):
+
+.. code-block:: text
+
+    select     := SELECT item ("," item)* FROM name ("," name)*
+                  (WHERE expr)? (GROUP BY column ("," column)*)?
+                  (ORDER BY column (ASC|DESC)? ("," ...)*)? ";"?
+    item       := expr (AS? IDENT)?
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | predicate
+    predicate  := additive (("="|"<>"|"!="|"<"|"<="|">"|">=") additive
+                  | BETWEEN additive AND additive
+                  | IN "(" expr ("," expr)* ")")?
+    additive   := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := primary (("*"|"/") primary)*
+    primary    := NUMBER | STRING | DATE string | IDENT("." IDENT)?
+                  | agg "(" ("*" | expr) ")" | "(" expr ")"
+                  | DATE string (+|-) INTERVAL string unit
+
+Date literals (``date '1994-01-01'``) are converted to integer day offsets
+from 1992-01-01 so they compare directly against the synthetic dataset's
+date columns; ``interval 'n' year/month/day`` arithmetic is folded into the
+resulting day offset.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+
+from repro.errors import TydiSyntaxError
+from repro.sql.ast import (
+    Aggregate,
+    BetweenExpr,
+    BinaryExpr,
+    ColumnRef,
+    InExpr,
+    Literal,
+    NotExpr,
+    SelectItem,
+    SelectStatement,
+    SqlExpr,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|!=|<=|>=|[(),;*+\-/.=<>])
+    """,
+    re.VERBOSE,
+)
+
+_EPOCH = datetime.date(1992, 1, 1)
+
+_AGGREGATES = {"sum", "count", "avg", "min", "max"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise TydiSyntaxError(f"unexpected SQL character {text[position]!r} at offset {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+def _date_to_days(text: str) -> int:
+    parsed = datetime.date.fromisoformat(text)
+    return (parsed - _EPOCH).days
+
+
+class SqlParser:
+    """Token-list parser for the SQL subset."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else ""
+
+    def peek_lower(self, offset: int = 0) -> str:
+        return self.peek(offset).lower()
+
+    def advance(self) -> str:
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.advance()
+        if token.lower() != expected.lower():
+            raise TydiSyntaxError(f"expected {expected!r} in SQL, found {token!r}")
+        return token
+
+    def accept(self, expected: str) -> bool:
+        if self.peek_lower() == expected.lower():
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect("select")
+        statement = SelectStatement()
+        statement.items.append(self.parse_item())
+        while self.accept(","):
+            statement.items.append(self.parse_item())
+        self.expect("from")
+        statement.tables.append(self.advance())
+        while self.accept(","):
+            statement.tables.append(self.advance())
+        if self.accept("where"):
+            statement.where = self.parse_expr()
+        if self.peek_lower() == "group":
+            self.advance()
+            self.expect("by")
+            statement.group_by.append(self.parse_column())
+            while self.accept(","):
+                statement.group_by.append(self.parse_column())
+        if self.peek_lower() == "order":
+            self.advance()
+            self.expect("by")
+            while True:
+                statement.order_by.append(self.parse_column())
+                if self.peek_lower() in ("asc", "desc"):
+                    self.advance()
+                if not self.accept(","):
+                    break
+        self.accept(";")
+        if self.position < len(self.tokens):
+            raise TydiSyntaxError(f"unexpected trailing SQL token {self.peek()!r}")
+        return statement
+
+    def parse_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept("as"):
+            alias = self.advance()
+        elif self.peek() and self.peek_lower() not in (",", "from") and re.fullmatch(
+            r"[A-Za-z_][A-Za-z_0-9]*", self.peek()
+        ):
+            alias = self.advance()
+        if isinstance(expr, Aggregate) and alias:
+            expr = Aggregate(function=expr.function, argument=expr.argument, alias=alias)
+        return SelectItem(expr=expr, alias=alias)
+
+    def parse_column(self) -> ColumnRef:
+        name = self.advance()
+        if self.peek() == ".":
+            self.advance()
+            column = self.advance()
+            return ColumnRef(column=column, table=name)
+        return ColumnRef(column=name)
+
+    # expressions -----------------------------------------------------------------------
+
+    def parse_expr(self) -> SqlExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> SqlExpr:
+        left = self.parse_and()
+        while self.peek_lower() == "or":
+            self.advance()
+            right = self.parse_and()
+            left = BinaryExpr(op="or", left=left, right=right)
+        return left
+
+    def parse_and(self) -> SqlExpr:
+        left = self.parse_not()
+        while self.peek_lower() == "and":
+            self.advance()
+            right = self.parse_not()
+            left = BinaryExpr(op="and", left=left, right=right)
+        return left
+
+    def parse_not(self) -> SqlExpr:
+        if self.peek_lower() == "not":
+            self.advance()
+            return NotExpr(operand=self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> SqlExpr:
+        left = self.parse_additive()
+        lower = self.peek_lower()
+        if lower in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self.advance()
+            op = "<>" if op == "!=" else op
+            right = self.parse_additive()
+            return BinaryExpr(op=op, left=left, right=right)
+        if lower == "between":
+            self.advance()
+            low = self.parse_additive()
+            self.expect("and")
+            high = self.parse_additive()
+            return BetweenExpr(operand=left, low=low, high=high)
+        if lower == "in":
+            self.advance()
+            self.expect("(")
+            options = [self.parse_expr()]
+            while self.accept(","):
+                options.append(self.parse_expr())
+            self.expect(")")
+            return InExpr(operand=left, options=tuple(options))
+        return left
+
+    def parse_additive(self) -> SqlExpr:
+        left = self.parse_multiplicative()
+        while self.peek() in ("+", "-"):
+            op = self.advance()
+            right = self.parse_multiplicative()
+            left = self._fold_or_binary(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> SqlExpr:
+        left = self.parse_primary()
+        while self.peek() in ("*", "/"):
+            op = self.advance()
+            right = self.parse_primary()
+            left = BinaryExpr(op=op, left=left, right=right)
+        return left
+
+    def _fold_or_binary(self, op: str, left: SqlExpr, right: SqlExpr) -> SqlExpr:
+        """Fold literal +/- literal (used by date +/- interval arithmetic)."""
+        if isinstance(left, Literal) and isinstance(right, Literal) and isinstance(
+            left.value, (int, float)
+        ) and isinstance(right.value, (int, float)):
+            value = left.value + right.value if op == "+" else left.value - right.value
+            return Literal(value=value)
+        return BinaryExpr(op=op, left=left, right=right)
+
+    def parse_primary(self) -> SqlExpr:
+        token = self.peek()
+        lower = token.lower()
+
+        if token == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+
+        if re.fullmatch(r"\d+\.\d+", token):
+            self.advance()
+            return Literal(value=float(token))
+        if re.fullmatch(r"\d+", token):
+            self.advance()
+            return Literal(value=int(token))
+        if token.startswith("'"):
+            self.advance()
+            return Literal(value=token[1:-1].replace("''", "'"))
+
+        if lower == "date":
+            self.advance()
+            literal = self.advance()
+            if not literal.startswith("'"):
+                raise TydiSyntaxError(f"expected a quoted date after DATE, found {literal!r}")
+            return Literal(value=_date_to_days(literal[1:-1]))
+
+        if lower == "interval":
+            self.advance()
+            amount_token = self.advance()
+            amount = int(amount_token.strip("'"))
+            unit = self.advance().lower()
+            days = {"day": 1, "days": 1, "month": 30, "months": 30, "year": 365, "years": 365}.get(unit)
+            if days is None:
+                raise TydiSyntaxError(f"unsupported interval unit {unit!r}")
+            return Literal(value=amount * days)
+
+        if lower in _AGGREGATES and self.peek(1) == "(":
+            self.advance()
+            self.expect("(")
+            if self.peek() == "*":
+                self.advance()
+                argument = None
+            else:
+                argument = self.parse_expr()
+            self.expect(")")
+            return Aggregate(function=lower, argument=argument)
+
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            return self.parse_column()
+
+        raise TydiSyntaxError(f"unexpected SQL token {token!r}")
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse a SELECT statement of the supported SQL subset."""
+    return SqlParser(_tokenize(text)).parse_select()

@@ -1,0 +1,414 @@
+"""SQL -> Tydi-lang translation.
+
+``translate_select`` turns a parsed :class:`~repro.sql.ast.SelectStatement`
+into a Tydi-lang design in the same style as the hand-written TPC-H designs:
+
+* one Fletcher reader instance for the source table (or join-aligned
+  projection),
+* a comparator / boolean-combinator network for the WHERE clause,
+* arithmetic instances for the aggregated value expressions,
+* ``filter`` + (grouped) aggregation instances, one top-level output port per
+  SELECT aggregate.
+
+Fan-out and unused reader columns are left to sugaring, exactly as in the
+hand-written sugared designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arrow.schema import ArrowSchema
+from repro.errors import TydiEvaluationError
+from repro.sql.ast import (
+    Aggregate,
+    BetweenExpr,
+    BinaryExpr,
+    ColumnRef,
+    InExpr,
+    Literal,
+    NotExpr,
+    SelectStatement,
+    SqlExpr,
+)
+
+#: SQL comparison operator -> standard-library comparator template.
+_COMPARATORS = {
+    "=": "compare_eq_i",
+    "<>": "compare_ne_i",
+    "<": "compare_lt_i",
+    "<=": "compare_le_i",
+    ">": "compare_gt_i",
+    ">=": "compare_ge_i",
+}
+
+#: Aggregate function -> (plain template, grouped template).
+_AGGREGATE_TEMPLATES = {
+    "sum": ("sum_i", "group_sum_i"),
+    "count": ("count_i", "group_count_i"),
+    "avg": ("avg_i", "group_avg_i"),
+    "min": ("min_acc_i", "group_sum_i"),
+    "max": ("max_acc_i", "group_sum_i"),
+}
+
+
+@dataclass
+class TranslationResult:
+    """The output of one SQL -> Tydi-lang translation."""
+
+    source: str
+    top: str
+    schema: ArrowSchema
+    output_ports: list[str] = field(default_factory=list)
+
+    def loc(self) -> int:
+        from repro.utils.text import count_loc
+
+        return count_loc(self.source, language="tydi")
+
+
+class _Emitter:
+    """Collects instance/connection lines and hands out unique names."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._counters: dict[str, int] = {}
+
+    def fresh(self, prefix: str) -> str:
+        self._counters[prefix] = self._counters.get(prefix, 0) + 1
+        return f"{prefix}_{self._counters[prefix]}"
+
+    def instance(self, name: str, target: str) -> str:
+        self.lines.append(f"    instance {name}({target}),")
+        return name
+
+    def connect(self, source: str, sink: str) -> None:
+        self.lines.append(f"    {source} => {sink},")
+
+    def comment(self, text: str) -> None:
+        self.lines.append(f"    // {text}")
+
+    def blank(self) -> None:
+        self.lines.append("")
+
+
+class _Translator:
+    def __init__(self, statement: SelectStatement, schema: ArrowSchema, name: str) -> None:
+        self.statement = statement
+        self.schema = schema
+        self.name = name
+        self.emitter = _Emitter()
+        self.reader = "data"
+
+    # -- type handling --------------------------------------------------------------
+
+    def column_alias(self, column: ColumnRef) -> str:
+        if column.column not in self.schema:
+            raise TydiEvaluationError(
+                f"column {column.column!r} is not part of schema {self.schema.name!r}"
+            )
+        return self.schema.field(column.column).type_alias()
+
+    def literal_generator(self, value: object, type_alias: str) -> tuple[str, str]:
+        """Emit a constant generator for ``value``; return (instance, template)."""
+        if isinstance(value, bool):
+            template = f"const_int_generator_i<type {type_alias}, {int(value)}>"
+        elif isinstance(value, int):
+            template = f"const_int_generator_i<type {type_alias}, {value}>"
+        elif isinstance(value, float):
+            template = f"const_float_generator_i<type {type_alias}, {value}>"
+        else:
+            escaped = str(value).replace('"', '\\"')
+            template = f'const_str_generator_i<type {type_alias}, "{escaped}">'
+        name = self.emitter.fresh("const")
+        self.emitter.instance(name, template)
+        return name, template
+
+    # -- value expressions ------------------------------------------------------------
+
+    def value_source(self, expr: SqlExpr) -> tuple[str, str]:
+        """Lower a value expression; return (source port ref, type alias)."""
+        if isinstance(expr, ColumnRef):
+            return f"{self.reader}.{expr.column}", self.column_alias(expr)
+        if isinstance(expr, Literal):
+            # Standalone literal value streams (e.g. `1 - l_discount` lowers the 1).
+            alias = "tpch_decimal" if isinstance(expr.value, float) else "tpch_int"
+            name, _ = self.literal_generator(expr.value, alias)
+            return f"{name}.output", alias
+        if isinstance(expr, BinaryExpr) and expr.op in ("+", "-", "*", "/"):
+            templates = {"+": "adder_i", "-": "subtractor_i", "*": "multiplier_i", "/": "divider_i"}
+            # Determine the result alias from the non-literal operands first so
+            # that literal operands can be generated with the matching named
+            # type (strict DRC equality requires identical aliases).
+            operand_aliases = [
+                self.value_source_alias_only(side)[1]
+                for side in (expr.left, expr.right)
+                if not isinstance(side, Literal)
+            ]
+            result_alias = (
+                "tpch_decimal"
+                if not operand_aliases or "tpch_decimal" in operand_aliases
+                else operand_aliases[0]
+            )
+
+            def lower_operand(side: SqlExpr) -> str:
+                if isinstance(side, Literal):
+                    name, _ = self.literal_generator(self._coerce(side.value, result_alias), result_alias)
+                    return f"{name}.output"
+                ref, _ = self.value_source(side)
+                return ref
+
+            left_ref = lower_operand(expr.left)
+            right_ref = lower_operand(expr.right)
+            name = self.emitter.fresh("arith")
+            self.emitter.instance(
+                name, f"{templates[expr.op]}<type {result_alias}, type {result_alias}>"
+            )
+            self.emitter.connect(left_ref, f"{name}.lhs")
+            self.emitter.connect(right_ref, f"{name}.rhs")
+            return f"{name}.output", result_alias
+        raise TydiEvaluationError(f"unsupported value expression {expr!r} in SQL translation")
+
+    # -- boolean expressions --------------------------------------------------------------
+
+    def condition_source(self, expr: SqlExpr) -> str:
+        """Lower a boolean expression; return the std_bool source port ref."""
+        if isinstance(expr, BinaryExpr) and expr.op in ("and", "or"):
+            operands = self._flatten(expr, expr.op)
+            sources = [self.condition_source(operand) for operand in operands]
+            gate = self.emitter.fresh("all" if expr.op == "and" else "any")
+            template = "and_i" if expr.op == "and" else "or_i"
+            self.emitter.instance(gate, f"{template}<{len(sources)}>")
+            for index, source in enumerate(sources):
+                self.emitter.connect(source, f"{gate}.input[{index}]")
+            return f"{gate}.output"
+
+        if isinstance(expr, NotExpr):
+            inner = self.condition_source(expr.operand)
+            gate = self.emitter.fresh("negate")
+            self.emitter.instance(gate, "not_i")
+            self.emitter.connect(inner, f"{gate}.input[0]")
+            return f"{gate}.output"
+
+        if isinstance(expr, BetweenExpr):
+            low = BinaryExpr(op=">=", left=expr.operand, right=expr.low)
+            high = BinaryExpr(op="<=", left=expr.operand, right=expr.high)
+            return self.condition_source(BinaryExpr(op="and", left=low, right=high))
+
+        if isinstance(expr, InExpr):
+            options = [BinaryExpr(op="=", left=expr.operand, right=option) for option in expr.options]
+            combined: SqlExpr = options[0]
+            for option in options[1:]:
+                combined = BinaryExpr(op="or", left=combined, right=option)
+            return self.condition_source(combined)
+
+        if isinstance(expr, BinaryExpr) and expr.op in _COMPARATORS:
+            return self._comparison(expr)
+
+        raise TydiEvaluationError(f"unsupported boolean expression {expr!r} in SQL translation")
+
+    def _flatten(self, expr: BinaryExpr, op: str) -> list[SqlExpr]:
+        operands: list[SqlExpr] = []
+        for side in (expr.left, expr.right):
+            if isinstance(side, BinaryExpr) and side.op == op:
+                operands.extend(self._flatten(side, op))
+            else:
+                operands.append(side)
+        return operands
+
+    def _comparison(self, expr: BinaryExpr) -> str:
+        left, right = expr.left, expr.right
+        # Normalise literal-on-the-left comparisons.
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+        if isinstance(left, Literal) and isinstance(right, (ColumnRef, BinaryExpr)):
+            left, right = right, left
+            expr = BinaryExpr(op=flipped[expr.op], left=left, right=right)
+
+        # String equality against a constant uses the dedicated template.
+        if (
+            expr.op == "="
+            and isinstance(right, Literal)
+            and isinstance(right.value, str)
+        ):
+            _, alias = self.value_source_alias_only(left)
+            name = self.emitter.fresh("cmp")
+            escaped = right.value.replace('"', '\\"')
+            self.emitter.instance(
+                name, f'compare_const_eq_i<type {alias}, "{escaped}">'
+            )
+            left_ref, _ = self.value_source(left)
+            self.emitter.connect(left_ref, f"{name}.input")
+            return f"{name}.result"
+
+        left_ref, left_alias = self.value_source(left)
+        if isinstance(right, Literal):
+            # Constant generators must produce the same named alias as the column.
+            right_ref = self._retype_last_const(left_alias, right.value)
+        else:
+            right_ref, _ = self.value_source(right)
+        name = self.emitter.fresh("cmp")
+        self.emitter.instance(name, f"{_COMPARATORS[expr.op]}<type {left_alias}>")
+        self.emitter.connect(left_ref, f"{name}.lhs")
+        self.emitter.connect(right_ref, f"{name}.rhs")
+        return f"{name}.result"
+
+    def value_source_alias_only(self, expr: SqlExpr) -> tuple[None, str]:
+        if isinstance(expr, ColumnRef):
+            return None, self.column_alias(expr)
+        return None, "tpch_decimal"
+
+    def _coerce(self, value: object, alias: str) -> object:
+        if alias == "tpch_decimal" and isinstance(value, int):
+            return float(value)
+        return value
+
+    def _retype_last_const(self, alias: str, value: object) -> str:
+        """Emit a constant generator typed with the column's alias."""
+        name, _ = self.literal_generator(self._coerce(value, alias), alias)
+        return f"{name}.output"
+
+    # -- top level --------------------------------------------------------------------------
+
+    def translate(self) -> TranslationResult:
+        statement = self.statement
+        emitter = self.emitter
+        aggregates = statement.aggregates()
+        if not aggregates:
+            raise TydiEvaluationError(
+                "SQL translation currently requires at least one aggregate in the SELECT list"
+            )
+        if len(statement.group_by) > 2:
+            raise TydiEvaluationError("SQL translation supports at most two GROUP BY columns")
+
+        output_ports: list[str] = []
+        port_decls: list[str] = []
+        result_type = f"{self.name}_result"
+        key_type = f"{self.name}_key"
+
+        emitter.comment(f"reader for {self.schema.name}")
+        emitter.instance(self.reader, f"{self.schema.name}_reader_i")
+        emitter.blank()
+
+        keep_ref = None
+        if statement.where is not None:
+            emitter.comment("WHERE clause")
+            keep_ref = self.condition_source(statement.where)
+            emitter.blank()
+
+        # Group key network (shared by all grouped aggregates).
+        key_ref = None
+        if statement.group_by:
+            emitter.comment("GROUP BY key")
+            if len(statement.group_by) == 1:
+                key_ref, key_alias = self.value_source(statement.group_by[0])
+            else:
+                first, second = statement.group_by[0], statement.group_by[1]
+                first_ref, first_alias = self.value_source(first)
+                second_ref, second_alias = self.value_source(second)
+                combiner = emitter.fresh("key")
+                emitter.instance(
+                    combiner,
+                    f"combine2_i<type {first_alias}, type {second_alias}, type {key_type}>",
+                )
+                emitter.connect(first_ref, f"{combiner}.in0")
+                emitter.connect(second_ref, f"{combiner}.in1")
+                key_ref, key_alias = f"{combiner}.output", key_type
+            if keep_ref is not None:
+                key_filter = emitter.fresh("key_filter")
+                emitter.instance(key_filter, f"filter_i<type {key_alias}>")
+                emitter.connect(key_ref, f"{key_filter}.input")
+                emitter.connect(keep_ref, f"{key_filter}.keep")
+                key_ref = f"{key_filter}.output"
+            emitter.blank()
+        else:
+            key_alias = key_type
+
+        for index, aggregate in enumerate(aggregates):
+            port = aggregate.alias or f"{aggregate.function}_{index}"
+            output_ports.append(port)
+            port_decls.append(f"    {port}: {result_type} out,")
+            emitter.comment(f"aggregate {aggregate.function}({'' if aggregate.argument is None else '...'}) -> {port}")
+
+            if aggregate.argument is None:
+                value_ref, value_alias = self.value_source(self._count_argument())
+            else:
+                value_ref, value_alias = self.value_source(aggregate.argument)
+            if keep_ref is not None:
+                value_filter = emitter.fresh("filter")
+                emitter.instance(value_filter, f"filter_i<type {value_alias}>")
+                emitter.connect(value_ref, f"{value_filter}.input")
+                emitter.connect(keep_ref, f"{value_filter}.keep")
+                value_ref = f"{value_filter}.output"
+
+            plain_template, grouped_template = _AGGREGATE_TEMPLATES[aggregate.function]
+            agg = emitter.fresh("agg")
+            if statement.group_by:
+                emitter.instance(
+                    agg,
+                    f"{grouped_template}<type {key_alias}, type {value_alias}, type {result_type}>",
+                )
+                emitter.connect(key_ref, f"{agg}.key")
+                emitter.connect(value_ref, f"{agg}.value")
+            else:
+                emitter.instance(agg, f"{plain_template}<type {value_alias}, type {result_type}>")
+                emitter.connect(value_ref, f"{agg}.input")
+            emitter.connect(f"{agg}.output", port)
+            emitter.blank()
+
+        top = f"{self.name}_i"
+        streamlet = f"{self.name}_s"
+        result_port_type = (
+            f"type {result_type} = Stream(Bit(128), d=1);"
+            if not statement.group_by
+            else f"type {result_type} = Stream(Bit(128), d=1);"
+        )
+        key_decl = f"type {key_type} = Stream(Bit(128), d=1);" if statement.group_by else ""
+        source = "\n".join(
+            line
+            for line in [
+                f"package {self.name};",
+                "",
+                f"// Generated from SQL by repro.sql.translate (tables: {', '.join(statement.tables)})",
+                "",
+                result_port_type,
+                key_decl,
+                "",
+                f"streamlet {streamlet} {{",
+                *port_decls,
+                "}",
+                "",
+                f"impl {top} of {streamlet} {{",
+                *self.emitter.lines,
+                "}",
+                "",
+                f"top {top};",
+                "",
+            ]
+            if line is not None
+        )
+        return TranslationResult(
+            source=source, top=top, schema=self.schema, output_ports=output_ports
+        )
+
+    def _count_argument(self) -> SqlExpr:
+        """count(*) counts rows; use the first schema column as the carrier."""
+        return ColumnRef(column=self.schema.fields[0].name)
+
+
+def translate_select(
+    statement: SelectStatement | str,
+    schema: ArrowSchema,
+    *,
+    name: str = "generated_query",
+) -> TranslationResult:
+    """Translate a SELECT statement (or its SQL text) into a Tydi-lang design.
+
+    ``schema`` names the table (or join-aligned projection) whose Fletcher
+    reader supplies the columns; every column referenced by the statement
+    must exist in it.
+    """
+    from repro.sql.parser import parse_sql
+
+    if isinstance(statement, str):
+        statement = parse_sql(statement)
+    return _Translator(statement, schema, name).translate()

@@ -1,0 +1,33 @@
+"""Tydi-lang standard library.
+
+The standard library (Section IV-C of the paper) is a *pure-template*
+library: none of its components can be described as instances and
+connections, so each has a hard-coded generation process.  This package
+provides three views of it:
+
+* :data:`repro.stdlib.source.STDLIB_SOURCE` -- the Tydi-lang source text of
+  the template streamlets/implementations (this is the "LoC for Tydi-lang
+  standard library" column of Table IV),
+* :mod:`repro.stdlib.components` -- programmatic builders that create the
+  concrete IR for primitives directly (used by sugaring for the automatic
+  duplicator / voider insertion),
+* :mod:`repro.stdlib.generators` -- the RTL (VHDL architecture body)
+  generators for each primitive, consumed by the VHDL backend.
+"""
+
+from repro.stdlib.source import STDLIB_SOURCE, stdlib_loc
+from repro.stdlib.components import (
+    build_duplicator,
+    build_voider,
+    is_primitive,
+    primitive_kind,
+)
+
+__all__ = [
+    "STDLIB_SOURCE",
+    "stdlib_loc",
+    "build_duplicator",
+    "build_voider",
+    "is_primitive",
+    "primitive_kind",
+]

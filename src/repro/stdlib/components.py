@@ -1,0 +1,177 @@
+"""Programmatic builders for standard-library primitives.
+
+Sugaring (automatic duplicator/voider insertion) happens *after* template
+evaluation, so it cannot go through the normal template-instantiation path.
+Instead it calls these builders, which create the concrete streamlet and
+external implementation for a primitive directly in the IR -- mirroring the
+paper's observation that standard-library components have a hard-coded
+generation process.
+
+Each generated implementation carries ``metadata["primitive"]`` so the VHDL
+backend (:mod:`repro.stdlib.generators`) and the simulator can recognise it
+and attach behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.ir.model import (
+    ClockDomain,
+    Implementation,
+    Port,
+    PortDirection,
+    Project,
+    Streamlet,
+)
+from repro.spec.logical_types import LogicalType
+from repro.utils.names import mangle
+
+
+#: Primitive kinds with hard-coded generators.  The names match the template
+#: names used in the standard-library source (with the ``_i`` implementation
+#: suffix stripped) so that external implementations instantiated *from the
+#: source templates* are recognised too.
+PRIMITIVE_KINDS = frozenset(
+    {
+        # handshake-level
+        "duplicator",
+        "voider",
+        "demux",
+        "mux",
+        # constant generators
+        "const_int_generator",
+        "const_float_generator",
+        "const_str_generator",
+        # arithmetic
+        "adder",
+        "subtractor",
+        "multiplier",
+        "divider",
+        # comparators
+        "compare_eq",
+        "compare_ne",
+        "compare_lt",
+        "compare_le",
+        "compare_gt",
+        "compare_ge",
+        "compare_const_eq",
+        # boolean combinators
+        "or",
+        "and",
+        "not",
+        # filtering and aggregation
+        "filter",
+        "sum",
+        "count",
+        "avg",
+        "min_acc",
+        "max_acc",
+        "group_sum",
+        "group_avg",
+        "group_count",
+        # logical-type transformation
+        "combine2",
+    }
+)
+
+
+def is_primitive(implementation: Implementation) -> bool:
+    """True if the implementation is a standard-library primitive."""
+    return primitive_kind(implementation) is not None
+
+
+def primitive_kind(implementation: Implementation) -> str | None:
+    """Return the primitive kind of an implementation, or None."""
+    explicit = implementation.metadata.get("primitive")
+    if isinstance(explicit, str) and explicit in PRIMITIVE_KINDS:
+        return explicit
+    template = implementation.metadata.get("template")
+    if isinstance(template, str):
+        base = template.split("__")[0]
+        for suffix in ("_i", "_impl", "_s"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        if base in PRIMITIVE_KINDS:
+            return base
+    return None
+
+
+def build_duplicator(
+    project: Project,
+    stream_type: LogicalType,
+    channels: int,
+    clock_domain: ClockDomain | None = None,
+) -> Implementation:
+    """Create (or reuse) a duplicator primitive for ``stream_type``.
+
+    A duplicator copies every data packet from its single input to all of its
+    ``channels`` outputs and only acknowledges the input once *all* outputs
+    have been acknowledged (Section IV-C).
+    """
+    if channels < 2:
+        raise ValueError(f"a duplicator needs at least 2 output channels, got {channels}")
+    clock = clock_domain or ClockDomain()
+    name = mangle("duplicator", (stream_type, channels))
+    if name in project.implementations:
+        return project.implementations[name]
+
+    streamlet = Streamlet(
+        name=f"{name}_s",
+        documentation=f"duplicator of {stream_type.to_tydi()} to {channels} channels",
+    )
+    streamlet.add_port(Port("input", stream_type, PortDirection.IN, clock))
+    for index in range(channels):
+        streamlet.add_port(Port(f"output_{index}", stream_type, PortDirection.OUT, clock))
+    project.add_streamlet(streamlet)
+
+    implementation = Implementation(
+        name=name,
+        streamlet=streamlet.name,
+        external=True,
+        documentation=streamlet.documentation,
+        metadata={
+            "primitive": "duplicator",
+            "channels": channels,
+            "data_type": stream_type,
+            "synthesized": True,
+        },
+    )
+    project.add_implementation(implementation)
+    return implementation
+
+
+def build_voider(
+    project: Project,
+    stream_type: LogicalType,
+    clock_domain: ClockDomain | None = None,
+) -> Implementation:
+    """Create (or reuse) a voider primitive for ``stream_type``.
+
+    A voider removes all data packets by always acknowledging the source and
+    ignoring the data (Section IV-C).
+    """
+    clock = clock_domain or ClockDomain()
+    name = mangle("voider", (stream_type,))
+    if name in project.implementations:
+        return project.implementations[name]
+
+    streamlet = Streamlet(
+        name=f"{name}_s",
+        documentation=f"voider of {stream_type.to_tydi()}",
+    )
+    streamlet.add_port(Port("input", stream_type, PortDirection.IN, clock))
+    project.add_streamlet(streamlet)
+
+    implementation = Implementation(
+        name=name,
+        streamlet=streamlet.name,
+        external=True,
+        documentation=streamlet.documentation,
+        metadata={
+            "primitive": "voider",
+            "data_type": stream_type,
+            "synthesized": True,
+        },
+    )
+    project.add_implementation(implementation)
+    return implementation

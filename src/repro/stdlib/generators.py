@@ -1,0 +1,697 @@
+"""Hard-coded VHDL (RTL) generators for standard-library primitives.
+
+Section IV-C of the paper: components in the standard library are too
+elementary to be described as instances and connections, so "there is another
+RTL generation process for these standard components [...] this generation
+process must be manually defined".  This module is that manually defined
+process: for each primitive kind it emits a behavioural VHDL architecture
+operating on the physical-stream signals of the primitive's ports.
+
+The generators are intentionally complete (handshake control, per-channel
+bookkeeping, dimension ``last`` propagation) so that the generated-VHDL line
+counts used in Table IV reflect a realistic implementation rather than a
+stub.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import TydiBackendError
+from repro.ir.model import Implementation, PortDirection, Project, Streamlet
+from repro.vhdl.signals import data_width_of, last_width_of, vhdl_identifier, vhdl_type
+
+
+def _ports_by_direction(streamlet: Streamlet) -> tuple[list, list]:
+    inputs = [p for p in streamlet.ports if p.direction is PortDirection.IN]
+    outputs = [p for p in streamlet.ports if p.direction is PortDirection.OUT]
+    return inputs, outputs
+
+
+def _resize_assign(dst: str, dst_width: int, src: str, src_width: int) -> str:
+    """Width-adapting assignment between two std_logic_vector signals."""
+    if dst_width == src_width:
+        return f"{dst} <= {src};"
+    return f"{dst} <= std_logic_vector(resize(unsigned({src}), {dst_width}));"
+
+
+def _last_passthrough(in_port, out_port) -> list[str]:
+    in_last = last_width_of(in_port)
+    out_last = last_width_of(out_port)
+    if in_last and out_last:
+        if in_last == out_last:
+            return [f"  {vhdl_identifier(out_port.name)}_last <= {vhdl_identifier(in_port.name)}_last;"]
+        return [
+            f"  {vhdl_identifier(out_port.name)}_last <= "
+            f"std_logic_vector(resize(unsigned({vhdl_identifier(in_port.name)}_last), {out_last}));"
+        ]
+    if out_last:
+        zero = "'0'" if out_last == 1 else f"(others => '0')"
+        return [f"  {vhdl_identifier(out_port.name)}_last <= {zero};"]
+    return []
+
+
+def _architecture(name: str, entity: str, declarations: list[str], body: list[str]) -> str:
+    decl_text = "\n".join(f"  {line}" if line else "" for line in declarations)
+    body_text = "\n".join(f"  {line}" if line else "" for line in body)
+    return (
+        f"architecture {name} of {entity} is\n"
+        f"{decl_text}\n"
+        f"begin\n"
+        f"{body_text}\n"
+        f"end architecture {name};\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Handshake-level primitives
+# ---------------------------------------------------------------------------
+
+
+def generate_duplicator(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+    """Duplicator: copy each packet to all outputs, ack input when all acked."""
+    inputs, outputs = _ports_by_direction(streamlet)
+    in_port = inputs[0]
+    in_name = vhdl_identifier(in_port.name)
+    channels = len(outputs)
+
+    declarations = [
+        f"-- duplicator with {channels} output channel(s)",
+        f"signal pending : std_logic_vector({channels - 1} downto 0);",
+        "signal all_done : std_logic;",
+    ]
+    body: list[str] = []
+    done_terms = []
+    for index, out_port in enumerate(outputs):
+        out_name = vhdl_identifier(out_port.name)
+        body.append(f"{out_name}_valid <= {in_name}_valid and not pending({index});")
+        body.append(_resize_assign(f"{out_name}_data", data_width_of(out_port), f"{in_name}_data", data_width_of(in_port)))
+        body.extend(line.strip() for line in _last_passthrough(in_port, out_port))
+        done_terms.append(f"(pending({index}) or ({out_name}_valid and {out_name}_ready))")
+    body.append("all_done <= " + " and ".join(done_terms) + ";")
+    body.append(f"{in_name}_ready <= all_done;")
+    body.append("")
+    body.append("bookkeeping : process(clk)")
+    body.append("begin")
+    body.append("  if rising_edge(clk) then")
+    body.append("    if rst = '1' then")
+    body.append("      pending <= (others => '0');")
+    body.append("    elsif all_done = '1' then")
+    body.append("      pending <= (others => '0');")
+    body.append(f"    elsif {in_name}_valid = '1' then")
+    for index, out_port in enumerate(outputs):
+        out_name = vhdl_identifier(out_port.name)
+        body.append(f"      if {out_name}_valid = '1' and {out_name}_ready = '1' then")
+        body.append(f"        pending({index}) <= '1';")
+        body.append("      end if;")
+    body.append("    end if;")
+    body.append("  end if;")
+    body.append("end process;")
+    return _architecture("behavioural", streamlet.name, declarations, body)
+
+
+def generate_voider(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+    """Voider: always ready, ignores all data."""
+    inputs, _ = _ports_by_direction(streamlet)
+    in_name = vhdl_identifier(inputs[0].name)
+    declarations = ["-- voider: sink every packet immediately"]
+    body = [f"{in_name}_ready <= '1';"]
+    return _architecture("behavioural", streamlet.name, declarations, body)
+
+
+def generate_demux(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+    """Demultiplexer: round-robin distribution of packets over the outputs."""
+    inputs, outputs = _ports_by_direction(streamlet)
+    in_port = inputs[0]
+    in_name = vhdl_identifier(in_port.name)
+    channels = len(outputs)
+    sel_width = max(1, (channels - 1).bit_length())
+
+    declarations = [
+        f"-- round-robin demultiplexer over {channels} channel(s)",
+        f"signal selected : unsigned({sel_width - 1} downto 0);",
+    ]
+    body: list[str] = []
+    ready_terms = []
+    for index, out_port in enumerate(outputs):
+        out_name = vhdl_identifier(out_port.name)
+        body.append(
+            f"{out_name}_valid <= {in_name}_valid when selected = {index} else '0';"
+        )
+        body.append(_resize_assign(f"{out_name}_data", data_width_of(out_port), f"{in_name}_data", data_width_of(in_port)))
+        body.extend(line.strip() for line in _last_passthrough(in_port, out_port))
+        ready_terms.append(f"{out_name}_ready when selected = {index}")
+    body.append(f"{in_name}_ready <= " + " else ".join(ready_terms) + " else '0';")
+    body.append("")
+    body.append("advance : process(clk)")
+    body.append("begin")
+    body.append("  if rising_edge(clk) then")
+    body.append("    if rst = '1' then")
+    body.append("      selected <= (others => '0');")
+    body.append(f"    elsif {in_name}_valid = '1' and {in_name}_ready = '1' then")
+    body.append(f"      if selected = {channels - 1} then")
+    body.append("        selected <= (others => '0');")
+    body.append("      else")
+    body.append("        selected <= selected + 1;")
+    body.append("      end if;")
+    body.append("    end if;")
+    body.append("  end if;")
+    body.append("end process;")
+    return _architecture("behavioural", streamlet.name, declarations, body)
+
+
+def generate_mux(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+    """Multiplexer: round-robin arbitration of the inputs onto one output."""
+    inputs, outputs = _ports_by_direction(streamlet)
+    out_port = outputs[0]
+    out_name = vhdl_identifier(out_port.name)
+    channels = len(inputs)
+    sel_width = max(1, (channels - 1).bit_length())
+
+    declarations = [
+        f"-- round-robin multiplexer over {channels} channel(s)",
+        f"signal selected : unsigned({sel_width - 1} downto 0);",
+    ]
+    body: list[str] = []
+    valid_terms = []
+    data_terms = []
+    for index, in_port in enumerate(inputs):
+        in_name = vhdl_identifier(in_port.name)
+        valid_terms.append(f"{in_name}_valid when selected = {index}")
+        data_terms.append(f"{in_name}_data when selected = {index}")
+        body.append(
+            f"{in_name}_ready <= {out_name}_ready when selected = {index} else '0';"
+        )
+    body.append(f"{out_name}_valid <= " + " else ".join(valid_terms) + " else '0';")
+    body.append(f"{out_name}_data <= " + " else ".join(data_terms) + " else (others => '0');")
+    out_last = last_width_of(out_port)
+    if out_last:
+        body.append(f"{out_name}_last <= (others => '0');")
+    body.append("")
+    body.append("advance : process(clk)")
+    body.append("begin")
+    body.append("  if rising_edge(clk) then")
+    body.append("    if rst = '1' then")
+    body.append("      selected <= (others => '0');")
+    body.append(f"    elsif {out_name}_valid = '1' and {out_name}_ready = '1' then")
+    body.append(f"      if selected = {channels - 1} then")
+    body.append("        selected <= (others => '0');")
+    body.append("      else")
+    body.append("        selected <= selected + 1;")
+    body.append("      end if;")
+    body.append("    end if;")
+    body.append("  end if;")
+    body.append("end process;")
+    return _architecture("behavioural", streamlet.name, declarations, body)
+
+
+# ---------------------------------------------------------------------------
+# Constant generators
+# ---------------------------------------------------------------------------
+
+
+def _constant_bits(value: object, width: int) -> str:
+    """Encode a template-argument constant as a VHDL literal of ``width`` bits."""
+    if isinstance(value, bool):
+        number = int(value)
+    elif isinstance(value, int):
+        number = value % (1 << width)
+    elif isinstance(value, float):
+        # Decimal constants use a two-fractional-digit fixed-point encoding,
+        # matching the decimal(15,2) columns of the evaluation queries.
+        number = int(round(value * 100)) % (1 << width)
+    elif isinstance(value, str):
+        # Strings are encoded byte-wise (ASCII), truncated/padded to width.
+        number = 0
+        for ch in value.encode("utf-8"):
+            number = (number << 8) | ch
+        number %= 1 << width
+    else:
+        number = 0
+    bits = format(number, f"0{width}b")[-width:]
+    return f'"{bits}"'
+
+
+def generate_const(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+    """Constant generator: drive a constant packet whenever the sink is ready."""
+    _, outputs = _ports_by_direction(streamlet)
+    out_port = outputs[0]
+    out_name = vhdl_identifier(out_port.name)
+    width = data_width_of(out_port)
+    arguments = implementation.metadata.get("arguments", ())
+    value = arguments[1] if len(arguments) > 1 else 0
+    if hasattr(value, "logical_type"):
+        value = 0
+
+    declarations = [
+        f"-- constant generator ({value!r})",
+        f"constant c_value : std_logic_vector({width - 1} downto 0) := {_constant_bits(value, width)};",
+    ]
+    body = [
+        f"{out_name}_valid <= '1';",
+        f"{out_name}_data <= c_value;",
+    ]
+    out_last = last_width_of(out_port)
+    if out_last:
+        body.append(f"{out_name}_last <= (others => '0');")
+    return _architecture("behavioural", streamlet.name, declarations, body)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic and comparison primitives
+# ---------------------------------------------------------------------------
+
+_ARITH_EXPR = {
+    "adder": "resize(unsigned(lhs_q), result_width) + resize(unsigned(rhs_q), result_width)",
+    "subtractor": "resize(unsigned(lhs_q), result_width) - resize(unsigned(rhs_q), result_width)",
+    "multiplier": "resize(unsigned(lhs_q) * unsigned(rhs_q), result_width)",
+    "divider": "resize(unsigned(lhs_q) / to_integer(unsigned(rhs_q) + 1), result_width)",
+}
+
+
+def _binary_sync_body(streamlet: Streamlet, result_expr: str, result_is_bool: bool) -> tuple[list[str], list[str]]:
+    """Common structure of two-input synchronised primitives."""
+    inputs, outputs = _ports_by_direction(streamlet)
+    lhs, rhs = inputs[0], inputs[1]
+    out_port = outputs[0]
+    lhs_name, rhs_name = vhdl_identifier(lhs.name), vhdl_identifier(rhs.name)
+    out_name = vhdl_identifier(out_port.name)
+    lhs_width, rhs_width = data_width_of(lhs), data_width_of(rhs)
+    out_width = data_width_of(out_port)
+
+    declarations = [
+        "-- two-input synchronised operator",
+        f"constant result_width : natural := {out_width};",
+        f"signal lhs_q : std_logic_vector({lhs_width - 1} downto 0);",
+        f"signal rhs_q : std_logic_vector({rhs_width - 1} downto 0);",
+        "signal lhs_full : std_logic;",
+        "signal rhs_full : std_logic;",
+        "signal result_valid : std_logic;",
+    ]
+    body = [
+        "-- accept an element from each operand stream into a one-deep buffer",
+        f"{lhs_name}_ready <= not lhs_full;",
+        f"{rhs_name}_ready <= not rhs_full;",
+        "result_valid <= lhs_full and rhs_full;",
+        f"{out_name}_valid <= result_valid;",
+    ]
+    if result_is_bool:
+        body.append(f"{out_name}_data <= '1' when {result_expr} else '0';")
+    else:
+        body.append(f"{out_name}_data <= std_logic_vector({result_expr});")
+    out_last = last_width_of(out_port)
+    in_last = last_width_of(lhs)
+    if out_last:
+        if in_last:
+            body.append(f"{out_name}_last <= {lhs_name}_last;")
+        else:
+            body.append(f"{out_name}_last <= (others => '0');")
+    body += [
+        "",
+        "operands : process(clk)",
+        "begin",
+        "  if rising_edge(clk) then",
+        "    if rst = '1' then",
+        "      lhs_full <= '0';",
+        "      rhs_full <= '0';",
+        f"    elsif result_valid = '1' and {out_name}_ready = '1' then",
+        "      lhs_full <= '0';",
+        "      rhs_full <= '0';",
+        "    else",
+        f"      if {lhs_name}_valid = '1' and lhs_full = '0' then",
+        f"        lhs_q <= {lhs_name}_data;",
+        "        lhs_full <= '1';",
+        "      end if;",
+        f"      if {rhs_name}_valid = '1' and rhs_full = '0' then",
+        f"        rhs_q <= {rhs_name}_data;",
+        "        rhs_full <= '1';",
+        "      end if;",
+        "    end if;",
+        "  end if;",
+        "end process;",
+    ]
+    return declarations, body
+
+
+def _make_arith_generator(kind: str):
+    def generate(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+        declarations, body = _binary_sync_body(streamlet, _ARITH_EXPR[kind], result_is_bool=False)
+        declarations[0] = f"-- {kind} over the element data"
+        return _architecture("behavioural", streamlet.name, declarations, body)
+
+    return generate
+
+
+_COMPARE_EXPR = {
+    "compare_eq": "unsigned(lhs_q) = unsigned(rhs_q)",
+    "compare_ne": "unsigned(lhs_q) /= unsigned(rhs_q)",
+    "compare_lt": "unsigned(lhs_q) < unsigned(rhs_q)",
+    "compare_le": "unsigned(lhs_q) <= unsigned(rhs_q)",
+    "compare_gt": "unsigned(lhs_q) > unsigned(rhs_q)",
+    "compare_ge": "unsigned(lhs_q) >= unsigned(rhs_q)",
+}
+
+
+def _make_compare_generator(kind: str):
+    def generate(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+        declarations, body = _binary_sync_body(streamlet, _COMPARE_EXPR[kind], result_is_bool=True)
+        declarations[0] = f"-- {kind.replace('_', ' ')} comparator"
+        return _architecture("behavioural", streamlet.name, declarations, body)
+
+    return generate
+
+
+def generate_compare_const(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+    """Comparator against a compile-time constant (template argument)."""
+    inputs, outputs = _ports_by_direction(streamlet)
+    in_port, out_port = inputs[0], outputs[0]
+    in_name, out_name = vhdl_identifier(in_port.name), vhdl_identifier(out_port.name)
+    width = data_width_of(in_port)
+    arguments = implementation.metadata.get("arguments", ())
+    value = arguments[1] if len(arguments) > 1 else 0
+    if hasattr(value, "logical_type"):
+        value = 0
+
+    declarations = [
+        f"-- comparator against constant {value!r}",
+        f"constant c_ref : std_logic_vector({width - 1} downto 0) := {_constant_bits(value, width)};",
+    ]
+    body = [
+        f"{out_name}_valid <= {in_name}_valid;",
+        f"{in_name}_ready <= {out_name}_ready;",
+        f"{out_name}_data <= '1' when {in_name}_data = c_ref else '0';",
+    ]
+    body.extend(line.strip() for line in _last_passthrough(in_port, out_port))
+    return _architecture("behavioural", streamlet.name, declarations, body)
+
+
+# ---------------------------------------------------------------------------
+# Boolean combinators
+# ---------------------------------------------------------------------------
+
+
+def _make_logic_generator(op: str):
+    def generate(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+        inputs, outputs = _ports_by_direction(streamlet)
+        out_port = outputs[0]
+        out_name = vhdl_identifier(out_port.name)
+        in_names = [vhdl_identifier(p.name) for p in inputs]
+
+        declarations = [f"-- {len(inputs)}-input {op} of boolean streams"]
+        body: list[str] = []
+        all_valid = " and ".join(f"{name}_valid" for name in in_names)
+        body.append(f"{out_name}_valid <= {all_valid};")
+        if op == "not":
+            body.append(f"{out_name}_data <= not {in_names[0]}_data;")
+        else:
+            combined = f" {op} ".join(f"{name}_data" for name in in_names)
+            body.append(f"{out_name}_data <= {combined};")
+        for name in in_names:
+            body.append(f"{name}_ready <= {out_name}_ready and ({all_valid});")
+        body.extend(line.strip() for line in _last_passthrough(inputs[0], out_port))
+        return _architecture("behavioural", streamlet.name, declarations, body)
+
+    return generate
+
+
+# ---------------------------------------------------------------------------
+# Filtering and aggregation
+# ---------------------------------------------------------------------------
+
+
+def generate_filter(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+    """Filter: forward the data packet only when the keep bit is '1'."""
+    inputs, outputs = _ports_by_direction(streamlet)
+    data_in = next(p for p in inputs if p.name != "keep")
+    keep_in = next(p for p in inputs if p.name == "keep")
+    out_port = outputs[0]
+    data_name, keep_name = vhdl_identifier(data_in.name), vhdl_identifier(keep_in.name)
+    out_name = vhdl_identifier(out_port.name)
+
+    declarations = [
+        "-- filter: drop packets whose keep bit is '0'",
+        "signal pass : std_logic;",
+        "signal both_valid : std_logic;",
+    ]
+    body = [
+        f"both_valid <= {data_name}_valid and {keep_name}_valid;",
+        f"pass <= {keep_name}_data;",
+        f"{out_name}_valid <= both_valid and pass;",
+        _resize_assign(f"{out_name}_data", data_width_of(out_port), f"{data_name}_data", data_width_of(data_in)),
+        f"-- a dropped packet is consumed without being forwarded",
+        f"{data_name}_ready <= both_valid and ({out_name}_ready or not pass);",
+        f"{keep_name}_ready <= both_valid and ({out_name}_ready or not pass);",
+    ]
+    body.extend(line.strip() for line in _last_passthrough(data_in, out_port))
+    return _architecture("behavioural", streamlet.name, declarations, body)
+
+
+def _make_accumulator_generator(kind: str):
+    init = {
+        "sum": "(others => '0')",
+        "count": "(others => '0')",
+        "avg": "(others => '0')",
+        "min_acc": "(others => '1')",
+        "max_acc": "(others => '0')",
+    }[kind]
+    update = {
+        "sum": "acc + resize(unsigned(in_data), acc'length)",
+        "count": "acc + 1",
+        "avg": "acc + resize(unsigned(in_data), acc'length)",
+        "min_acc": "minimum(acc, resize(unsigned(in_data), acc'length))",
+        "max_acc": "maximum(acc, resize(unsigned(in_data), acc'length))",
+    }[kind]
+
+    def generate(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+        inputs, outputs = _ports_by_direction(streamlet)
+        in_port, out_port = inputs[0], outputs[0]
+        in_name, out_name = vhdl_identifier(in_port.name), vhdl_identifier(out_port.name)
+        out_width = data_width_of(out_port)
+        in_last = last_width_of(in_port)
+        last_expr = (
+            f"{in_name}_last({in_last - 1})" if in_last > 1 else f"{in_name}_last" if in_last == 1 else "'0'"
+        )
+
+        declarations = [
+            f"-- {kind} accumulator: reduce the input sequence to one result",
+            f"signal acc : unsigned({out_width - 1} downto 0);",
+            "signal elements : unsigned(31 downto 0);",
+            "signal result_pending : std_logic;",
+            f"signal in_data : std_logic_vector({data_width_of(in_port) - 1} downto 0);",
+        ]
+        body = [
+            f"in_data <= {in_name}_data;",
+            f"{in_name}_ready <= not result_pending;",
+            f"{out_name}_valid <= result_pending;",
+        ]
+        if kind == "avg":
+            body.append(
+                f"{out_name}_data <= std_logic_vector(acc / to_integer(elements + 1))"
+                f" when elements /= 0 else std_logic_vector(acc);"
+            )
+        elif kind == "count":
+            body.append(f"{out_name}_data <= std_logic_vector(resize(elements, {out_width}));")
+        else:
+            body.append(f"{out_name}_data <= std_logic_vector(acc);")
+        out_last = last_width_of(out_port)
+        if out_last:
+            body.append(f"{out_name}_last <= (others => '1');")
+        body += [
+            "",
+            "accumulate : process(clk)",
+            "begin",
+            "  if rising_edge(clk) then",
+            "    if rst = '1' then",
+            f"      acc <= {init};",
+            "      elements <= (others => '0');",
+            "      result_pending <= '0';",
+            f"    elsif result_pending = '1' and {out_name}_ready = '1' then",
+            f"      acc <= {init};",
+            "      elements <= (others => '0');",
+            "      result_pending <= '0';",
+            f"    elsif {in_name}_valid = '1' and result_pending = '0' then",
+            f"      acc <= {update};",
+            "      elements <= elements + 1;",
+            f"      if {last_expr} = '1' then",
+            "        result_pending <= '1';",
+            "      end if;",
+            "    end if;",
+            "  end if;",
+            "end process;",
+        ]
+        return _architecture("behavioural", streamlet.name, declarations, body)
+
+    return generate
+
+
+def generate_combine2(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+    """Combine two synchronised element streams into one composite element."""
+    inputs, outputs = _ports_by_direction(streamlet)
+    in0, in1 = inputs[0], inputs[1]
+    out_port = outputs[0]
+    in0_name, in1_name = vhdl_identifier(in0.name), vhdl_identifier(in1.name)
+    out_name = vhdl_identifier(out_port.name)
+    in0_width, in1_width = data_width_of(in0), data_width_of(in1)
+    out_width = data_width_of(out_port)
+
+    declarations = [
+        "-- combine two element streams into one composite element",
+        f"signal combined : std_logic_vector({in0_width + in1_width - 1} downto 0);",
+        "signal both_valid : std_logic;",
+    ]
+    body = [
+        f"both_valid <= {in0_name}_valid and {in1_name}_valid;",
+        f"combined <= {in0_name}_data & {in1_name}_data;",
+        f"{out_name}_valid <= both_valid;",
+        _resize_assign(f"{out_name}_data", out_width, "combined", in0_width + in1_width),
+        f"{in0_name}_ready <= both_valid and {out_name}_ready;",
+        f"{in1_name}_ready <= both_valid and {out_name}_ready;",
+    ]
+    body.extend(line.strip() for line in _last_passthrough(in0, out_port))
+    return _architecture("behavioural", streamlet.name, declarations, body)
+
+
+def _make_group_aggregate_generator(kind: str) -> Callable:
+    def generate(implementation: Implementation, streamlet: Streamlet, project: Project) -> str:
+        inputs, outputs = _ports_by_direction(streamlet)
+        key_port = next(p for p in inputs if p.name == "key")
+        value_port = next(p for p in inputs if p.name == "value")
+        out_port = outputs[0]
+        key_name = vhdl_identifier(key_port.name)
+        value_name = vhdl_identifier(value_port.name)
+        out_name = vhdl_identifier(out_port.name)
+        key_width = data_width_of(key_port)
+        value_width = data_width_of(value_port)
+        out_width = data_width_of(out_port)
+        in_last = last_width_of(value_port)
+        last_expr = (
+            f"{value_name}_last({in_last - 1})" if in_last > 1 else f"{value_name}_last" if in_last == 1 else "'0'"
+        )
+        op = {"group_sum": "sum", "group_avg": "avg", "group_count": "count"}[kind]
+
+        declarations = [
+            f"-- keyed {op} aggregation (GROUP BY): small direct-mapped key table",
+            "constant table_size : natural := 64;",
+            f"type key_array is array (0 to table_size - 1) of std_logic_vector({key_width - 1} downto 0);",
+            f"type acc_array is array (0 to table_size - 1) of unsigned({max(out_width, 32) - 1} downto 0);",
+            "type count_array is array (0 to table_size - 1) of unsigned(31 downto 0);",
+            "signal keys : key_array;",
+            "signal accs : acc_array;",
+            "signal counts : count_array;",
+            "signal occupied : std_logic_vector(table_size - 1 downto 0);",
+            "signal drain_index : natural range 0 to table_size;",
+            "signal draining : std_logic;",
+            f"signal slot : natural range 0 to table_size - 1;",
+        ]
+        body = [
+            f"slot <= to_integer(unsigned({key_name}_data({min(5, key_width - 1)} downto 0)));",
+            f"{key_name}_ready <= {value_name}_valid and not draining;",
+            f"{value_name}_ready <= {key_name}_valid and not draining;",
+            f"{out_name}_valid <= draining when drain_index < table_size and occupied(drain_index) = '1' else '0';",
+        ]
+        if op == "count":
+            body.append(
+                f"{out_name}_data <= std_logic_vector(resize(counts(drain_index), {out_width})) "
+                f"when drain_index < table_size else (others => '0');"
+            )
+        elif op == "avg":
+            body.append(
+                f"{out_name}_data <= std_logic_vector(resize(accs(drain_index) / "
+                f"to_integer(counts(drain_index) + 1), {out_width})) "
+                f"when drain_index < table_size else (others => '0');"
+            )
+        else:
+            body.append(
+                f"{out_name}_data <= std_logic_vector(resize(accs(drain_index), {out_width})) "
+                f"when drain_index < table_size else (others => '0');"
+            )
+        out_last = last_width_of(out_port)
+        if out_last:
+            body.append(f"{out_name}_last <= (others => '1') when drain_index = table_size - 1 else (others => '0');")
+        body += [
+            "",
+            "aggregate : process(clk)",
+            "begin",
+            "  if rising_edge(clk) then",
+            "    if rst = '1' then",
+            "      occupied <= (others => '0');",
+            "      draining <= '0';",
+            "      drain_index <= 0;",
+            "    elsif draining = '0' then",
+            f"      if {key_name}_valid = '1' and {value_name}_valid = '1' then",
+            f"        keys(slot) <= {key_name}_data;",
+            "        if occupied(slot) = '1' then",
+            f"          accs(slot) <= accs(slot) + resize(unsigned({value_name}_data), accs(slot)'length);",
+            "          counts(slot) <= counts(slot) + 1;",
+            "        else",
+            f"          accs(slot) <= resize(unsigned({value_name}_data), accs(slot)'length);",
+            "          counts(slot) <= to_unsigned(1, 32);",
+            "          occupied(slot) <= '1';",
+            "        end if;",
+            f"        if {last_expr} = '1' then",
+            "          draining <= '1';",
+            "          drain_index <= 0;",
+            "        end if;",
+            "      end if;",
+            "    else",
+            f"      if {out_name}_ready = '1' or occupied(drain_index) = '0' then",
+            "        if drain_index = table_size then",
+            "          draining <= '0';",
+            "          occupied <= (others => '0');",
+            "        else",
+            "          drain_index <= drain_index + 1;",
+            "        end if;",
+            "      end if;",
+            "    end if;",
+            "  end if;",
+            "end process;",
+        ]
+        return _architecture("behavioural", streamlet.name, declarations, body)
+
+    return generate
+
+
+#: Dispatch table from primitive kind to its generator.
+GENERATORS: dict[str, Callable[[Implementation, Streamlet, Project], str]] = {
+    "duplicator": generate_duplicator,
+    "voider": generate_voider,
+    "demux": generate_demux,
+    "mux": generate_mux,
+    "const_int_generator": generate_const,
+    "const_float_generator": generate_const,
+    "const_str_generator": generate_const,
+    "adder": _make_arith_generator("adder"),
+    "subtractor": _make_arith_generator("subtractor"),
+    "multiplier": _make_arith_generator("multiplier"),
+    "divider": _make_arith_generator("divider"),
+    "compare_eq": _make_compare_generator("compare_eq"),
+    "compare_ne": _make_compare_generator("compare_ne"),
+    "compare_lt": _make_compare_generator("compare_lt"),
+    "compare_le": _make_compare_generator("compare_le"),
+    "compare_gt": _make_compare_generator("compare_gt"),
+    "compare_ge": _make_compare_generator("compare_ge"),
+    "compare_const_eq": generate_compare_const,
+    "or": _make_logic_generator("or"),
+    "and": _make_logic_generator("and"),
+    "not": _make_logic_generator("not"),
+    "filter": generate_filter,
+    "sum": _make_accumulator_generator("sum"),
+    "count": _make_accumulator_generator("count"),
+    "avg": _make_accumulator_generator("avg"),
+    "min_acc": _make_accumulator_generator("min_acc"),
+    "max_acc": _make_accumulator_generator("max_acc"),
+    "group_sum": _make_group_aggregate_generator("group_sum"),
+    "group_avg": _make_group_aggregate_generator("group_avg"),
+    "group_count": _make_group_aggregate_generator("group_count"),
+    "combine2": generate_combine2,
+}
+
+
+def generate_primitive_architecture(
+    kind: str, implementation: Implementation, streamlet: Streamlet, project: Project
+) -> str:
+    """Generate the behavioural VHDL architecture for a primitive kind."""
+    generator = GENERATORS.get(kind)
+    if generator is None:
+        raise TydiBackendError(f"no RTL generator registered for primitive kind {kind!r}")
+    return generator(implementation, streamlet, project)

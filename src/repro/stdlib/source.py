@@ -1,0 +1,210 @@
+'''Tydi-lang source text of the standard library.
+
+Section IV-C: the standard library is a pure-template library whose
+components fall into three categories -- handshake-level components
+(duplicator, voider), components describing common behaviour for different
+logical types (adders, comparators, filters, aggregators), and components
+that transform logical types.  All of them are *external* implementations
+(their RTL comes from the hard-coded generators in
+:mod:`repro.stdlib.generators`), except for ``parallelize_i`` which is a true
+template implementation built from a demultiplexer, a multiplexer and an
+array of processing units (the worked example of Section IV-B).
+
+The module-level constant :data:`STDLIB_SOURCE` is what gets prepended to
+every compilation that requests the standard library; its line count is the
+"LoC for Tydi-lang standard library" figure of Table IV.
+'''
+
+from __future__ import annotations
+
+from repro.utils.text import count_loc
+
+STDLIB_SOURCE = """
+package std;
+
+// ---------------------------------------------------------------------------
+// Common logical types
+// ---------------------------------------------------------------------------
+// The boolean stream used by filters and comparators: one bit per element.
+type std_bool = Stream(Bit(1), d=1);
+
+// ---------------------------------------------------------------------------
+// Handshake-level components (independent of the logical type)
+// ---------------------------------------------------------------------------
+// Duplicator: copy each packet to all outputs, acknowledge the input only
+// when every output has acknowledged.
+streamlet duplicator_s<data_type: type, channel: int> {
+    input: data_type in,
+    output: data_type out [channel],
+}
+external impl duplicator_i<data_type: type, channel: int>
+    of duplicator_s<type data_type, channel>;
+
+// Voider: always ready, discards every packet.
+streamlet voider_s<data_type: type> {
+    input: data_type in,
+}
+external impl voider_i<data_type: type> of voider_s<type data_type>;
+
+// Demultiplexer / multiplexer over a channel array.
+streamlet demux_s<data_type: type, channel: int> {
+    input: data_type in,
+    output: data_type out [channel],
+}
+external impl demux_i<data_type: type, channel: int>
+    of demux_s<type data_type, channel>;
+
+streamlet mux_s<data_type: type, channel: int> {
+    input: data_type in [channel],
+    output: data_type out,
+}
+external impl mux_i<data_type: type, channel: int>
+    of mux_s<type data_type, channel>;
+
+// ---------------------------------------------------------------------------
+// Constant generators
+// ---------------------------------------------------------------------------
+streamlet const_generator_s<data_type: type> {
+    output: data_type out,
+}
+external impl const_int_generator_i<data_type: type, value: int>
+    of const_generator_s<type data_type>;
+external impl const_float_generator_i<data_type: type, value: float>
+    of const_generator_s<type data_type>;
+external impl const_str_generator_i<data_type: type, value: string>
+    of const_generator_s<type data_type>;
+
+// ---------------------------------------------------------------------------
+// Arithmetic components (shared behaviour over numeric logical types)
+// ---------------------------------------------------------------------------
+streamlet binary_op_s<in_type: type, out_type: type> {
+    lhs: in_type in,
+    rhs: in_type in,
+    output: out_type out,
+}
+external impl adder_i<in_type: type, out_type: type>
+    of binary_op_s<type in_type, type out_type>;
+external impl subtractor_i<in_type: type, out_type: type>
+    of binary_op_s<type in_type, type out_type>;
+external impl multiplier_i<in_type: type, out_type: type>
+    of binary_op_s<type in_type, type out_type>;
+external impl divider_i<in_type: type, out_type: type>
+    of binary_op_s<type in_type, type out_type>;
+
+// ---------------------------------------------------------------------------
+// Comparators (produce a std_bool keep/select signal)
+// ---------------------------------------------------------------------------
+streamlet comparator_s<in_type: type> {
+    lhs: in_type in,
+    rhs: in_type in,
+    result: std_bool out,
+}
+external impl compare_eq_i<in_type: type> of comparator_s<type in_type>;
+external impl compare_ne_i<in_type: type> of comparator_s<type in_type>;
+external impl compare_lt_i<in_type: type> of comparator_s<type in_type>;
+external impl compare_le_i<in_type: type> of comparator_s<type in_type>;
+external impl compare_gt_i<in_type: type> of comparator_s<type in_type>;
+external impl compare_ge_i<in_type: type> of comparator_s<type in_type>;
+
+// Comparator against a compile-time string constant (e.g. p_brand = ':1').
+streamlet const_comparator_s<in_type: type> {
+    input: in_type in,
+    result: std_bool out,
+}
+external impl compare_const_eq_i<in_type: type, value: string>
+    of const_comparator_s<type in_type>;
+
+// ---------------------------------------------------------------------------
+// Boolean combinators over a configurable number of inputs
+// ---------------------------------------------------------------------------
+streamlet logic_op_s<channel: int> {
+    input: std_bool in [channel],
+    output: std_bool out,
+}
+external impl or_i<channel: int> of logic_op_s<channel>;
+external impl and_i<channel: int> of logic_op_s<channel>;
+external impl not_i of logic_op_s<1>;
+
+// ---------------------------------------------------------------------------
+// Filtering and aggregation
+// ---------------------------------------------------------------------------
+// Filter: forwards the current packet only when the keep signal is 1.
+streamlet filter_s<data_type: type> {
+    input: data_type in,
+    keep: std_bool in,
+    output: data_type out,
+}
+external impl filter_i<data_type: type> of filter_s<type data_type>;
+
+// Stream aggregators: reduce a stream to a single result packet.
+streamlet accumulator_s<in_type: type, out_type: type> {
+    input: in_type in,
+    output: out_type out,
+}
+external impl sum_i<in_type: type, out_type: type>
+    of accumulator_s<type in_type, type out_type>;
+external impl count_i<in_type: type, out_type: type>
+    of accumulator_s<type in_type, type out_type>;
+external impl avg_i<in_type: type, out_type: type>
+    of accumulator_s<type in_type, type out_type>;
+external impl min_acc_i<in_type: type, out_type: type>
+    of accumulator_s<type in_type, type out_type>;
+external impl max_acc_i<in_type: type, out_type: type>
+    of accumulator_s<type in_type, type out_type>;
+
+// Keyed aggregation (SQL GROUP BY): reduce values per key.
+streamlet group_aggregate_s<key_type: type, value_type: type, out_type: type> {
+    key: key_type in,
+    value: value_type in,
+    output: out_type out,
+}
+external impl group_sum_i<key_type: type, value_type: type, out_type: type>
+    of group_aggregate_s<type key_type, type value_type, type out_type>;
+external impl group_avg_i<key_type: type, value_type: type, out_type: type>
+    of group_aggregate_s<type key_type, type value_type, type out_type>;
+external impl group_count_i<key_type: type, value_type: type, out_type: type>
+    of group_aggregate_s<type key_type, type value_type, type out_type>;
+
+// ---------------------------------------------------------------------------
+// Logical-type transformation (the third stdlib category of Section IV-C)
+// ---------------------------------------------------------------------------
+// Combine two element streams into one composite stream (used for composite
+// GROUP BY keys such as (l_returnflag, l_linestatus) in TPC-H Q1).
+streamlet combine2_s<in0_type: type, in1_type: type, out_type: type> {
+    in0: in0_type in,
+    in1: in1_type in,
+    output: out_type out,
+}
+external impl combine2_i<in0_type: type, in1_type: type, out_type: type>
+    of combine2_s<type in0_type, type in1_type, type out_type>;
+
+// ---------------------------------------------------------------------------
+// Parallelisation template (Section IV-B worked example)
+// ---------------------------------------------------------------------------
+streamlet process_unit_s<in_data_type: type, out_data_type: type> {
+    input: in_data_type in,
+    output: out_data_type out,
+}
+streamlet parallelize_s<in_data_type: type, out_data_type: type> {
+    input: in_data_type in,
+    output: out_data_type out,
+}
+impl parallelize_i<in_data_type: type, out_data_type: type,
+                   pu_instance: impl of process_unit_s, channel: int>
+    of parallelize_s<type in_data_type, type out_data_type> {
+    instance demux_inst(demux_i<type in_data_type, channel>),
+    instance mux_inst(mux_i<type out_data_type, channel>),
+    instance pu(pu_instance) [channel],
+    input => demux_inst.input,
+    mux_inst.output => output,
+    for i in 0->channel {
+        demux_inst.output[i] => pu[i].input,
+        pu[i].output => mux_inst.input[i],
+    }
+}
+"""
+
+
+def stdlib_loc() -> int:
+    """LoC of the standard library source (the LoCs term of Table IV)."""
+    return count_loc(STDLIB_SOURCE, language="tydi")

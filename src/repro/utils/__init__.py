@@ -1,0 +1,17 @@
+"""Small shared utilities: source locations, text/LoC helpers, name mangling."""
+
+from repro.utils.source import SourceFile, SourceLocation, SourceSpan
+from repro.utils.text import count_loc, dedent_block, indent_block
+from repro.utils.names import mangle, sanitize_identifier, unique_namer
+
+__all__ = [
+    "SourceFile",
+    "SourceLocation",
+    "SourceSpan",
+    "count_loc",
+    "dedent_block",
+    "indent_block",
+    "mangle",
+    "sanitize_identifier",
+    "unique_namer",
+]

@@ -1,0 +1,107 @@
+"""Text utilities: line-of-code counting and indentation helpers.
+
+LoC counting matters here because the paper's headline evaluation (Table IV)
+is a LoC comparison between Tydi-lang sources and generated VHDL.  We follow
+the usual convention for such comparisons: blank lines and comment-only lines
+are excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+#: Comment prefixes recognised by :func:`count_loc`, keyed by language.
+_COMMENT_PREFIXES = {
+    "tydi": ("//",),
+    "vhdl": ("--",),
+    "sql": ("--",),
+    "python": ("#",),
+}
+
+
+def strip_block_comments(text: str, language: str = "tydi") -> str:
+    """Remove ``/* ... */`` block comments (Tydi-lang only)."""
+    if language != "tydi":
+        return text
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                # Unterminated block comment: drop the remainder but keep the
+                # newlines so line numbers stay meaningful for LoC purposes.
+                out.append("\n" * text.count("\n", i))
+                break
+            out.append("\n" * text.count("\n", i, end + 2))
+            i = end + 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def count_loc(text: str, language: str = "tydi") -> int:
+    """Count non-blank, non-comment lines of ``text``.
+
+    Parameters
+    ----------
+    text:
+        Source text.
+    language:
+        One of ``"tydi"``, ``"vhdl"``, ``"sql"``, ``"python"``; controls which
+        line-comment prefix is ignored.  Tydi-lang ``/* */`` block comments are
+        stripped before counting.
+    """
+    prefixes = _COMMENT_PREFIXES.get(language, ())
+    text = strip_block_comments(text, language)
+    count = 0
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if any(stripped.startswith(p) for p in prefixes):
+            continue
+        count += 1
+    return count
+
+
+def indent_block(text: str, spaces: int = 2) -> str:
+    """Indent every non-empty line of ``text`` by ``spaces`` spaces."""
+    pad = " " * spaces
+    return "\n".join(pad + line if line.strip() else line for line in text.splitlines())
+
+
+def dedent_block(text: str) -> str:
+    """Remove the common leading whitespace of all non-empty lines."""
+    lines = text.splitlines()
+    indents = [len(line) - len(line.lstrip()) for line in lines if line.strip()]
+    if not indents:
+        return text
+    common = min(indents)
+    return "\n".join(line[common:] if line.strip() else line for line in lines)
+
+
+def join_nonempty(parts: Iterable[str], sep: str = "\n") -> str:
+    """Join the non-empty strings in ``parts`` with ``sep``."""
+    return sep.join(p for p in parts if p)
+
+
+def format_table(headers: list[str], rows: list[list[str]], min_width: int = 0) -> str:
+    """Render a simple left-aligned ASCII table (used by the report module)."""
+    columns = len(headers)
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rows:
+        for i in range(columns):
+            cell = str(row[i]) if i < len(row) else ""
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        cells = [str(row[i]) if i < len(row) else "" for i in range(columns)]
+        lines.append(" | ".join(cells[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)

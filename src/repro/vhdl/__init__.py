@@ -1,0 +1,30 @@
+"""Tydi-IR to VHDL backend.
+
+The backend lowers an :class:`repro.ir.Project` to synthesisable-style VHDL:
+
+* every streamlet becomes an ``entity`` whose ports are the physical-stream
+  signal bundles derived from its logical types (:mod:`repro.vhdl.signals`),
+* every structural implementation becomes an ``architecture`` with component
+  declarations, interconnect signals and port maps,
+* every standard-library primitive becomes a behavioural architecture
+  produced by its hard-coded generator (:mod:`repro.stdlib.generators`),
+* other external implementations become black-box stubs,
+* testbenches (:mod:`repro.vhdl.testbench`) drive the generated entities from
+  the prediction vectors produced by the simulator.
+
+The paper evaluates Tydi-lang by comparing Tydi-lang LoC against the LoC of
+the VHDL this step generates (Table IV), which is why the backend aims for
+realistic, fully-elaborated output rather than a skeleton.
+"""
+
+from repro.vhdl.backend import VhdlBackend, generate_vhdl
+from repro.vhdl.signals import port_signals, vhdl_identifier
+from repro.vhdl.testbench import generate_vhdl_testbench
+
+__all__ = [
+    "VhdlBackend",
+    "generate_vhdl",
+    "port_signals",
+    "vhdl_identifier",
+    "generate_vhdl_testbench",
+]

@@ -1,0 +1,104 @@
+"""Physical-signal expansion of Tydi ports into VHDL port/signal declarations.
+
+Each logical ``Stream`` port expands into a valid/ready handshake plus data,
+last, strobe, index and user wires (see :mod:`repro.spec.physical`).  Signal
+direction in the VHDL entity depends on both the port direction and the
+signal role: forward signals of an input port are ``in`` while its ready is
+``out``, and vice versa for output ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.model import Port, PortDirection
+from repro.spec.logical_types import Stream
+from repro.spec.physical import PhysicalSignal, expand_stream
+from repro.utils.names import sanitize_identifier
+
+
+def vhdl_identifier(name: str) -> str:
+    """Sanitise a name into a VHDL identifier."""
+    return sanitize_identifier(name)
+
+
+def vhdl_type(width: int) -> str:
+    """VHDL type for a signal of ``width`` bits."""
+    if width <= 1:
+        return "std_logic"
+    return f"std_logic_vector({width - 1} downto 0)"
+
+
+@dataclass(frozen=True)
+class VhdlPortSignal:
+    """One VHDL-level port signal derived from a Tydi port."""
+
+    name: str
+    width: int
+    mode: str  # "in" | "out"
+    origin: str  # name of the physical-stream signal ("data", "valid", ...)
+    tydi_port: str
+
+    def declaration(self) -> str:
+        return f"{self.name} : {self.mode} {vhdl_type(self.width)}"
+
+    def signal_declaration(self, prefix: str = "") -> str:
+        return f"signal {prefix}{self.name} : {vhdl_type(self.width)};"
+
+
+def _signal_mode(port_direction: PortDirection, signal: PhysicalSignal) -> str:
+    """VHDL mode of one physical signal on an entity port."""
+    forward_in = port_direction is PortDirection.IN
+    if signal.role == "forward":
+        return "in" if forward_in else "out"
+    return "out" if forward_in else "in"
+
+
+def port_signals(port: Port) -> list[VhdlPortSignal]:
+    """Expand a Tydi port into its VHDL port signals.
+
+    Non-stream ports (which the DRC flags with a warning) are rendered as a
+    plain data bus with a valid/ready handshake so the output is still
+    self-consistent.
+    """
+    base = vhdl_identifier(port.name)
+    signals: list[VhdlPortSignal] = []
+    if isinstance(port.logical_type, Stream):
+        physical = expand_stream(port.logical_type)
+        for signal in physical.signals:
+            signals.append(
+                VhdlPortSignal(
+                    name=f"{base}_{signal.name}",
+                    width=signal.width,
+                    mode=_signal_mode(port.direction, signal),
+                    origin=signal.name,
+                    tydi_port=port.name,
+                )
+            )
+    else:
+        width = max(1, port.logical_type.bit_width())
+        forward_mode = "in" if port.direction is PortDirection.IN else "out"
+        reverse_mode = "out" if port.direction is PortDirection.IN else "in"
+        signals.append(VhdlPortSignal(f"{base}_valid", 1, forward_mode, "valid", port.name))
+        signals.append(VhdlPortSignal(f"{base}_ready", 1, reverse_mode, "ready", port.name))
+        signals.append(VhdlPortSignal(f"{base}_data", width, forward_mode, "data", port.name))
+    return signals
+
+
+def data_width_of(port: Port) -> int:
+    """Total data width of a port (used by the primitive generators)."""
+    if isinstance(port.logical_type, Stream):
+        return max(1, expand_stream(port.logical_type).signal("data").width) if any(
+            s.name == "data" for s in expand_stream(port.logical_type).signals
+        ) else 1
+    return max(1, port.logical_type.bit_width())
+
+
+def last_width_of(port: Port) -> int:
+    """Width of the ``last`` signal of a port, 0 when absent."""
+    if isinstance(port.logical_type, Stream):
+        physical = expand_stream(port.logical_type)
+        for signal in physical.signals:
+            if signal.name == "last":
+                return signal.width
+    return 0

@@ -1,0 +1,120 @@
+"""VHDL testbench generation from Tydi-IR testbenches.
+
+Section V-C: the Tydi simulator records the expected component behaviour as a
+prediction-style testbench (drive these inputs, expect those outputs); the
+Tydi-IR toolchain then lowers it to a VHDL testbench so that low-level
+implementations produced by other tools can be verified against the
+high-level model.  This module performs that lowering for our backend's
+signal naming convention.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TydiBackendError
+from repro.ir.model import PortDirection, Project
+from repro.ir.testbench import Testbench
+from repro.vhdl.signals import data_width_of, last_width_of, port_signals, vhdl_identifier
+
+_HEADER = """-- Generated VHDL testbench (prediction strategy).
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+"""
+
+
+def _bits(value: int, width: int) -> str:
+    value %= 1 << max(1, width)
+    text = format(value, f"0{max(1, width)}b")
+    if width <= 1:
+        return f"'{text[-1]}'"
+    return f'"{text}"'
+
+
+def generate_vhdl_testbench(project: Project, testbench: Testbench) -> str:
+    """Generate a self-checking VHDL testbench for one implementation."""
+    implementation = project.implementation(testbench.implementation)
+    streamlet = project.streamlet_of(implementation)
+
+    lines = [_HEADER]
+    tb_name = f"{implementation.name}_tb"
+    lines.append(f"entity {tb_name} is")
+    lines.append(f"end entity {tb_name};")
+    lines.append("")
+    lines.append(f"architecture behavioural of {tb_name} is")
+    lines.append("  signal clk : std_logic := '0';")
+    lines.append("  signal rst : std_logic := '1';")
+    for port in streamlet.ports:
+        for signal in port_signals(port):
+            width = signal.width
+            type_text = "std_logic" if width <= 1 else f"std_logic_vector({width - 1} downto 0)"
+            lines.append(f"  signal {signal.name} : {type_text};")
+    lines.append(f"  constant clock_period : time := {testbench.clock_period_ns} ns;")
+    lines.append("begin")
+    lines.append("")
+    lines.append("  clk <= not clk after clock_period / 2;")
+    lines.append("  rst <= '0' after 2 * clock_period;")
+    lines.append("")
+
+    # Device under test.
+    lines.append(f"  dut : entity work.{streamlet.name}")
+    lines.append("    port map (")
+    mappings = ["      clk => clk", "      rst => rst"]
+    for port in streamlet.ports:
+        for signal in port_signals(port):
+            mappings.append(f"      {signal.name} => {signal.name}")
+    lines.extend(f"{m}," for m in mappings[:-1])
+    lines.append(f"{mappings[-1]}")
+    lines.append("    );")
+    lines.append("")
+
+    # Stimulus processes (one per driven port).
+    for vector in testbench.drive_vectors():
+        port = streamlet.port(vector.port)
+        if port.direction is not PortDirection.IN:
+            raise TydiBackendError(f"cannot drive output port {vector.port!r} in a testbench")
+        base = vhdl_identifier(port.name)
+        width = data_width_of(port)
+        last_width = last_width_of(port)
+        lines.append(f"  drive_{base} : process")
+        lines.append("  begin")
+        lines.append(f"    {base}_valid <= '0';")
+        lines.append("    wait until rst = '0';")
+        previous_time = 0
+        for event in vector.events:
+            wait_cycles = max(0, event.time - previous_time)
+            previous_time = event.time
+            if wait_cycles:
+                lines.append(f"    wait for {wait_cycles} * clock_period;")
+            value = event.values[0] if event.values else 0
+            lines.append(f"    {base}_data <= {_bits(value, width)};")
+            if last_width:
+                last_value = sum(1 << i for i, flag in enumerate(event.last) if flag)
+                lines.append(f"    {base}_last <= {_bits(last_value, last_width)};")
+            lines.append(f"    {base}_valid <= '1';")
+            lines.append(f"    wait until rising_edge(clk) and {base}_ready = '1';")
+            lines.append(f"    {base}_valid <= '0';")
+        lines.append("    wait;")
+        lines.append("  end process;")
+        lines.append("")
+
+    # Checker processes (one per expected port).
+    for vector in testbench.expect_vectors():
+        port = streamlet.port(vector.port)
+        base = vhdl_identifier(port.name)
+        width = data_width_of(port)
+        lines.append(f"  check_{base} : process")
+        lines.append("  begin")
+        lines.append(f"    {base}_ready <= '1';")
+        for event in vector.events:
+            value = event.values[0] if event.values else 0
+            lines.append(f"    wait until rising_edge(clk) and {base}_valid = '1';")
+            lines.append(
+                f"    assert {base}_data = {_bits(value, width)}"
+                f" report \"unexpected value on {port.name}\" severity error;"
+            )
+        lines.append("    wait;")
+        lines.append("  end process;")
+        lines.append("")
+
+    lines.append(f"end architecture behavioural;")
+    return "\n".join(lines) + "\n"

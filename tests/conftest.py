@@ -1,0 +1,27 @@
+"""Shared fixtures: synthetic TPC-H data and cached compiled query designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrow.tpch import generate_tpch_data
+
+
+@pytest.fixture(scope="session")
+def tpch_tables():
+    """A small, seeded TPC-H dataset shared by the integration tests."""
+    return generate_tpch_data(200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tpch_tables_medium():
+    """A larger dataset for the selective multi-table queries (Q3/Q5/Q19)."""
+    return generate_tpch_data(1200, seed=11)
+
+
+@pytest.fixture(scope="session")
+def compiled_queries():
+    """Compile every TPC-H design once per test session."""
+    from repro.queries import ALL_QUERIES
+
+    return {query.name: query.compile() for query in ALL_QUERIES}

@@ -1,0 +1,64 @@
+"""Unit tests for in-memory columnar tables."""
+
+import numpy as np
+import pytest
+
+from repro.arrow.dataset import Column, Table
+from repro.arrow.schema import ArrowSchema
+from repro.errors import TydiTypeError
+
+
+class TestColumn:
+    def test_values_coerced_to_numpy(self):
+        column = Column("x", [1, 2, 3])
+        assert isinstance(column.values, np.ndarray)
+        assert len(column) == 3
+        assert column.to_list() == [1, 2, 3]
+
+
+class TestTable:
+    def make(self):
+        return Table("t", {"a": [1, 2, 3], "b": ["x", "y", "z"]})
+
+    def test_shape(self):
+        table = self.make()
+        assert table.num_rows == 3
+        assert table.num_columns == 2
+        assert table.column_names() == ["a", "b"]
+
+    def test_column_access(self):
+        table = self.make()
+        assert table["a"].tolist() == [1, 2, 3]
+        assert "b" in table
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_mismatched_length_rejected(self):
+        table = self.make()
+        with pytest.raises(TydiTypeError):
+            table.add_column("c", [1])
+
+    def test_select_and_filter(self):
+        table = self.make()
+        assert table.select(["b"]).column_names() == ["b"]
+        filtered = table.filter(np.array([True, False, True]))
+        assert filtered.num_rows == 2
+        assert filtered["a"].tolist() == [1, 3]
+
+    def test_head(self):
+        assert self.make().head(2).num_rows == 2
+
+    def test_rows_view(self):
+        rows = self.make().rows()
+        assert rows[0] == {"a": 1, "b": "x"}
+        assert len(rows) == 3
+
+    def test_from_schema_validates_columns(self):
+        schema = ArrowSchema.of("t", a="int64", b="utf8")
+        table = Table.from_schema(schema, {"a": [1], "b": ["s"]})
+        assert table.num_rows == 1
+        with pytest.raises(TydiTypeError):
+            Table.from_schema(schema, {"a": [1]})
+
+    def test_empty_table(self):
+        assert Table("empty").num_rows == 0

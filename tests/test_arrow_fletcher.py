@@ -1,0 +1,95 @@
+"""Unit tests for the Fletcher-equivalent interface generator."""
+
+import pytest
+
+from repro.arrow.dataset import Table
+from repro.arrow.fletcher import (
+    FletcherReaderBehavior,
+    fletcher_interface_source,
+    fletcher_loc,
+    fletcher_type_preamble,
+    reader_behaviors,
+    reader_name,
+)
+from repro.arrow.schema import ArrowSchema
+from repro.arrow.tpch import LINEITEM_SCHEMA, PART_SCHEMA
+from repro.errors import TydiSimulationError
+from repro.lang.compile import compile_sources
+from repro.lang.parser import parse_source
+from repro.sim import Simulator
+from repro.utils.text import count_loc
+
+
+class TestInterfaceGeneration:
+    def test_preamble_defines_all_aliases(self):
+        preamble = fletcher_type_preamble()
+        for alias in ("tpch_int", "tpch_decimal", "tpch_char", "tpch_date"):
+            assert f"type {alias} =" in preamble
+
+    def test_interface_parses_as_tydi_lang(self):
+        source = fletcher_interface_source([LINEITEM_SCHEMA, PART_SCHEMA])
+        unit = parse_source(source)
+        assert unit.package == "fletcher"
+
+    def test_one_reader_per_schema(self):
+        source = fletcher_interface_source([LINEITEM_SCHEMA, PART_SCHEMA])
+        assert "external impl lineitem_reader_i" in source
+        assert "external impl part_reader_i" in source
+
+    def test_one_output_port_per_column(self):
+        source = fletcher_interface_source([PART_SCHEMA])
+        for field in PART_SCHEMA.fields:
+            assert f"{field.name}: {field.type_alias()} out," in source
+
+    def test_loc_scales_with_schema_width(self):
+        small = fletcher_loc([PART_SCHEMA])
+        large = fletcher_loc([LINEITEM_SCHEMA])
+        both = fletcher_loc([PART_SCHEMA, LINEITEM_SCHEMA])
+        assert small < large < both
+        assert both == count_loc(fletcher_interface_source([PART_SCHEMA, LINEITEM_SCHEMA]), "tydi")
+
+    def test_interface_compiles_with_stdlib(self):
+        source = fletcher_interface_source([PART_SCHEMA])
+        result = compile_sources([(source, "fletcher.td")], include_stdlib=True)
+        assert any(name == "part_reader_i" for name in result.project.implementations)
+
+
+class TestReaderBehavior:
+    def test_streams_all_columns(self):
+        schema = ArrowSchema.of("mini", key="int64", label="utf8")
+        table = Table("mini", {"key": [1, 2, 3], "label": ["a", "b", "c"]})
+        source = fletcher_interface_source([schema]) + """
+        streamlet top_s { keys: tpch_int out, labels: tpch_char out, }
+        impl top_i of top_s {
+            instance reader(mini_reader_i),
+            reader.key => keys,
+            reader.label => labels,
+        }
+        top top_i;
+        """
+        result = compile_sources([(source, "t.td")], top="top_i")
+        simulator = Simulator(result.project, behaviors=reader_behaviors([schema], {"mini": table}))
+        trace = simulator.run()
+        assert trace.output_values("keys") == [1, 2, 3]
+        assert trace.output_values("labels") == ["a", "b", "c"]
+
+    def test_final_row_closes_stream(self):
+        schema = ArrowSchema.of("mini", key="int64")
+        table = Table("mini", {"key": [7, 8]})
+        source = fletcher_interface_source([schema]) + """
+        streamlet top_s { keys: tpch_int out, }
+        impl top_i of top_s { instance r(mini_reader_i), r.key => keys, }
+        top top_i;
+        """
+        result = compile_sources([(source, "t.td")], top="top_i")
+        simulator = Simulator(result.project, behaviors=reader_behaviors([schema], {"mini": table}))
+        trace = simulator.run()
+        packets = trace.output_packets("keys")
+        assert [p.closes_outermost() for p in packets] == [False, True]
+
+    def test_missing_dataset_rejected(self):
+        with pytest.raises(TydiSimulationError):
+            reader_behaviors([PART_SCHEMA], {})
+
+    def test_reader_name_helper(self):
+        assert reader_name(PART_SCHEMA) == "part_reader_i"

@@ -1,0 +1,69 @@
+"""Unit tests for Arrow-like schemas and their mapping to Tydi types."""
+
+import pytest
+
+from repro.arrow.schema import (
+    ArrowField,
+    ArrowSchema,
+    TYPE_ALIASES,
+    arrow_type_to_tydi,
+    decimal_bit_width,
+    tydi_type_expression,
+)
+from repro.errors import TydiTypeError
+from repro.spec.logical_types import Stream
+
+
+class TestColumnTypes:
+    def test_decimal_width_matches_paper(self):
+        # Bit(ceil(log2(10^15 - 1))) == 50 (Section IV-A).
+        assert decimal_bit_width(15) == 50
+
+    def test_int64_maps_to_64_bit_stream(self):
+        t = arrow_type_to_tydi("int64")
+        assert isinstance(t, Stream)
+        assert t.data_width() == 64
+        assert t.dimension == 1
+
+    def test_all_types_have_aliases_and_expressions(self):
+        for column_type in ("int64", "int32", "decimal", "date", "utf8", "bool"):
+            assert arrow_type_to_tydi(column_type).data_width() >= 1
+            assert column_type in TYPE_ALIASES
+            assert "Stream" in tydi_type_expression(column_type)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TydiTypeError):
+            arrow_type_to_tydi("blob")
+        with pytest.raises(TydiTypeError):
+            tydi_type_expression("blob")
+
+
+class TestArrowSchema:
+    def make(self):
+        return ArrowSchema.of("orders", o_orderkey="int64", o_orderdate="date", o_comment="utf8")
+
+    def test_field_access(self):
+        schema = self.make()
+        assert schema.field("o_orderdate").column_type == "date"
+        assert "o_comment" in schema
+        assert len(schema) == 3
+        with pytest.raises(KeyError):
+            schema.field("missing")
+
+    def test_field_names_in_order(self):
+        assert self.make().field_names() == ["o_orderkey", "o_orderdate", "o_comment"]
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TydiTypeError):
+            ArrowSchema("t", (ArrowField("a", "int64"), ArrowField("a", "date")))
+
+    def test_invalid_column_type_rejected(self):
+        with pytest.raises(TydiTypeError):
+            ArrowField("a", "varchar")
+
+    def test_subset(self):
+        schema = self.make().subset(["o_orderkey", "o_comment"])
+        assert schema.field_names() == ["o_orderkey", "o_comment"]
+
+    def test_field_alias(self):
+        assert self.make().field("o_orderkey").type_alias() == "tpch_int"

@@ -1,0 +1,128 @@
+"""Unit tests for the TPC-H substrate: schemas, data generator, golden queries."""
+
+import numpy as np
+import pytest
+
+from repro.arrow.tpch import (
+    DATE_1994_01_01,
+    DATE_1995_01_01,
+    TPCH_SCHEMAS,
+    generate_tpch_data,
+    golden_q1,
+    golden_q3,
+    golden_q5,
+    golden_q6,
+    golden_q19,
+    joined_table_for,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tpch_data(400, seed=123)
+
+
+class TestSchemas:
+    def test_expected_tables_present(self):
+        assert set(TPCH_SCHEMAS) == {
+            "lineitem", "part", "orders", "customer", "supplier", "nation", "region",
+        }
+
+    def test_lineitem_columns(self):
+        names = TPCH_SCHEMAS["lineitem"].field_names()
+        for column in ("l_orderkey", "l_quantity", "l_extendedprice", "l_discount",
+                       "l_returnflag", "l_linestatus", "l_shipdate", "l_shipmode"):
+            assert column in names
+
+
+class TestGenerator:
+    def test_row_counts(self, tables):
+        assert tables["lineitem"].num_rows == 400
+        assert tables["part"].num_rows >= 20
+        assert tables["nation"].num_rows == 25
+        assert tables["region"].num_rows == 5
+
+    def test_deterministic_for_seed(self):
+        a = generate_tpch_data(50, seed=9)
+        b = generate_tpch_data(50, seed=9)
+        assert np.array_equal(a["lineitem"]["l_extendedprice"], b["lineitem"]["l_extendedprice"])
+
+    def test_different_seeds_differ(self):
+        a = generate_tpch_data(50, seed=1)
+        b = generate_tpch_data(50, seed=2)
+        assert not np.array_equal(a["lineitem"]["l_extendedprice"], b["lineitem"]["l_extendedprice"])
+
+    def test_schema_conformance(self, tables):
+        for name, schema in TPCH_SCHEMAS.items():
+            for field in schema.fields:
+                assert field.name in tables[name], f"{name}.{field.name} missing"
+
+    def test_value_ranges(self, tables):
+        lineitem = tables["lineitem"]
+        assert float(lineitem["l_discount"].min()) >= 0.0
+        assert float(lineitem["l_discount"].max()) <= 0.10
+        assert int(lineitem["l_shipdate"].min()) >= 0
+        assert float(lineitem["l_quantity"].min()) >= 1
+
+    def test_foreign_keys_resolve(self, tables):
+        assert int(tables["lineitem"]["l_partkey"].max()) <= tables["part"].num_rows
+        assert int(tables["orders"]["o_custkey"].max()) <= tables["customer"].num_rows
+
+
+class TestJoinedProjections:
+    def test_q19_projection_aligned_with_lineitem(self, tables):
+        joined = joined_table_for("q19", tables)
+        assert joined.num_rows == tables["lineitem"].num_rows
+        # The join key columns must agree row by row (it is an equi-join).
+        assert np.array_equal(joined["l_partkey"], joined["p_partkey"])
+
+    def test_q3_projection_columns(self, tables):
+        joined = joined_table_for("q3", tables)
+        assert {"l_orderkey", "o_orderdate", "c_mktsegment"} <= set(joined.column_names())
+
+    def test_q5_projection_region_names(self, tables):
+        joined = joined_table_for("q5", tables)
+        assert set(np.unique(joined["r_name"])) <= {
+            "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST",
+        }
+
+    def test_unknown_projection_rejected(self, tables):
+        with pytest.raises(KeyError):
+            joined_table_for("q42", tables)
+
+
+class TestGoldenQueries:
+    def test_q6_matches_manual_mask(self, tables):
+        lineitem = tables["lineitem"]
+        mask = (
+            (lineitem["l_shipdate"] >= DATE_1994_01_01)
+            & (lineitem["l_shipdate"] < DATE_1995_01_01)
+            & (lineitem["l_discount"] >= 0.05)
+            & (lineitem["l_discount"] <= 0.07)
+            & (lineitem["l_quantity"] < 24)
+        )
+        expected = float((lineitem["l_extendedprice"][mask] * lineitem["l_discount"][mask]).sum())
+        assert golden_q6(tables) == pytest.approx(expected)
+
+    def test_q1_group_totals_consistent(self, tables):
+        result = golden_q1(tables)
+        lineitem = tables["lineitem"]
+        cutoff_rows = int((lineitem["l_shipdate"] <= 2436).sum())
+        assert sum(group["count_order"] for group in result.values()) == cutoff_rows
+        for group in result.values():
+            assert group["sum_disc_price"] <= group["sum_base_price"]
+
+    def test_q3_revenues_positive(self, tables):
+        result = golden_q3(tables)
+        assert all(revenue > 0 for revenue in result.values())
+
+    def test_q5_nations_are_strings(self, tables):
+        result = golden_q5(tables)
+        assert all(isinstance(name, str) for name in result)
+
+    def test_q19_non_negative(self, tables):
+        assert golden_q19(tables) >= 0.0
+
+    def test_golden_results_depend_on_parameters(self, tables):
+        assert golden_q6(tables, quantity_max=100.0) >= golden_q6(tables)
+        assert golden_q1(tables, cutoff=100) != golden_q1(tables)

@@ -1,0 +1,71 @@
+"""Tests for the ``tydi-compile`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+SOURCE = """
+type byte_t = Stream(Bit(8), d=1);
+streamlet echo_s { i: byte_t in, o: byte_t out, }
+impl echo_i of echo_s { i => o, }
+top echo_i;
+"""
+
+
+@pytest.fixture()
+def design_file(tmp_path):
+    path = tmp_path / "design.td"
+    path.write_text(SOURCE)
+    return path
+
+
+class TestCli:
+    def test_arg_parser_defaults(self):
+        args = build_arg_parser().parse_args(["x.td"])
+        assert args.sources == ["x.td"]
+        assert args.top is None
+        assert not args.no_stdlib
+
+    def test_successful_compile(self, design_file, capsys):
+        assert main([str(design_file)]) == 0
+        out = capsys.readouterr().out
+        assert "[parse]" in out and "[drc]" in out
+
+    def test_stats_flag(self, design_file, capsys):
+        assert main([str(design_file), "--stats"]) == 0
+        assert "streamlets:" in capsys.readouterr().out
+
+    def test_ir_output_file(self, design_file, tmp_path):
+        ir_path = tmp_path / "out.tir"
+        assert main([str(design_file), "--ir-out", str(ir_path)]) == 0
+        assert "streamlet echo_s" in ir_path.read_text()
+
+    def test_vhdl_output_directory(self, design_file, tmp_path):
+        vhdl_dir = tmp_path / "vhdl"
+        assert main([str(design_file), "--vhdl-dir", str(vhdl_dir)]) == 0
+        files = list(vhdl_dir.glob("*.vhd"))
+        assert any(f.name == "echo_i.vhd" for f in files)
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.td"
+        bad.write_text("streamlet s { i: Mystery in, }\nimpl i_impl of s {}\ntop i_impl;")
+        assert main([str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_no_sugaring_flag_propagates(self, tmp_path, capsys):
+        source = """
+        type t = Stream(Bit(4), d=1);
+        streamlet wide_s { a: t out, b: t out, }
+        external impl wide_i of wide_s;
+        streamlet top_s { o: t out, }
+        impl top_i of top_s { instance w(wide_i), w.a => o, }
+        top top_i;
+        """
+        path = tmp_path / "d.td"
+        path.write_text(source)
+        # Without sugaring the unused output makes the DRC fail.
+        assert main([str(path), "--no-sugaring"]) == 1
+        assert main([str(path)]) == 0

@@ -1,0 +1,64 @@
+"""Unit tests for error types and the diagnostic sink."""
+
+import pytest
+
+from repro.errors import (
+    Diagnostic,
+    DiagnosticSink,
+    TydiDRCError,
+    TydiError,
+    TydiEvaluationError,
+    TydiSyntaxError,
+)
+from repro.utils.source import SourceFile
+
+
+class TestErrors:
+    def test_stage_names(self):
+        assert TydiSyntaxError("x").stage == "parse"
+        assert TydiDRCError("x").stage == "drc"
+        assert TydiEvaluationError("x").stage == "evaluate"
+
+    def test_message_without_span(self):
+        assert TydiError("boom").render() == "boom"
+
+    def test_message_with_span(self):
+        span = SourceFile("abc", "f.td").span(0, 1)
+        error = TydiSyntaxError("bad token", span)
+        assert "f.td:1:1" in str(error)
+
+    def test_errors_are_exceptions(self):
+        with pytest.raises(TydiError):
+            raise TydiDRCError("failed")
+
+
+class TestDiagnosticSink:
+    def test_counts(self):
+        sink = DiagnosticSink()
+        sink.info("parse", "ok")
+        sink.warning("drc", "odd")
+        sink.error("drc", "bad")
+        assert len(sink) == 3
+        assert len(sink.warnings) == 1
+        assert len(sink.errors) == 1
+        assert sink.has_errors()
+
+    def test_no_errors(self):
+        sink = DiagnosticSink()
+        sink.info("x", "y")
+        assert not sink.has_errors()
+
+    def test_extend(self):
+        a, b = DiagnosticSink(), DiagnosticSink()
+        a.info("s", "one")
+        b.error("s", "two")
+        a.extend(b)
+        assert len(a) == 2
+        assert a.has_errors()
+
+    def test_iteration_and_str(self):
+        sink = DiagnosticSink()
+        sink.warning("sugaring", "inserted duplicator")
+        items = list(sink)
+        assert isinstance(items[0], Diagnostic)
+        assert "sugaring" in str(items[0])

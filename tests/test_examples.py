@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, timeout seconds); tpch_queries compiles every design and simulates
+#: them, so it gets a generous budget.
+EXAMPLES = [
+    ("quickstart.py", 120),
+    ("parallelize_adder.py", 120),
+    ("sql_acceleration.py", 300),
+    ("bottleneck_analysis.py", 300),
+    ("tpch_queries.py", 900),
+]
+
+
+@pytest.mark.parametrize("script,timeout", EXAMPLES)
+def test_example_runs(script, timeout):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\nstdout:\n{completed.stdout[-2000:]}\nstderr:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,80 @@
+"""Unit tests for textual Tydi-IR emission."""
+
+from repro.ir.emit import emit_implementation, emit_project, emit_streamlet, emit_type_declaration
+from repro.lang.compile import compile_project
+from repro.spec.logical_types import Bit, Group, Stream, Union
+from repro.utils.text import count_loc
+
+
+SOURCE = """
+Group Sample { value: Bit(12), flag: Bit(1), }
+type sample_t = Stream(Sample, d=1);
+streamlet filter_s { i: sample_t in, keep: Stream(Bit(1), d=1) in, o: sample_t out, }
+external impl filter_prim of filter_s;
+streamlet top_s { i: sample_t in, keep: Stream(Bit(1), d=1) in, o: sample_t out, }
+impl top_i of top_s {
+    instance f(filter_prim),
+    i => f.i,
+    keep => f.keep,
+    f.o => o,
+}
+top top_i;
+"""
+
+
+class TestEmission:
+    def test_type_declaration_emission(self):
+        group = Group.of("Pair", lo=Bit(8), hi=Bit(8))
+        text = emit_type_declaration(group)
+        assert text.startswith("Group Pair {")
+        assert "lo: Bit(8);" in text
+
+    def test_union_declaration_emission(self):
+        union = Union.of("Value", num=Bit(32), txt=Bit(8))
+        text = emit_type_declaration(union)
+        assert text.startswith("Union Value {")
+
+    def test_streamlet_emission_uses_named_types(self):
+        result = compile_project(SOURCE, include_stdlib=False)
+        text = emit_streamlet(result.project.streamlet("top_s"))
+        assert "i: Stream(Sample, d=1) in;" in text
+
+    def test_external_impl_emission(self):
+        result = compile_project(SOURCE, include_stdlib=False)
+        text = emit_implementation(result.project.implementation("filter_prim"))
+        assert text.strip().startswith("external impl filter_prim of filter_s;")
+
+    def test_structural_impl_emission(self):
+        result = compile_project(SOURCE, include_stdlib=False)
+        text = emit_implementation(result.project.implementation("top_i"))
+        assert "instance f(filter_prim);" in text
+        assert "i => f.i;" in text
+
+    def test_project_emission_contains_everything(self):
+        result = compile_project(SOURCE, include_stdlib=False)
+        text = emit_project(result.project)
+        assert "Group Sample" in text
+        assert "streamlet filter_s" in text
+        assert "top top_i;" in text
+
+    def test_emitted_ir_has_reasonable_loc(self):
+        result = compile_project(SOURCE, include_stdlib=False)
+        assert count_loc(emit_project(result.project), "tydi") >= 15
+
+    def test_synthesized_connections_annotated(self):
+        source = """
+        type t = Stream(Bit(8), d=1);
+        streamlet src_s { a: t out, }
+        external impl src_i of src_s;
+        streamlet snk_s { x: t in, }
+        external impl snk_i of snk_s;
+        streamlet top_s { }
+        impl top_i of top_s {
+            instance s(src_i), instance k1(snk_i), instance k2(snk_i),
+            s.a => k1.x, s.a => k2.x,
+        }
+        top top_i;
+        """
+        result = compile_project(source, include_stdlib=False)
+        text = emit_project(result.project)
+        assert "// auto-inserted" in text

@@ -1,0 +1,58 @@
+"""Unit tests for the Tydi-IR testbench model."""
+
+import pytest
+
+from repro.ir.testbench import Testbench, TestbenchEvent, TestbenchVector
+
+
+class TestTestbenchEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TestbenchEvent(time=-1, port="p", values=(1,))
+
+    def test_last_flags_stored(self):
+        event = TestbenchEvent(time=0, port="p", values=(3,), last=(True, False))
+        assert event.last == (True, False)
+
+
+class TestTestbenchVector:
+    def test_events_kept_sorted(self):
+        vector = TestbenchVector(port="p", direction="drive")
+        vector.add(TestbenchEvent(time=5, port="p", values=(1,)))
+        vector.add(TestbenchEvent(time=2, port="p", values=(2,)))
+        assert [e.time for e in vector.events] == [2, 5]
+        assert vector.last_time() == 5
+
+    def test_port_mismatch_rejected(self):
+        vector = TestbenchVector(port="p", direction="drive")
+        with pytest.raises(ValueError):
+            vector.add(TestbenchEvent(time=0, port="other", values=(1,)))
+
+
+class TestTestbench:
+    def make(self):
+        tb = Testbench(implementation="adder_i")
+        tb.drive(0, "lhs", [1])
+        tb.drive(0, "rhs", [2])
+        tb.drive(1, "lhs", [3], last=[True])
+        tb.expect(2, "output", [3])
+        tb.expect(3, "output", [7], last=[True])
+        return tb
+
+    def test_vectors_split_by_direction(self):
+        tb = self.make()
+        assert {v.port for v in tb.drive_vectors()} == {"lhs", "rhs"}
+        assert {v.port for v in tb.expect_vectors()} == {"output"}
+
+    def test_duration(self):
+        assert self.make().duration() == 4
+
+    def test_emit_contains_events(self):
+        text = self.make().emit()
+        assert text.startswith("testbench adder_i for adder_i {")
+        assert "@0 drive lhs [1];" in text
+        assert "@3 expect output [7] last=1;" in text
+
+    def test_emit_clock_period(self):
+        tb = Testbench(implementation="x", clock_period_ns=4.0)
+        assert "clock_period: 4.0ns;" in tb.emit()

@@ -1,0 +1,193 @@
+"""Unit tests for the design rule check."""
+
+import pytest
+
+from repro.errors import TydiDRCError
+from repro.lang.compile import compile_project
+
+
+def compile_raw(source, **kwargs):
+    kwargs.setdefault("include_stdlib", False)
+    kwargs.setdefault("sugaring", False)
+    kwargs.setdefault("strict_drc", False)
+    return compile_project(source, **kwargs)
+
+
+HEADER = """
+type byte_t = Stream(Bit(8), d=1);
+type word_t = Stream(Bit(16), d=1);
+"""
+
+
+class TestTypeEquality:
+    def test_identical_named_types_pass(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: byte_t out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        assert compile_raw(source).drc.passed()
+
+    def test_mismatched_types_fail(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: word_t out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert not report.passed()
+        assert any(v.rule == "type-equality" for v in report.errors)
+
+    def test_structurally_equal_but_distinct_named_types_fail(self):
+        # The type-equality problem: same widths, different declarations.
+        source = """
+        Group Metres { value: Bit(32), }
+        Group Feet { value: Bit(32), }
+        type metres_t = Stream(Metres, d=1);
+        type feet_t = Stream(Feet, d=1);
+        streamlet s { i: metres_t in, o: feet_t out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert not report.passed()
+
+    def test_structural_attribute_relaxes_check(self):
+        source = """
+        Group Metres { value: Bit(32), }
+        Group Feet { value: Bit(32), }
+        type metres_t = Stream(Metres, d=1);
+        type feet_t = Stream(Feet, d=1);
+        streamlet s { i: metres_t in, o: feet_t out, }
+        impl impl_i of s { i => o @structural, }
+        top impl_i;
+        """
+        assert compile_raw(source).drc.passed()
+
+    def test_error_message_names_the_types(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: word_t out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        message = str(report.errors[0])
+        assert "Bit(8)" in message and "Bit(16)" in message
+
+
+class TestPortUsage:
+    def test_unused_sink_detected(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: byte_t out, o2: byte_t out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert any("o2" in v.message and "never driven" in v.message for v in report.errors)
+
+    def test_unused_source_detected(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, i2: byte_t in, o: byte_t out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert any("i2" in v.message for v in report.errors)
+
+    def test_doubly_driven_sink_detected(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, i2: byte_t in, o: byte_t out, }
+        impl impl_i of s { i => o, i2 => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert any("driven 2 times" in v.message for v in report.errors)
+
+    def test_fanout_without_sugaring_detected(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: byte_t out, o2: byte_t out, }
+        impl impl_i of s { i => o, i => o2, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert any("drives 2 sinks" in v.message for v in report.errors)
+
+
+class TestDirectionLegality:
+    def test_output_to_output_rejected(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: byte_t out, }
+        streamlet inner_s { x: byte_t in, y: byte_t out, }
+        external impl inner_i of inner_s;
+        impl impl_i of s {
+            instance a(inner_i),
+            o => a.x,
+            i => a.x,
+        }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert any(v.rule == "direction" for v in report.errors)
+
+    def test_instance_output_to_self_output_ok(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: byte_t out, }
+        streamlet inner_s { x: byte_t in, y: byte_t out, }
+        external impl inner_i of inner_s;
+        impl impl_i of s { instance a(inner_i), i => a.x, a.y => o, }
+        top impl_i;
+        """
+        assert compile_raw(source).drc.passed()
+
+
+class TestClockDomains:
+    def test_cross_clock_connection_rejected(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in @ clk_a, o: byte_t out @ clk_b, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert any("clock domain" in v.message for v in report.errors)
+
+    def test_same_clock_connection_ok(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in @ clk_a, o: byte_t out @ clk_a, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        assert compile_raw(source).drc.passed()
+
+
+class TestNonStreamPorts:
+    def test_non_stream_port_warned(self):
+        source = """
+        streamlet s { i: Bit(8) in, o: Bit(8) out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert report.passed()
+        assert any(v.rule == "stream-port" for v in report.warnings)
+
+
+class TestStrictMode:
+    def test_strict_drc_raises(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: word_t out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        with pytest.raises(TydiDRCError):
+            compile_project(source, include_stdlib=False, sugaring=False, strict_drc=True)
+
+    def test_report_summary_counts(self):
+        source = HEADER + """
+        streamlet s { i: byte_t in, o: byte_t out, }
+        impl impl_i of s { i => o, }
+        top impl_i;
+        """
+        report = compile_raw(source).drc
+        assert report.connections_checked == 1
+        assert report.ports_checked == 2
+        assert "0 error" in report.summary()

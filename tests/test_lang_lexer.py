@@ -1,0 +1,146 @@
+"""Unit tests for the Tydi-lang lexer."""
+
+import pytest
+
+from repro.errors import TydiSyntaxError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_punctuation(self):
+        assert kinds("streamlet foo {}") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+        ]
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT
+        assert token.value == 42
+
+    def test_integer_with_underscores(self):
+        assert tokenize("1_000_000")[0].value == 1000000
+
+    def test_float_literal(self):
+        token = tokenize("0.05")[0]
+        assert token.kind is TokenKind.FLOAT
+        assert token.value == 0.05
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_string_double_quoted(self):
+        token = tokenize('"MED BAG"')[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "MED BAG"
+
+    def test_string_single_quoted(self):
+        assert tokenize("'AIR REG'")[0].value == "AIR REG"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\"b\n"')[0].value == 'a"b\n'
+
+    def test_unterminated_string(self):
+        with pytest.raises(TydiSyntaxError):
+            tokenize('"oops')
+
+    def test_eof_token_appended(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestOperators:
+    def test_arrow_vs_assign(self):
+        assert kinds("a => b") == [TokenKind.IDENT, TokenKind.ARROW, TokenKind.IDENT]
+        assert kinds("a = b") == [TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.IDENT]
+
+    def test_range_operator(self):
+        assert TokenKind.RANGE in kinds("0->channel")
+
+    def test_comparison_operators(self):
+        assert kinds("a <= b >= c == d != e") == [
+            TokenKind.IDENT,
+            TokenKind.LE,
+            TokenKind.IDENT,
+            TokenKind.GE,
+            TokenKind.IDENT,
+            TokenKind.EQ,
+            TokenKind.IDENT,
+            TokenKind.NEQ,
+            TokenKind.IDENT,
+        ]
+
+    def test_boolean_operators(self):
+        assert kinds("a && b || !c") == [
+            TokenKind.IDENT,
+            TokenKind.AND,
+            TokenKind.IDENT,
+            TokenKind.OR,
+            TokenKind.NOT,
+            TokenKind.IDENT,
+        ]
+
+    def test_math_operators(self):
+        assert kinds("1 + 2 * 3 ^ 4 % 5 / 6") == [
+            TokenKind.INT,
+            TokenKind.PLUS,
+            TokenKind.INT,
+            TokenKind.STAR,
+            TokenKind.INT,
+            TokenKind.CARET,
+            TokenKind.INT,
+            TokenKind.PERCENT,
+            TokenKind.INT,
+            TokenKind.SLASH,
+            TokenKind.INT,
+        ]
+
+    def test_template_brackets(self):
+        assert kinds("a<b, 3>") == [
+            TokenKind.IDENT,
+            TokenKind.LANGLE,
+            TokenKind.IDENT,
+            TokenKind.COMMA,
+            TokenKind.INT,
+            TokenKind.RANGLE,
+        ]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(TydiSyntaxError):
+            tokenize("a /* oops")
+
+    def test_whitespace_ignored(self):
+        assert texts("  a\t\n  b  ") == ["a", "b"]
+
+
+class TestSpans:
+    def test_span_line_numbers(self):
+        tokens = tokenize("first\nsecond", "demo.td")
+        assert tokens[0].span.start.line == 1
+        assert tokens[1].span.start.line == 2
+        assert tokens[1].span.filename == "demo.td"
+
+    def test_unexpected_character(self):
+        with pytest.raises(TydiSyntaxError) as excinfo:
+            tokenize("a $ b")
+        assert "$" in str(excinfo.value)

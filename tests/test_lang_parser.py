@@ -1,0 +1,236 @@
+"""Unit tests for the Tydi-lang parser."""
+
+import pytest
+
+from repro.errors import TydiSyntaxError
+from repro.lang import ast
+from repro.lang.parser import parse_source
+
+
+class TestTopLevelDeclarations:
+    def test_package_and_use(self):
+        unit = parse_source("package mylib;\nuse std;\nconst x = 1;")
+        assert unit.package == "mylib"
+        assert unit.uses == ["std"]
+
+    def test_const_declaration(self):
+        unit = parse_source("const width = 8 * 4;")
+        decl = unit.declarations[0]
+        assert isinstance(decl, ast.ConstDecl)
+        assert decl.name == "width"
+        assert isinstance(decl.value, ast.BinaryOp)
+
+    def test_type_alias(self):
+        unit = parse_source("type bool_t = Stream(Bit(1), d=1);")
+        decl = unit.declarations[0]
+        assert isinstance(decl, ast.TypeAliasDecl)
+        assert isinstance(decl.type_expr, ast.StreamTypeExpr)
+
+    def test_group_declaration(self):
+        unit = parse_source("Group AdderInput { data0: Bit(32), data1: Bit(32), }")
+        decl = unit.declarations[0]
+        assert isinstance(decl, ast.GroupDecl)
+        assert [name for name, _ in decl.fields] == ["data0", "data1"]
+
+    def test_union_declaration(self):
+        unit = parse_source("Union Value { int_v: Bit(32), char_v: Bit(8), }")
+        decl = unit.declarations[0]
+        assert isinstance(decl, ast.UnionDecl)
+        assert len(decl.variants) == 2
+
+    def test_top_declaration(self):
+        unit = parse_source("top main_i;")
+        assert isinstance(unit.declarations[0], ast.TopDecl)
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TydiSyntaxError):
+            parse_source("module x {}")
+
+
+class TestStreamlets:
+    def test_simple_streamlet(self):
+        unit = parse_source(
+            "streamlet pass_s { input: Stream(Bit(8)) in, output: Stream(Bit(8)) out, }"
+        )
+        decl = unit.declarations[0]
+        assert isinstance(decl, ast.StreamletDecl)
+        assert not decl.is_template()
+        assert decl.ports[0].direction == "in"
+        assert decl.ports[1].direction == "out"
+
+    def test_template_streamlet(self):
+        source = "streamlet dup_s<data_type: type, channel: int> { input: data_type in, output: data_type out [channel], }"
+        decl = parse_source(source).declarations[0]
+        assert decl.is_template()
+        assert [p.kind for p in decl.params] == ["type", "int"]
+        assert decl.ports[1].array_size is not None
+
+    def test_port_clock_domain(self):
+        decl = parse_source("streamlet s { d: Stream(Bit(1)) in @ fast_clock, }").declarations[0]
+        assert decl.ports[0].clock_domain == "fast_clock"
+
+    def test_impl_of_streamlet_param(self):
+        source = "streamlet par_s<pu: impl of process_unit_s> { x: Bit(1) in, }"
+        decl = parse_source(source).declarations[0]
+        assert decl.params[0].kind == "impl"
+        assert decl.params[0].of_streamlet == "process_unit_s"
+
+    def test_bad_port_direction(self):
+        with pytest.raises(TydiSyntaxError):
+            parse_source("streamlet s { d: Bit(1) sideways, }")
+
+
+class TestImplementations:
+    def test_external_impl(self):
+        decl = parse_source("external impl adder of adder_s;").declarations[0]
+        assert isinstance(decl, ast.ImplDecl)
+        assert decl.external
+        assert decl.body == ()
+
+    def test_impl_with_instances_and_connections(self):
+        source = """
+        impl top_i of top_s {
+            instance a(adder_i<type Bit(8)>),
+            instance pool(worker_i) [4],
+            input => a.lhs,
+            a.output => output,
+        }
+        """
+        decl = parse_source(source).declarations[0]
+        instances = [i for i in decl.body if isinstance(i, ast.InstanceDecl)]
+        connections = [c for c in decl.body if isinstance(c, ast.ConnectionStmt)]
+        assert len(instances) == 2
+        assert instances[1].array_size is not None
+        assert len(connections) == 2
+
+    def test_template_impl_args(self):
+        source = "impl void_i<t: type> of void_s<type t> { }"
+        decl = parse_source(source).declarations[0]
+        assert decl.is_template()
+        assert isinstance(decl.streamlet_args[0], ast.TypeArg)
+
+    def test_impl_arg_passing(self):
+        source = "impl p_i of p_s<impl adder_32, 8> {}"
+        decl = parse_source(source).declarations[0]
+        assert isinstance(decl.streamlet_args[0], ast.ImplArg)
+        assert isinstance(decl.streamlet_args[1], ast.ExprArg)
+
+    def test_for_statement(self):
+        source = """
+        impl x_i of x_s {
+            for i in 0->count {
+                pu[i].output => mux.input[i],
+            }
+        }
+        """
+        decl = parse_source(source).declarations[0]
+        loop = decl.body[0]
+        assert isinstance(loop, ast.ForStmt)
+        assert loop.variable == "i"
+        assert isinstance(loop.iterable, ast.RangeExpr)
+        assert isinstance(loop.body[0], ast.ConnectionStmt)
+
+    def test_if_else_statement(self):
+        source = """
+        impl x_i of x_s {
+            if (use_fast) {
+                instance f(fast_i),
+            } else {
+                instance s(slow_i),
+            }
+        }
+        """
+        decl = parse_source(source).declarations[0]
+        branch = decl.body[0]
+        assert isinstance(branch, ast.IfStmt)
+        assert len(branch.then_body) == 1
+        assert len(branch.else_body) == 1
+
+    def test_assert_statement(self):
+        decl = parse_source('impl x of y { assert(width > 0, "bad width"), }').declarations[0]
+        statement = decl.body[0]
+        assert isinstance(statement, ast.AssertStmt)
+        assert statement.message is not None
+
+    def test_local_const(self):
+        decl = parse_source("impl x of y { const n = 3, }").declarations[0]
+        assert isinstance(decl.body[0], ast.LocalConstDecl)
+
+    def test_connection_attributes(self):
+        decl = parse_source("impl x of y { a => b @structural, }").declarations[0]
+        assert decl.body[0].attributes == ("structural",)
+
+    def test_indexed_port_refs(self):
+        decl = parse_source("impl x of y { demux.output[i] => pu[i].input, }").declarations[0]
+        connection = decl.body[0]
+        assert connection.source.owner == "demux"
+        assert connection.source.port_index is not None
+        assert connection.sink.owner_index is not None
+
+    def test_simulation_block(self):
+        source = """
+        external impl counter of counter_s {
+            simulation {
+                state count = 0;
+                on receive(input) {
+                    state count = count + 1;
+                    send(output, count);
+                    ack(input);
+                }
+            }
+        }
+        """
+        decl = parse_source(source).declarations[0]
+        assert decl.simulation is not None
+        assert decl.simulation.states[0].name == "count"
+        assert len(decl.simulation.handlers) == 1
+
+    def test_two_simulation_blocks_rejected(self):
+        source = "impl x of y { simulation { } simulation { } }"
+        with pytest.raises(TydiSyntaxError):
+            parse_source(source)
+
+
+class TestExpressions:
+    def parse_const(self, expression):
+        return parse_source(f"const v = {expression};").declarations[0].value
+
+    def test_precedence_multiplication_over_addition(self):
+        expr = self.parse_const("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_power_is_right_associative(self):
+        expr = self.parse_const("2 ^ 3 ^ 4")
+        assert expr.op == "^"
+        assert expr.right.op == "^"
+
+    def test_paper_bit_width_expression(self):
+        # The paper's decimal example: ceil(log2(10^15 - 1)).
+        expr = self.parse_const("ceil(log2(10 ^ 15 - 1))")
+        assert isinstance(expr, ast.Call)
+        assert expr.function == "ceil"
+
+    def test_array_literal_and_index(self):
+        expr = self.parse_const('["a", "b"][1]')
+        assert isinstance(expr, ast.IndexExpr)
+        assert isinstance(expr.base, ast.ArrayLiteral)
+
+    def test_boolean_expression(self):
+        expr = self.parse_const("a && !b || c > 3")
+        assert expr.op == "||"
+
+    def test_unary_minus(self):
+        expr = self.parse_const("-5 + 3")
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(TydiSyntaxError):
+            parse_source("const x = 3")
+
+
+class TestSpans:
+    def test_declarations_carry_spans(self):
+        unit = parse_source("const x = 1;\nconst y = 2;", filename="spans.td")
+        assert unit.declarations[0].span.filename == "spans.td"
+        assert unit.declarations[1].span.start.line == 2

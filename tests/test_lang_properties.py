@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) on the frontend and the simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.compile import compile_project
+from repro.lang.expr import evaluate_expr
+from repro.lang.parser import parse_source
+from repro.lang.values import Scope
+from repro.sim import Simulator
+from repro.utils.text import count_loc
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in {"in", "out", "of", "if", "for", "else", "top", "type", "impl", "const"}
+)
+
+
+class TestExpressionProperties:
+    @given(st.integers(min_value=-10**6, max_value=10**6), st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=100)
+    def test_integer_arithmetic_matches_python(self, a, b):
+        scope = Scope()
+        scope.define("a", a)
+        scope.define("b", b)
+        expr = parse_source(f"const v = a * b + a - b;").declarations[0].value
+        assert evaluate_expr(expr, scope) == a * b + a - b
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=40)
+    def test_bit_width_expression_is_exact(self, digits):
+        # ceil(log2(10^digits - 1)) must equal the true bit length of 10^digits - 1.
+        scope = Scope()
+        scope.define("digits", digits)
+        expr = parse_source("const v = ceil(log2(10 ^ digits - 1));").declarations[0].value
+        measured = evaluate_expr(expr, scope)
+        exact = (10**digits - 1).bit_length()
+        assert abs(measured - exact) <= 1  # float log2 may be off by one ulp at the boundary
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_array_literals_roundtrip(self, values):
+        literal = "[" + ", ".join(str(v) for v in values) + "]"
+        expr = parse_source(f"const v = {literal};").declarations[0].value
+        assert evaluate_expr(expr, Scope()) == values
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60)
+    def test_range_expression_matches_python_range(self, start, end):
+        expr = parse_source(f"const v = {start} -> {end};").declarations[0].value
+        assert evaluate_expr(expr, Scope()) == list(range(start, end))
+
+
+class TestCompilationProperties:
+    @given(
+        width=st.integers(min_value=1, max_value=512),
+        dimension=st.integers(min_value=0, max_value=3),
+        stages=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pipeline_of_n_stages_always_compiles(self, width, dimension, stages):
+        """Any linear pipeline built from a generated stage count is DRC-clean."""
+        dim = f", d={dimension}" if dimension else ""
+        source = f"""
+        type t = Stream(Bit({width}){dim});
+        streamlet stage_s {{ input: t in, output: t out, }}
+        external impl stage_i of stage_s;
+        const stages = {stages};
+        streamlet top_s {{ i: t in, o: t out, }}
+        impl top_i of top_s {{
+            instance u(stage_i) [stages],
+            i => u[0].input,
+            for k in 0->stages - 1 {{
+                u[k].output => u[k + 1].input,
+            }}
+            u[stages - 1].output => o,
+        }}
+        top top_i;
+        """
+        result = compile_project(source, include_stdlib=False)
+        assert result.drc.passed()
+        top = result.project.implementation("top_i")
+        assert len(top.instances) == stages
+        assert len(top.connections) == stages + 1
+
+    @given(name=identifiers, width=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_ir_emission_loc_scales_with_port_count(self, name, width):
+        source = f"""
+        type t = Stream(Bit({width}), d=1);
+        streamlet {name}_s {{ a: t in, b: t out, }}
+        impl {name}_i of {name}_s {{ a => b, }}
+        top {name}_i;
+        """
+        result = compile_project(source, include_stdlib=False)
+        assert count_loc(result.ir_text(), "tydi") >= 6
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**31), min_size=0, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_pipeline_conserves_data(self, values):
+        """Whatever the stimulus, the summed output equals Python's sum and no
+        packet is lost or duplicated inside the design."""
+        source = """
+        type num = Stream(Bit(64), d=1);
+        streamlet top_s { values: num in, total: num out, }
+        impl top_i of top_s {
+            instance acc(sum_i<type num, type num>),
+            values => acc.input,
+            acc.output => total,
+        }
+        top top_i;
+        """
+        project = compile_project(source).project
+        simulator = Simulator(project)
+        simulator.drive("values", values)
+        trace = simulator.run()
+        assert trace.output_values("total") == [sum(values)]
+        input_channel = next(c for c in simulator.channels if c.sink == ("acc", "input"))
+        assert input_channel.stats.packets_transferred == max(1, len(values))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_result_independent_of_channel_capacity(self, values, capacity):
+        source = """
+        type num = Stream(Bit(64), d=1);
+        streamlet top_s { values: num in, doubled_sum: num out, }
+        impl top_i of top_s {
+            instance two(const_int_generator_i<type num, 2>),
+            instance mul(multiplier_i<type num, type num>),
+            instance acc(sum_i<type num, type num>),
+            values => mul.lhs,
+            two.output => mul.rhs,
+            mul.output => acc.input,
+            acc.output => doubled_sum,
+        }
+        top top_i;
+        """
+        project = compile_project(source).project
+        simulator = Simulator(project, channel_capacity=capacity)
+        simulator.drive("values", values)
+        trace = simulator.run()
+        assert trace.output_values("doubled_sum") == [2 * sum(values)]

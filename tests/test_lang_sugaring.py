@@ -1,0 +1,134 @@
+"""Unit tests for automatic duplicator/voider insertion (Section IV-D)."""
+
+import pytest
+
+from repro.errors import TydiDRCError
+from repro.lang.compile import compile_project
+
+
+FANOUT_SOURCE = """
+type num = Stream(Bit(32), d=1);
+streamlet producer_s { a: num out, unused: num out, }
+external impl producer_i of producer_s;
+streamlet unary_s { value: num in, result: num out, }
+external impl add10_i of unary_s;
+external impl double_i of unary_s;
+streamlet top_s { b0: num out, b1: num out, }
+impl top_i of top_s {
+    instance source(producer_i),
+    instance adder(add10_i),
+    instance multiplier(double_i),
+    source.a => adder.value,
+    source.a => multiplier.value,
+    adder.result => b0,
+    multiplier.result => b1,
+}
+top top_i;
+"""
+
+
+class TestDuplicatorInsertion:
+    def test_figure4_example(self):
+        result = compile_project(FANOUT_SOURCE, include_stdlib=False)
+        assert result.sugaring.duplicators_inserted == 1
+        assert result.sugaring.voiders_inserted == 1
+
+    def test_duplicator_channel_count_matches_fanout(self):
+        result = compile_project(FANOUT_SOURCE, include_stdlib=False)
+        action = next(a for a in result.sugaring.actions if a.kind == "duplicator")
+        assert action.channels == 2
+        assert action.source == "source.a"
+
+    def test_rewritten_connections_pass_drc(self):
+        result = compile_project(FANOUT_SOURCE, include_stdlib=False)
+        assert result.drc.passed()
+
+    def test_duplicator_is_external_primitive(self):
+        result = compile_project(FANOUT_SOURCE, include_stdlib=False)
+        top = result.project.implementation("top_i")
+        inserted = [i for i in top.instances if i.metadata.get("synthesized")]
+        assert len(inserted) == 2
+        for instance in inserted:
+            inner = result.project.implementation(instance.implementation)
+            assert inner.external
+            assert inner.metadata["primitive"] in ("duplicator", "voider")
+
+    def test_without_sugaring_drc_fails(self):
+        with pytest.raises(TydiDRCError):
+            compile_project(FANOUT_SOURCE, include_stdlib=False, sugaring=False)
+
+    def test_same_type_fanouts_share_primitive(self):
+        source = """
+        type num = Stream(Bit(8), d=1);
+        streamlet src_s { a: num out, b: num out, }
+        external impl src_i of src_s;
+        streamlet sink_s { x: num in, }
+        external impl sink_i of sink_s;
+        streamlet top_s { }
+        impl top_i of top_s {
+            instance s(src_i),
+            instance k1(sink_i), instance k2(sink_i),
+            instance k3(sink_i), instance k4(sink_i),
+            s.a => k1.x, s.a => k2.x,
+            s.b => k3.x, s.b => k4.x,
+        }
+        top top_i;
+        """
+        result = compile_project(source, include_stdlib=False)
+        assert result.sugaring.duplicators_inserted == 2
+        duplicator_impls = {
+            i.implementation
+            for i in result.project.implementation("top_i").instances
+            if i.metadata.get("primitive") == "duplicator"
+        }
+        # Two fan-outs of the same type and width share one concrete primitive.
+        assert len(duplicator_impls) == 1
+
+
+class TestVoiderInsertion:
+    def test_unused_reader_outputs_voided(self):
+        source = """
+        type num = Stream(Bit(16), d=1);
+        streamlet wide_s { a: num out, b: num out, c: num out, }
+        external impl wide_i of wide_s;
+        streamlet sink_s { x: num in, }
+        external impl sink_i of sink_s;
+        streamlet top_s { }
+        impl top_i of top_s {
+            instance w(wide_i),
+            instance k(sink_i),
+            w.a => k.x,
+        }
+        top top_i;
+        """
+        result = compile_project(source, include_stdlib=False)
+        assert result.sugaring.voiders_inserted == 2
+        assert result.drc.passed()
+
+    def test_unused_self_input_voided(self):
+        source = """
+        type num = Stream(Bit(16), d=1);
+        streamlet top_s { used: num in, ignored: num in, out_p: num out, }
+        impl top_i of top_s { used => out_p, }
+        top top_i;
+        """
+        result = compile_project(source, include_stdlib=False)
+        assert result.sugaring.voiders_inserted == 1
+        assert result.drc.passed()
+
+    def test_report_per_implementation(self):
+        result = compile_project(FANOUT_SOURCE, include_stdlib=False)
+        actions = result.sugaring.for_implementation("top_i")
+        assert len(actions) == 2
+        assert "duplicator" in result.sugaring.summary()
+
+
+class TestSugaringOnQueries:
+    def test_q6_uses_sugaring_heavily(self, compiled_queries):
+        """Q6 leaves 10 unused lineitem columns and two fanned-out columns."""
+        report = compiled_queries["q6"].sugaring
+        assert report.voiders_inserted >= 8
+        assert report.duplicators_inserted >= 2
+
+    def test_no_sugar_variant_needs_none(self, compiled_queries):
+        assert compiled_queries["q1_no_sugar"].sugaring is None

@@ -1,0 +1,94 @@
+"""Unit tests for runtime values and lexical scopes (immutability, shadowing)."""
+
+import pytest
+
+from repro.errors import TydiEvaluationError, TydiNameError
+from repro.lang.values import (
+    PARAM_KIND_CHECKS,
+    ClockDomainValue,
+    ImplValue,
+    Scope,
+    StreamletValue,
+    TypeValue,
+    describe_value,
+)
+from repro.spec.logical_types import Bit
+
+
+class TestScope:
+    def test_define_and_lookup(self):
+        scope = Scope()
+        scope.define("x", 42)
+        assert scope.lookup("x") == 42
+
+    def test_variables_are_immutable(self):
+        scope = Scope()
+        scope.define("x", 1)
+        with pytest.raises(TydiEvaluationError):
+            scope.define("x", 2)
+
+    def test_shadowing_in_child_scope(self):
+        outer = Scope()
+        outer.define("x", 1)
+        inner = outer.child()
+        inner.define("x", 99)
+        assert inner.lookup("x") == 99
+        assert outer.lookup("x") == 1
+
+    def test_lookup_walks_parents(self):
+        outer = Scope()
+        outer.define("width", 8)
+        inner = outer.child().child()
+        assert inner.lookup("width") == 8
+
+    def test_undefined_raises(self):
+        with pytest.raises(TydiNameError):
+            Scope().lookup("nothing")
+
+    def test_contains_and_defined_here(self):
+        outer = Scope()
+        outer.define("a", 1)
+        inner = outer.child()
+        assert inner.contains("a")
+        assert not inner.defined_here("a")
+        assert outer.defined_here("a")
+
+    def test_local_names(self):
+        scope = Scope()
+        scope.define("a", 1)
+        scope.define("b", 2)
+        assert scope.local_names() == ["a", "b"]
+
+
+class TestValueKinds:
+    def test_describe_value(self):
+        assert describe_value(3) == "int"
+        assert describe_value(3.5) == "float"
+        assert describe_value(True) == "bool"
+        assert describe_value("x") == "string"
+        assert describe_value([1]) == "array"
+        assert describe_value(ClockDomainValue("clk")) == "clockdomain"
+        assert describe_value(TypeValue(Bit(4))) == "type"
+
+    def test_param_kind_checks(self):
+        assert PARAM_KIND_CHECKS["int"](5)
+        assert not PARAM_KIND_CHECKS["int"](True)
+        assert not PARAM_KIND_CHECKS["int"](2.5)
+        assert PARAM_KIND_CHECKS["float"](2.5)
+        assert PARAM_KIND_CHECKS["float"](2)
+        assert PARAM_KIND_CHECKS["string"]("hello")
+        assert PARAM_KIND_CHECKS["bool"](False)
+        assert PARAM_KIND_CHECKS["type"](TypeValue(Bit(1)))
+        assert not PARAM_KIND_CHECKS["type"](Bit(1))
+        assert PARAM_KIND_CHECKS["clockdomain"](ClockDomainValue("a"))
+
+    def test_type_value_mangles_via_logical_type(self):
+        assert TypeValue(Bit(8)).mangle_name() == "bit_8"
+
+    def test_impl_and_streamlet_values(self):
+        impl = ImplValue(name="adder_32", declaration=object())
+        streamlet = StreamletValue(name="adder_s", declaration=object())
+        assert "adder_32" in str(impl)
+        assert "adder_s" in str(streamlet)
+        assert PARAM_KIND_CHECKS["impl"](impl)
+        assert not PARAM_KIND_CHECKS["impl"](streamlet)

@@ -1,0 +1,95 @@
+"""Tests that every TPC-H query design compiles, passes the DRC and has sane LoC."""
+
+import pytest
+
+from repro.queries import ALL_QUERIES, QUERIES
+from repro.stdlib.source import stdlib_loc
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_compiles_and_passes_drc(self, name, compiled_queries):
+        result = compiled_queries[name]
+        assert result.drc is not None and result.drc.passed()
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_top_is_set(self, name, compiled_queries):
+        assert compiled_queries[name].project.top is not None
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_design_has_instances_and_connections(self, name, compiled_queries):
+        stats = compiled_queries[name].project.statistics()
+        assert stats["instances"] >= 5
+        assert stats["connections"] >= 10
+
+    def test_q19_expands_clause_hardware_via_for_loops(self, compiled_queries):
+        project = compiled_queries["q19"].project
+        top = project.implementation("q19_i")
+        brand_comparators = [i for i in top.instances if i.name.startswith("cmp_brand")]
+        container_comparators = [i for i in top.instances if i.name.startswith("cmp_container")]
+        assert len(brand_comparators) == 3
+        assert len(container_comparators) == 12
+
+    def test_q1_sugared_and_manual_variants_equivalent(self, compiled_queries):
+        """The sugared and hand-desugared Q1 designs have the same component mix."""
+        sugared = compiled_queries["q1"].project
+        manual = compiled_queries["q1_no_sugar"].project
+
+        def component_histogram(project):
+            histogram = {}
+            top = project.implementation("q1_i")
+            for instance in top.instances:
+                impl = project.implementation(instance.implementation)
+                template = impl.metadata.get("template") or impl.metadata.get("primitive") or impl.name
+                histogram[template] = histogram.get(template, 0) + 1
+            return histogram
+
+        sugared_hist = component_histogram(sugared)
+        manual_hist = component_histogram(manual)
+        # Same functional components...
+        for key in ("group_sum_i", "group_count_i", "filter_i", "multiplier_i", "subtractor_i"):
+            assert sugared_hist.get(key) == manual_hist.get(key)
+        # ...and the same number of duplicators/voiders, whether inserted
+        # automatically (primitive kind) or written by hand (template name).
+        sugared_dups = sugared_hist.get("duplicator", 0) + sugared_hist.get("duplicator_i", 0)
+        manual_dups = manual_hist.get("duplicator", 0) + manual_hist.get("duplicator_i", 0)
+        assert sugared_dups == manual_dups
+        sugared_voids = sugared_hist.get("voider", 0) + sugared_hist.get("voider_i", 0)
+        manual_voids = manual_hist.get("voider", 0) + manual_hist.get("voider_i", 0)
+        assert sugared_voids == manual_voids
+
+
+class TestLocAccounting:
+    @pytest.fixture(scope="class")
+    def all_loc(self):
+        return {query.name: query.loc() for query in ALL_QUERIES}
+
+    def test_totals_add_up(self, all_loc):
+        for loc in all_loc.values():
+            assert loc.total_tydi == loc.query_logic + loc.fletcher + loc.stdlib
+            assert loc.stdlib == stdlib_loc()
+
+    def test_ratios_consistent(self, all_loc):
+        for loc in all_loc.values():
+            assert loc.ratio_query == pytest.approx(loc.vhdl / loc.query_logic)
+            assert loc.ratio_total == pytest.approx(loc.vhdl / loc.total_tydi)
+
+    def test_vhdl_much_larger_than_tydi(self, all_loc):
+        """The headline claim: generated VHDL dwarfs the Tydi-lang query logic."""
+        for loc in all_loc.values():
+            assert loc.ratio_query > 10
+            assert loc.ratio_total > 3
+
+    def test_sugaring_saves_query_loc(self, all_loc):
+        assert all_loc["q1"].query_logic < all_loc["q1_no_sugar"].query_logic
+
+    def test_sugaring_does_not_change_vhdl(self, all_loc):
+        # Both variants describe the same hardware.
+        assert all_loc["q1"].vhdl == pytest.approx(all_loc["q1_no_sugar"].vhdl, rel=0.05)
+
+    def test_raw_sql_is_much_smaller_than_query_logic(self, all_loc):
+        for loc in all_loc.values():
+            assert loc.raw_sql < loc.query_logic
+
+    def test_q19_is_the_largest_design(self, all_loc):
+        assert all_loc["q19"].vhdl == max(loc.vhdl for loc in all_loc.values())

@@ -1,0 +1,70 @@
+"""Unit tests for the table/figure regeneration module."""
+
+import pytest
+
+from repro.report import figure1, figure2, figure3, figure4, table1, table2, table3, table4
+from repro.report.loc import PAPER_TABLE4, loc_breakdown, table4_rows
+
+
+class TestTables:
+    def test_table1_lists_all_terms(self):
+        text = table1()
+        for term in ("Null", "Bit(x)", "Group(x,y)", "Union(x,y)", "Stream(x)",
+                     "Port", "Streamlet", "Implementation", "Connection", "Instance",
+                     "Clock domain"):
+            assert term in text
+
+    def test_table2_lists_generative_features(self):
+        text = table2()
+        assert "for x in x_array" in text
+        assert "assert(var)" in text
+
+    def test_table3_compares_seven_hdls(self):
+        text = table3()
+        for language in ("Genesis2", "Clash", "Vitis HLS", "CHISEL", "Kamel", "Veriscala", "Tydi-lang"):
+            assert language in text
+
+    def test_table4_has_all_query_rows(self, compiled_queries):
+        text = table4()
+        for row in ("TPC-H 1 (without sugaring)", "TPC-H 1", "TPC-H 3", "TPC-H 5", "TPC-H 6", "TPC-H 19"):
+            assert row in text
+        assert "LoCs" in text and "LoCf" in text
+
+    def test_table4_rows_match_paper_row_set(self, compiled_queries):
+        rows = table4_rows()
+        assert {row.query for row in rows} == set(PAPER_TABLE4)
+
+
+class TestFigures:
+    def test_figure1_mentions_pipeline_stages(self):
+        text = figure1()
+        for stage in ("Tydi source code", "frontend", "Tydi IR", "backend", "VHDL", "simulator"):
+            assert stage.lower() in text.lower()
+
+    def test_figure2_mentions_big_data_flow(self):
+        text = figure2()
+        assert "Arrow" in text and "Fletcher" in text and "SQL" in text
+
+    def test_figure3_shows_live_stage_log(self):
+        text = figure3()
+        assert "parse:" in text
+        assert "drc:" in text
+
+    def test_figure4_shows_before_and_after(self):
+        text = figure4()
+        assert "before sugaring" in text
+        assert "after sugaring" in text
+        assert "duplicator" in text
+        assert "voider" in text
+        assert "(auto-inserted)" in text
+
+
+class TestLocBreakdown:
+    def test_breakdown_ratio(self):
+        breakdown = loc_breakdown("a;\nb;\n", {"x.vhd": "\n".join(["line;"] * 20)})
+        assert breakdown.tydi_loc == 2
+        assert breakdown.vhdl_loc == 20
+        assert breakdown.ratio == 10.0
+
+    def test_zero_tydi_loc(self):
+        assert loc_breakdown("", {}).ratio == 0.0

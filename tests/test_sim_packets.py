@@ -1,0 +1,49 @@
+"""Unit tests for simulation packets."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.packets import Packet, packets_to_sequence, sequence_to_packets
+
+
+class TestPacket:
+    def test_closes_outermost(self):
+        assert Packet(1, last=(False, True)).closes_outermost()
+        assert not Packet(1, last=(True, False)).closes_outermost()
+        assert not Packet(1).closes_outermost()
+
+    def test_closes_dimension(self):
+        packet = Packet(1, last=(True, False))
+        assert packet.closes_dimension(0)
+        assert not packet.closes_dimension(1)
+        assert not packet.closes_dimension(5)
+
+    def test_with_value_and_last(self):
+        packet = Packet(1, last=(True,))
+        assert packet.with_value(9).value == 9
+        assert packet.with_value(9).last == (True,)
+        assert packet.with_last([False]).last == (False,)
+
+
+class TestSequenceConversion:
+    def test_roundtrip(self):
+        values = [3, 1, 4, 1, 5]
+        packets = sequence_to_packets(values)
+        assert packets_to_sequence(packets) == values
+
+    def test_only_final_packet_closes(self):
+        packets = sequence_to_packets([1, 2, 3], dimensions=2)
+        assert all(not p.closes_outermost() for p in packets[:-1])
+        assert packets[-1].last == (True, True)
+
+    def test_empty_sequence_emits_close_packet(self):
+        packets = sequence_to_packets([])
+        assert len(packets) == 1
+        assert packets[0].value is None
+        assert packets[0].closes_outermost()
+        assert packets_to_sequence(packets) == []
+
+    @given(st.lists(st.integers(), max_size=30), st.integers(min_value=1, max_value=3))
+    def test_roundtrip_property(self, values, dimensions):
+        packets = sequence_to_packets(values, dimensions)
+        assert packets_to_sequence(packets) == values
+        assert packets[-1].closes_outermost()

@@ -1,0 +1,124 @@
+"""Unit tests for type equality and connection compatibility (DRC rules)."""
+
+from repro.spec.compat import (
+    check_connection_compatibility,
+    strictly_equal,
+    structurally_equal,
+)
+from repro.spec.logical_types import Bit, Group, Null, Stream, Union
+
+
+def named_group(name="Sample"):
+    return Group.of(name, a=Bit(8), b=Bit(8))
+
+
+class TestStructuralEquality:
+    def test_identical_bits(self):
+        assert structurally_equal(Bit(8), Bit(8))
+        assert not structurally_equal(Bit(8), Bit(9))
+
+    def test_null(self):
+        assert structurally_equal(Null(), Null())
+        assert not structurally_equal(Null(), Bit(1))
+
+    def test_groups_compare_fields(self):
+        assert structurally_equal(named_group(), named_group("Other"))
+        different = Group.of("X", a=Bit(8), c=Bit(8))
+        assert not structurally_equal(named_group(), different)
+
+    def test_group_field_order_matters(self):
+        a = Group.of("A", x=Bit(1), y=Bit(2))
+        b = Group.of("B", y=Bit(2), x=Bit(1))
+        assert not structurally_equal(a, b)
+
+    def test_unions(self):
+        a = Union.of("U", x=Bit(4), y=Bit(8))
+        b = Union.of("V", x=Bit(4), y=Bit(8))
+        assert structurally_equal(a, b)
+        assert not structurally_equal(a, Union.of("W", x=Bit(4)))
+
+    def test_streams_compare_parameters(self):
+        a = Stream.new(Bit(8), dimension=1)
+        assert structurally_equal(a, Stream.new(Bit(8), dimension=1))
+        assert not structurally_equal(a, Stream.new(Bit(8), dimension=2))
+        assert not structurally_equal(a, Stream.new(Bit(8), dimension=1, throughput=2))
+
+    def test_group_vs_union_never_equal(self):
+        g = Group.of("G", a=Bit(4))
+        u = Union.of("U", a=Bit(4))
+        assert not structurally_equal(g, u)
+
+
+class TestStrictEquality:
+    def test_same_object_is_equal(self):
+        t = Stream.new(Bit(8))
+        assert strictly_equal(t, t)
+
+    def test_same_declared_name_is_equal(self):
+        assert strictly_equal(named_group("T"), named_group("T"))
+
+    def test_structurally_equal_but_distinct_names_not_equal(self):
+        # The "type equality problem" of Section IV-B: same bits, different purpose.
+        assert not strictly_equal(named_group("Metres"), named_group("Feet"))
+
+    def test_anonymous_structural_twins_not_equal(self):
+        a = Group.of(None, x=Bit(8))
+        b = Group.of(None, x=Bit(8))
+        assert not strictly_equal(a, b)
+
+    def test_streams_around_same_named_element(self):
+        element = named_group("Elem")
+        a = Stream.new(element, dimension=1)
+        b = Stream.new(element, dimension=1)
+        assert strictly_equal(a, b)
+
+    def test_streams_with_different_params_not_equal(self):
+        element = named_group("Elem")
+        assert not strictly_equal(Stream.new(element, dimension=1), Stream.new(element, dimension=2))
+
+
+class TestConnectionCompatibility:
+    def test_compatible_connection(self):
+        t = Stream.new(Bit(8), dimension=1)
+        assert check_connection_compatibility(t, t)
+
+    def test_type_mismatch_reported(self):
+        report = check_connection_compatibility(Stream.new(Bit(8)), Stream.new(Bit(16)))
+        assert not report
+        assert any("not strict" in reason for reason in report.reasons)
+
+    def test_structural_mode_accepts_twins(self):
+        a = Stream.new(Group.of("A", x=Bit(8)))
+        b = Stream.new(Group.of("B", x=Bit(8)))
+        assert not check_connection_compatibility(a, b, strict=True)
+        assert check_connection_compatibility(a, b, strict=False)
+
+    def test_complexity_direction(self):
+        source = Stream.new(Bit(8), complexity=7)
+        sink = Stream.new(Bit(8), complexity=1)
+        report = check_connection_compatibility(source, sink, strict=False)
+        assert not report
+        assert any("complexity" in reason for reason in report.reasons)
+
+    def test_complexity_ok_when_sink_higher(self):
+        element = Group.of("E", x=Bit(8))
+        source = Stream.new(element, complexity=1)
+        sink = Stream.new(element, complexity=7)
+        assert check_connection_compatibility(source, sink, strict=False)
+
+    def test_clock_domain_mismatch(self):
+        t = Stream.new(Bit(8))
+        report = check_connection_compatibility(t, t, source_clock="clk_a", sink_clock="clk_b")
+        assert not report
+        assert any("clock domain" in reason for reason in report.reasons)
+
+    def test_default_clock_domains_match(self):
+        t = Stream.new(Bit(8))
+        assert check_connection_compatibility(t, t, source_clock=None, sink_clock="default")
+
+    def test_throughput_mismatch(self):
+        element = Group.of("E", x=Bit(8))
+        fast = Stream.new(element, throughput=4)
+        slow = Stream.new(element, throughput=1)
+        report = check_connection_compatibility(fast, slow, strict=False)
+        assert any("throughput" in reason for reason in report.reasons)

@@ -1,0 +1,79 @@
+"""Unit tests for the logical-to-physical stream expansion."""
+
+import pytest
+
+from repro.errors import TydiTypeError
+from repro.spec.logical_types import Bit, Group, Null, Stream
+from repro.spec.physical import expand_stream, stream_wire_summary
+
+
+class TestExpandStream:
+    def test_handshake_always_present(self):
+        physical = expand_stream(Stream.new(Bit(8)))
+        names = physical.signal_names()
+        assert "valid" in names and "ready" in names
+
+    def test_ready_is_reverse(self):
+        physical = expand_stream(Stream.new(Bit(8)))
+        assert physical.signal("ready").role == "reverse"
+        assert physical.signal("valid").role == "forward"
+
+    def test_data_width_matches_element(self):
+        physical = expand_stream(Stream.new(Group.of("G", a=Bit(3), b=Bit(5))))
+        assert physical.signal("data").width == 8
+
+    def test_no_data_signal_for_null_element(self):
+        physical = expand_stream(Stream.new(Null(), dimension=1))
+        assert "data" not in physical.signal_names()
+
+    def test_last_width_is_dimension(self):
+        physical = expand_stream(Stream.new(Bit(8), dimension=2))
+        assert physical.signal("last").width == 2
+
+    def test_no_last_for_flat_stream(self):
+        physical = expand_stream(Stream.new(Bit(8)))
+        assert "last" not in physical.signal_names()
+
+    def test_multi_lane_data_width(self):
+        physical = expand_stream(Stream.new(Bit(8), throughput=4))
+        assert physical.signal("data").width == 32
+        assert physical.lanes == 4
+
+    def test_endi_present_with_multiple_lanes(self):
+        physical = expand_stream(Stream.new(Bit(8), throughput=4))
+        assert physical.signal("endi").width == 2
+
+    def test_stai_only_at_high_complexity(self):
+        low = expand_stream(Stream.new(Bit(8), throughput=4, complexity=1))
+        high = expand_stream(Stream.new(Bit(8), throughput=4, complexity=6))
+        assert "stai" not in low.signal_names()
+        assert "stai" in high.signal_names()
+
+    def test_strb_at_complexity_7(self):
+        physical = expand_stream(Stream.new(Bit(8), complexity=7))
+        assert "strb" in physical.signal_names()
+
+    def test_per_lane_last_at_complexity_8(self):
+        physical = expand_stream(Stream.new(Bit(8), dimension=2, throughput=2, complexity=8))
+        assert physical.signal("last").width == 4
+
+    def test_user_signal(self):
+        physical = expand_stream(Stream.new(Bit(8), user=Bit(3)))
+        assert physical.signal("user").width == 3
+
+    def test_non_stream_rejected(self):
+        with pytest.raises(TydiTypeError):
+            expand_stream(Bit(8))
+
+    def test_wire_count_positive(self):
+        physical = expand_stream(Stream.new(Bit(8), dimension=1))
+        assert physical.wire_count() >= 11  # 8 data + last + valid + ready
+
+
+class TestWireSummary:
+    def test_summary_keys(self):
+        summary = stream_wire_summary(Stream.new(Bit(16), dimension=1, throughput=2))
+        assert summary["element_width"] == 16
+        assert summary["lanes"] == 2
+        assert summary["dimension"] == 1
+        assert summary["forward_width"] >= 32

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) on the logical type system."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spec.compat import structurally_equal
+from repro.spec.logical_types import Bit, Group, LogicalType, Null, Stream, Union
+from repro.spec.physical import expand_stream
+
+
+# -- strategies -----------------------------------------------------------------
+
+field_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+
+
+def logical_types(max_depth: int = 2) -> st.SearchStrategy[LogicalType]:
+    base = st.one_of(
+        st.just(Null()),
+        st.integers(min_value=1, max_value=256).map(Bit),
+    )
+    if max_depth == 0:
+        return base
+
+    def build_group(fields):
+        return Group(tuple(fields), name=None)
+
+    def build_union(fields):
+        return Union(tuple(fields), name=None)
+
+    children = st.lists(
+        st.tuples(field_names, logical_types(max_depth - 1)),
+        min_size=1,
+        max_size=3,
+        unique_by=lambda pair: pair[0],
+    )
+    return st.one_of(base, children.map(build_group), children.map(build_union))
+
+
+def streams() -> st.SearchStrategy[Stream]:
+    return st.builds(
+        Stream.new,
+        element=logical_types(1),
+        dimension=st.integers(min_value=0, max_value=4),
+        throughput=st.integers(min_value=1, max_value=8),
+        complexity=st.integers(min_value=1, max_value=8),
+    )
+
+
+# -- properties -----------------------------------------------------------------
+
+
+@given(logical_types())
+@settings(max_examples=80)
+def test_bit_width_is_non_negative(logical_type):
+    assert logical_type.bit_width() >= 0
+
+
+@given(logical_types())
+@settings(max_examples=80)
+def test_structural_equality_is_reflexive(logical_type):
+    assert structurally_equal(logical_type, logical_type)
+
+
+@given(logical_types(), logical_types())
+@settings(max_examples=80)
+def test_structural_equality_is_symmetric(a, b):
+    assert structurally_equal(a, b) == structurally_equal(b, a)
+
+
+@given(st.lists(st.tuples(field_names, logical_types(1)), min_size=1, max_size=4,
+                unique_by=lambda pair: pair[0]))
+@settings(max_examples=60)
+def test_group_width_is_sum_of_fields(fields):
+    group = Group(tuple(fields))
+    assert group.bit_width() == sum(t.bit_width() for _, t in fields)
+
+
+@given(st.lists(st.tuples(field_names, logical_types(1)), min_size=1, max_size=4,
+                unique_by=lambda pair: pair[0]))
+@settings(max_examples=60)
+def test_union_width_at_least_max_variant(fields):
+    union = Union(tuple(fields))
+    assert union.bit_width() >= max(t.bit_width() for _, t in fields)
+    assert union.bit_width() <= max(t.bit_width() for _, t in fields) + 2
+
+
+@given(logical_types())
+@settings(max_examples=60)
+def test_to_tydi_is_nonempty_and_stable(logical_type):
+    rendered = logical_type.to_tydi()
+    assert rendered
+    assert rendered == logical_type.to_tydi()
+
+
+@given(streams())
+@settings(max_examples=80)
+def test_stream_physical_expansion_consistent(stream):
+    physical = expand_stream(stream)
+    # Handshake always present.
+    assert {"valid", "ready"} <= set(physical.signal_names())
+    # Data width scales with lanes.
+    if stream.data_width() > 0:
+        assert physical.signal("data").width == stream.data_width() * stream.throughput.lanes
+    # The last signal exists exactly when the stream is dimensional.
+    assert ("last" in physical.signal_names()) == (stream.dimension > 0)
+
+
+@given(streams())
+@settings(max_examples=60)
+def test_stream_walk_contains_element(stream):
+    assert stream.element in list(stream.walk())
+
+
+@given(logical_types())
+@settings(max_examples=60)
+def test_walk_first_element_is_self(logical_type):
+    assert next(iter(logical_type.walk())) is logical_type

@@ -1,0 +1,92 @@
+"""Unit tests for stream parameters: complexity, throughput, direction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TydiTypeError
+from repro.spec.stream_params import Complexity, Direction, Synchronicity, Throughput
+
+
+class TestComplexity:
+    def test_parse_int(self):
+        assert Complexity.parse(4).levels == (4,)
+
+    def test_parse_dotted(self):
+        assert Complexity.parse("4.1.3").levels == (4, 1, 3)
+
+    def test_parse_existing(self):
+        c = Complexity((2,))
+        assert Complexity.parse(c) is c
+
+    def test_parse_integral_float(self):
+        assert Complexity.parse(3.0).levels == (3,)
+
+    def test_parse_bad_string(self):
+        with pytest.raises(TydiTypeError):
+            Complexity.parse("high")
+
+    def test_major_out_of_range(self):
+        with pytest.raises(TydiTypeError):
+            Complexity((0,))
+        with pytest.raises(TydiTypeError):
+            Complexity((9,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TydiTypeError):
+            Complexity(())
+
+    def test_source_satisfies_higher_sink(self):
+        assert Complexity.parse(1).satisfies(Complexity.parse(7))
+
+    def test_source_does_not_satisfy_lower_sink(self):
+        assert not Complexity.parse(7).satisfies(Complexity.parse(1))
+
+    def test_lexicographic_ordering(self):
+        assert Complexity.parse("4.1").satisfies(Complexity.parse("4.2"))
+        assert not Complexity.parse("4.2").satisfies(Complexity.parse("4.1"))
+
+    def test_equal_satisfies(self):
+        assert Complexity.parse("2.3").satisfies(Complexity.parse("2.3"))
+
+    def test_str_roundtrip(self):
+        assert str(Complexity.parse("4.1.3")) == "4.1.3"
+
+
+class TestThroughput:
+    def test_default_single_lane(self):
+        assert Throughput().lanes == 1
+
+    def test_integer(self):
+        assert Throughput.of(4).lanes == 4
+
+    def test_fractional_rounds_up(self):
+        assert Throughput.of(1.5).lanes == 2
+        assert Throughput.of(0.25).lanes == 1
+
+    def test_fraction_input(self):
+        assert Throughput.of(Fraction(3, 2)).ratio == Fraction(3, 2)
+
+    def test_zero_rejected(self):
+        with pytest.raises(TydiTypeError):
+            Throughput.of(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(TydiTypeError):
+            Throughput(Fraction(-1))
+
+    def test_multiplication(self):
+        assert float(Throughput.of(2) * Throughput.of(3)) == 6.0
+
+    def test_str(self):
+        assert str(Throughput.of(2)) == "2"
+        assert str(Throughput.of(0.5)) == "0.5"
+
+
+class TestEnums:
+    def test_direction_values(self):
+        assert str(Direction.FORWARD) == "Forward"
+        assert str(Direction.REVERSE) == "Reverse"
+
+    def test_synchronicity_values(self):
+        assert {s.value for s in Synchronicity} == {"Sync", "Flatten", "Desync", "FlatDesync"}

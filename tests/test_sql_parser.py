@@ -1,0 +1,140 @@
+"""Unit tests for the SQL subset parser."""
+
+import pytest
+
+from repro.errors import TydiSyntaxError
+from repro.sql.ast import Aggregate, BetweenExpr, BinaryExpr, ColumnRef, InExpr, Literal, NotExpr
+from repro.sql.parser import parse_sql
+
+
+class TestSelectStructure:
+    def test_simple_aggregate(self):
+        stmt = parse_sql("select sum(x) from t;")
+        assert stmt.tables == ["t"]
+        assert len(stmt.aggregates()) == 1
+        assert stmt.aggregates()[0].function == "sum"
+
+    def test_alias_with_as(self):
+        stmt = parse_sql("select sum(x) as total from t;")
+        assert stmt.aggregates()[0].alias == "total"
+
+    def test_multiple_items_and_tables(self):
+        stmt = parse_sql("select a, sum(b) from t1, t2;")
+        assert stmt.tables == ["t1", "t2"]
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.items[0].expr, ColumnRef)
+
+    def test_count_star(self):
+        stmt = parse_sql("select count(*) as n from t;")
+        agg = stmt.aggregates()[0]
+        assert agg.function == "count"
+        assert agg.argument is None
+
+    def test_group_by_and_order_by(self):
+        stmt = parse_sql("select sum(x) from t group by a, b order by a desc, b;")
+        assert [c.column for c in stmt.group_by] == ["a", "b"]
+        assert [c.column for c in stmt.order_by] == ["a", "b"]
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(TydiSyntaxError):
+            parse_sql("select sum(x);")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(TydiSyntaxError):
+            parse_sql("select sum(x) from t; banana")
+
+
+class TestWhereExpressions:
+    def where(self, text):
+        return parse_sql(f"select sum(x) from t where {text};").where
+
+    def test_comparison(self):
+        expr = self.where("a >= 10")
+        assert isinstance(expr, BinaryExpr)
+        assert expr.op == ">="
+        assert isinstance(expr.right, Literal)
+
+    def test_and_or_precedence(self):
+        expr = self.where("a = 1 or b = 2 and c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_parentheses_override(self):
+        expr = self.where("(a = 1 or b = 2) and c = 3")
+        assert expr.op == "and"
+        assert expr.left.op == "or"
+
+    def test_not(self):
+        expr = self.where("not a = 1")
+        assert isinstance(expr, NotExpr)
+
+    def test_between(self):
+        expr = self.where("d between 0.05 and 0.07")
+        assert isinstance(expr, BetweenExpr)
+        assert expr.low.value == 0.05
+        assert expr.high.value == 0.07
+
+    def test_in_list(self):
+        expr = self.where("c in ('A', 'B', 'C')")
+        assert isinstance(expr, InExpr)
+        assert [o.value for o in expr.options] == ["A", "B", "C"]
+
+    def test_string_literal_with_quote_escape(self):
+        expr = self.where("name = 'O''Brien'")
+        assert expr.right.value == "O'Brien"
+
+    def test_arithmetic_in_predicates(self):
+        expr = self.where("quantity <= base + 10")
+        assert expr.right.op == "+"
+
+    def test_not_equal_variants(self):
+        assert self.where("a <> 1").op == "<>"
+        assert self.where("a != 1").op == "<>"
+
+
+class TestDatesAndIntervals:
+    def test_date_literal_days_since_1992(self):
+        expr = parse_sql("select sum(x) from t where d >= date '1994-01-01';").where
+        assert expr.right.value == 731
+
+    def test_date_plus_interval_year_folds(self):
+        expr = parse_sql(
+            "select sum(x) from t where d < date '1994-01-01' + interval '1' year;"
+        ).where
+        assert expr.right.value == 731 + 365
+
+    def test_interval_day_and_month(self):
+        expr = parse_sql(
+            "select sum(x) from t where d <= date '1998-12-01' - interval '90' day;"
+        ).where
+        assert isinstance(expr.right, Literal)
+        expr2 = parse_sql(
+            "select sum(x) from t where d < date '1994-01-01' + interval '3' month;"
+        ).where
+        assert expr2.right.value == 731 + 90
+
+    def test_bad_interval_unit(self):
+        with pytest.raises(TydiSyntaxError):
+            parse_sql("select sum(x) from t where d < date '1994-01-01' + interval '1' fortnight;")
+
+    def test_sql_comments_skipped(self):
+        stmt = parse_sql("select sum(x) -- total\nfrom t;")
+        assert stmt.tables == ["t"]
+
+
+class TestPaperQueries:
+    def test_all_evaluated_queries_parse(self):
+        from repro.queries import QUERIES
+
+        for query in QUERIES.values():
+            stmt = parse_sql(query.sql)
+            assert stmt.tables
+            assert stmt.items
+
+    def test_q19_structure(self):
+        from repro.queries.q19 import SQL
+
+        stmt = parse_sql(SQL)
+        # Three OR-ed clauses.
+        assert stmt.where.op == "or"
+        assert stmt.tables == ["lineitem", "part"]

@@ -1,0 +1,81 @@
+"""Unit tests for identifier sanitisation and template-name mangling."""
+
+from repro.spec.logical_types import Bit, Group, Stream
+from repro.utils.names import mangle, render_argument, sanitize_identifier, unique_namer
+
+
+class TestSanitizeIdentifier:
+    def test_plain_name_unchanged(self):
+        assert sanitize_identifier("adder_32") == "adder_32"
+
+    def test_special_characters_become_underscores(self):
+        assert sanitize_identifier("Stream(Bit(8))") == "Stream_Bit_8"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_identifier("8bit").startswith("_")
+
+    def test_vhdl_keyword_suffixed(self):
+        assert sanitize_identifier("signal") == "signal_i"
+        assert sanitize_identifier("entity") == "entity_i"
+
+    def test_empty_becomes_anon(self):
+        assert sanitize_identifier("!!!") == "anon"
+
+    def test_consecutive_underscores_collapsed(self):
+        assert "__" not in sanitize_identifier("a!!b")
+
+
+class TestRenderArgument:
+    def test_bool(self):
+        assert render_argument(True) == "true"
+        assert render_argument(False) == "false"
+
+    def test_int(self):
+        assert render_argument(42) == "42"
+        assert render_argument(-3) == "m3"
+
+    def test_float(self):
+        assert render_argument(0.5) == "0p5"
+
+    def test_string_lowercased(self):
+        assert render_argument("MED BAG") == "med_bag"
+
+    def test_logical_type_uses_mangle_hook(self):
+        stream = Stream.new(Bit(8), dimension=1)
+        assert render_argument(stream) == "stream_bit_8_d1"
+
+
+class TestMangle:
+    def test_no_arguments(self):
+        assert mangle("duplicator") == "duplicator"
+
+    def test_arguments_are_position_tagged(self):
+        name = mangle("dup", (8, 2))
+        assert "0_8" in name and "1_2" in name
+
+    def test_distinct_arguments_distinct_names(self):
+        assert mangle("adder", (Bit(8),)) != mangle("adder", (Bit(16),))
+
+    def test_same_arguments_same_name(self):
+        group = Group.of("G", a=Bit(4))
+        assert mangle("x", (group, 3)) == mangle("x", (group, 3))
+
+    def test_mangled_name_is_sanitized(self):
+        name = mangle("dup", (Stream.new(Bit(8)),))
+        assert "__" not in name
+        assert "(" not in name
+
+
+class TestUniqueNamer:
+    def test_names_are_unique(self):
+        namer = unique_namer()
+        names = {namer("x") for _ in range(10)}
+        assert len(names) == 10
+
+    def test_hint_used_as_base(self):
+        namer = unique_namer()
+        assert namer("dup_port").startswith("dup_port")
+
+    def test_fallback_prefix(self):
+        namer = unique_namer("sugar")
+        assert namer(None).startswith("sugar")

@@ -1,0 +1,79 @@
+"""Unit tests for text helpers, most importantly LoC counting (Table IV input)."""
+
+from repro.utils.text import (
+    count_loc,
+    dedent_block,
+    format_table,
+    indent_block,
+    join_nonempty,
+    strip_block_comments,
+)
+
+
+class TestCountLoc:
+    def test_blank_lines_excluded(self):
+        assert count_loc("a;\n\n\nb;\n") == 2
+
+    def test_tydi_line_comments_excluded(self):
+        source = "// header\nconst x = 1;\n  // indented comment\nconst y = 2;\n"
+        assert count_loc(source, "tydi") == 2
+
+    def test_tydi_block_comments_excluded(self):
+        source = "/* a\nmulti line\ncomment */\nconst x = 1;\n"
+        assert count_loc(source, "tydi") == 1
+
+    def test_vhdl_comments_excluded(self):
+        source = "-- comment\nentity x is\nend entity;\n"
+        assert count_loc(source, "vhdl") == 2
+
+    def test_sql_comments_excluded(self):
+        assert count_loc("-- note\nselect 1;\n", "sql") == 1
+
+    def test_python_comments_excluded(self):
+        assert count_loc("# comment\nx = 1\n", "python") == 1
+
+    def test_code_with_trailing_comment_counts(self):
+        assert count_loc("const x = 1; // trailing\n", "tydi") == 1
+
+    def test_empty_source(self):
+        assert count_loc("") == 0
+
+    def test_unterminated_block_comment(self):
+        assert count_loc("const a = 1;\n/* unterminated\nmore", "tydi") == 1
+
+
+class TestStripBlockComments:
+    def test_preserves_line_count(self):
+        text = "a /* x\ny */ b"
+        stripped = strip_block_comments(text)
+        assert stripped.count("\n") == text.count("\n")
+
+    def test_non_tydi_untouched(self):
+        assert strip_block_comments("/* keep */", "vhdl") == "/* keep */"
+
+
+class TestIndentDedent:
+    def test_indent_skips_blank_lines(self):
+        assert indent_block("a\n\nb", 2) == "  a\n\n  b"
+
+    def test_dedent_common_prefix(self):
+        assert dedent_block("    a\n      b") == "a\n  b"
+
+    def test_dedent_all_blank(self):
+        assert dedent_block("\n\n") == "\n\n"
+
+    def test_join_nonempty(self):
+        assert join_nonempty(["a", "", "b"]) == "a\nb"
+
+
+class TestFormatTable:
+    def test_header_and_rows_aligned(self):
+        table = format_table(["name", "value"], [["x", "1"], ["longer", "22"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+
+    def test_short_rows_padded(self):
+        table = format_table(["a", "b"], [["only"]])
+        assert "only" in table

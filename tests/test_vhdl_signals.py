@@ -1,0 +1,68 @@
+"""Unit tests for VHDL signal expansion of Tydi ports."""
+
+from repro.ir.model import Port, PortDirection
+from repro.spec.logical_types import Bit, Group, Stream
+from repro.vhdl.signals import data_width_of, last_width_of, port_signals, vhdl_identifier, vhdl_type
+
+
+def stream_port(name="data", direction=PortDirection.IN, **kwargs):
+    return Port(name, Stream.new(Group.of("G", a=Bit(8), b=Bit(8)), **kwargs), direction)
+
+
+class TestVhdlType:
+    def test_single_bit(self):
+        assert vhdl_type(1) == "std_logic"
+        assert vhdl_type(0) == "std_logic"
+
+    def test_vector(self):
+        assert vhdl_type(16) == "std_logic_vector(15 downto 0)"
+
+
+class TestPortSignals:
+    def test_input_port_directions(self):
+        signals = {s.origin: s for s in port_signals(stream_port(direction=PortDirection.IN))}
+        assert signals["valid"].mode == "in"
+        assert signals["ready"].mode == "out"
+        assert signals["data"].mode == "in"
+
+    def test_output_port_directions(self):
+        signals = {s.origin: s for s in port_signals(stream_port(direction=PortDirection.OUT))}
+        assert signals["valid"].mode == "out"
+        assert signals["ready"].mode == "in"
+        assert signals["data"].mode == "out"
+
+    def test_signal_names_prefixed_with_port(self):
+        signals = port_signals(stream_port(name="input"))
+        assert all(s.name.startswith("input_") for s in signals)
+
+    def test_data_width(self):
+        signals = {s.origin: s for s in port_signals(stream_port())}
+        assert signals["data"].width == 16
+
+    def test_dimension_adds_last(self):
+        signals = {s.origin: s for s in port_signals(stream_port(dimension=2))}
+        assert signals["last"].width == 2
+
+    def test_non_stream_port_gets_handshake(self):
+        port = Port("raw", Bit(8), PortDirection.IN)
+        signals = {s.origin: s for s in port_signals(port)}
+        assert set(signals) == {"valid", "ready", "data"}
+        assert signals["data"].width == 8
+
+    def test_declaration_rendering(self):
+        decl = port_signals(stream_port())[0].declaration()
+        assert " : in " in decl or " : out " in decl
+
+
+class TestWidthHelpers:
+    def test_data_width_of(self):
+        assert data_width_of(stream_port()) == 16
+        assert data_width_of(Port("x", Bit(5), PortDirection.IN)) == 5
+
+    def test_last_width_of(self):
+        assert last_width_of(stream_port(dimension=3)) == 3
+        assert last_width_of(stream_port()) == 0
+        assert last_width_of(Port("x", Bit(5), PortDirection.IN)) == 0
+
+    def test_identifier_sanitized(self):
+        assert vhdl_identifier("my port") == "my_port"
