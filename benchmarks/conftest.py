@@ -21,9 +21,11 @@ def tpch_tables():
 
 @pytest.fixture(scope="session")
 def compiled_queries():
-    from repro.queries import ALL_QUERIES
+    """Compile the whole suite once, through the parallel batch driver."""
+    from repro.pipeline import CompilationCache
+    from repro.queries import compile_all
 
-    return {query.name: query.compile() for query in ALL_QUERIES}
+    return compile_all(cache=CompilationCache(), executor="thread")
 
 
 def run_once(benchmark, func):

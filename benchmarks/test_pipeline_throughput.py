@@ -1,0 +1,93 @@
+"""Benchmark: batch-pipeline throughput over the TPC-H compile suite.
+
+Not a paper artefact but an infrastructure benchmark: it drives the
+content-addressed cache and the parallel batch driver
+(:mod:`repro.pipeline`) over the full TPC-H query set (every design of
+Table IV plus a no-DRC variant of each, 12 compile jobs in total) and
+asserts the two properties the pipeline promises:
+
+* **warm >= 5x cold** -- recompiling the suite against a warm cache is at
+  least five times faster than the cold batch, and
+* **parallel == serial** -- the concurrently-compiled batch output is
+  byte-identical (textual Tydi-IR) to the serial reference.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.pipeline import BatchCompiler, CompilationCache
+from repro.queries import ALL_QUERIES
+
+
+def suite_jobs():
+    """12+ compile jobs: every Table-IV design plus a no-DRC variant."""
+    jobs = [query.compile_job() for query in ALL_QUERIES]
+    jobs += [
+        job.with_options(name=f"{job.name}__nodrc", run_drc=False, strict_drc=False)
+        for job in jobs
+    ]
+    return jobs
+
+
+def test_pipeline_throughput_cold_vs_warm(benchmark):
+    jobs = suite_jobs()
+    assert len(jobs) >= 10
+    cache = CompilationCache(max_entries=64)
+    compiler = BatchCompiler(cache=cache, executor="thread", max_workers=4)
+
+    def cold_batch():
+        cache.clear()
+        cache.stats.reset()
+        return compiler.compile_batch(jobs)
+
+    cold = run_once(benchmark, cold_batch)
+    assert cold.ok, [f.error for f in cold.failures]
+    assert all(not entry.from_cache for entry in cold.results)
+
+    warm_start = time.perf_counter()
+    warm = compiler.compile_batch(jobs)
+    warm_time = time.perf_counter() - warm_start
+    assert warm.ok
+    assert all(entry.from_cache for entry in warm.results)
+    assert cache.stats.hits == len(jobs)
+
+    speedup = cold.wall_time / warm_time if warm_time > 0 else float("inf")
+    print("\nBatch compile throughput over the TPC-H suite")
+    print(f"  jobs:            {len(jobs)} (executor={cold.executor}, workers={cold.workers})")
+    print(f"  cold batch:      {cold.wall_time * 1000:8.1f} ms  ({len(jobs) / cold.wall_time:7.1f} designs/s)")
+    print(f"  warm batch:      {warm_time * 1000:8.1f} ms  ({len(jobs) / warm_time:7.1f} designs/s)")
+    print(f"  warm speedup:    {speedup:8.1f}x")
+    print(f"  cache:           {cache.stats.as_dict()}")
+
+    # Acceptance criterion: warm-cache recompilation is >= 5x faster.
+    assert speedup >= 5.0, f"warm cache only {speedup:.1f}x faster than cold"
+
+    # Warm results are the very artefacts the cold batch stored.
+    cold_ir = {entry.name: entry.result.ir_text() for entry in cold.results}
+    for entry in warm.results:
+        assert entry.result.ir_text() == cold_ir[entry.name]
+
+
+def test_pipeline_parallel_matches_serial(benchmark):
+    jobs = suite_jobs()
+
+    def parallel_batch():
+        return BatchCompiler(executor="thread", max_workers=4).compile_batch(jobs)
+
+    parallel = run_once(benchmark, parallel_batch)
+    assert parallel.ok
+
+    serial_start = time.perf_counter()
+    serial = BatchCompiler(executor="serial").compile_batch(jobs)
+    serial_time = time.perf_counter() - serial_start
+    assert serial.ok
+
+    print("\nSerial vs parallel batch compilation")
+    print(f"  serial:   {serial_time * 1000:8.1f} ms")
+    print(f"  parallel: {parallel.wall_time * 1000:8.1f} ms  (workers={parallel.workers})")
+
+    # Acceptance criterion: parallel output is byte-identical to serial.
+    for a, b in zip(serial.results, parallel.results):
+        assert a.name == b.name
+        assert a.result.ir_text() == b.result.ir_text()

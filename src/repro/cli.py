@@ -6,11 +6,21 @@ VHDL, mirroring the workflow of Figure 1:
 .. code-block:: console
 
     $ tydi-compile design.td --top my_top --vhdl-dir out/
+
+In the default mode every given file is part of *one* design.  With
+``--batch`` each file is an *independent* design and the set is compiled
+through the pipeline batch driver (:mod:`repro.pipeline`), optionally in
+parallel and against a content-addressed cache:
+
+.. code-block:: console
+
+    $ tydi-compile --batch --jobs 4 --cache-dir .tydi-cache --json designs/*.td
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -24,22 +34,215 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--top", help="name of the top-level implementation", default=None)
     parser.add_argument("--no-stdlib", action="store_true", help="do not include the standard library")
     parser.add_argument("--no-sugaring", action="store_true", help="disable duplicator/voider insertion")
-    parser.add_argument("--ir-out", help="write textual Tydi-IR to this file", default=None)
-    parser.add_argument("--vhdl-dir", help="write generated VHDL files into this directory", default=None)
+    parser.add_argument("--ir-out", help="write textual Tydi-IR to this file (a directory in --batch mode)", default=None)
+    parser.add_argument(
+        "--vhdl-dir",
+        help="write generated VHDL files into this directory (one subdirectory per design in --batch mode)",
+        default=None,
+    )
     parser.add_argument("--stats", action="store_true", help="print design statistics")
+    batch = parser.add_argument_group("batch compilation")
+    batch.add_argument(
+        "--batch",
+        action="store_true",
+        help="treat every source file as an independent design and compile them as a batch",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for --batch (default: CPU count)",
+    )
+    batch.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="batch executor kind (default: thread)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed compilation cache directory (e.g. .tydi-cache)",
+    )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="print per-design and cache statistics as JSON",
+    )
     return parser
+
+
+def _load_sources(paths: list[str]) -> list[tuple[str, str]]:
+    """Read the input files, keyed by their full (relative) path.
+
+    The full path -- not just the basename -- is recorded as the diagnostic
+    filename, so two inputs like ``a/top.td`` and ``b/top.td`` stay
+    distinguishable in error messages and stage logs.
+    """
+    sources = []
+    for path_text in paths:
+        path = pathlib.Path(path_text)
+        sources.append((_read_or_exit(path), str(path)))
+    return sources
+
+
+class _CliInputError(Exception):
+    """An unusable input or output path (reported as a clean one-line error)."""
+
+
+def _read_or_exit(path: pathlib.Path) -> str:
+    try:
+        return path.read_text()
+    except OSError as exc:
+        raise _CliInputError(f"cannot read {path}: {exc.strerror or exc}") from exc
+
+
+def _write_file(path: pathlib.Path, text: str) -> None:
+    try:
+        path.write_text(text)
+    except OSError as exc:
+        raise _CliInputError(f"cannot write {path}: {exc.strerror or exc}") from exc
+
+
+def _make_dir(path: pathlib.Path) -> pathlib.Path:
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        # e.g. the path exists but is a file (FileExistsError), or no perms.
+        raise _CliInputError(f"cannot create directory {path}: {exc.strerror or exc}") from exc
+    return path
+
+
+def _design_name(path_text: str, taken: set[str]) -> str:
+    """A unique short name for one batch design (stem, then qualified stem)."""
+    stem = pathlib.Path(path_text).stem
+    if stem not in taken:
+        return stem
+    candidate = str(pathlib.Path(path_text).with_suffix("")).replace("/", "_").replace("\\", "_")
+    while candidate in taken:
+        candidate += "_"
+    return candidate
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.pipeline import BatchCompiler, CompilationCache, CompileJob, JobResult
+
+    # An unreadable file is one failed *design*, not a reason to abort the
+    # batch -- mirroring the driver's per-design compile-error isolation.
+    jobs = []
+    unreadable: dict[int, JobResult] = {}
+    taken: set[str] = set()
+    for position, path_text in enumerate(args.sources):
+        path = pathlib.Path(path_text)
+        name = _design_name(path_text, taken)
+        taken.add(name)
+        try:
+            text = _read_or_exit(path)
+        except _CliInputError as exc:
+            placeholder = CompileJob(name=name, sources=())
+            unreadable[position] = JobResult(
+                job=placeholder,
+                error=str(exc),
+                error_stage="read",
+                error_type=type(exc.__cause__).__name__ if exc.__cause__ else "OSError",
+            )
+            continue
+        jobs.append(
+            CompileJob(
+                name=name,
+                sources=((text, str(path)),),
+                top=args.top,
+                include_stdlib=not args.no_stdlib,
+                sugaring=not args.no_sugaring,
+            )
+        )
+
+    cache = CompilationCache(cache_dir=args.cache_dir) if args.cache_dir else None
+    compiler = BatchCompiler(cache=cache, executor=args.executor, max_workers=args.jobs)
+    outcome = compiler.compile_batch(jobs)
+
+    # Splice the read failures back in at their input positions.
+    for position in sorted(unreadable):
+        outcome.results.insert(position, unreadable[position])
+
+    if args.json_output:
+        payload = {
+            "designs": [entry.as_dict() for entry in outcome.results],
+            "batch": outcome.stats(),
+            "cache": cache.stats.as_dict() if cache is not None else None,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for entry in outcome.results:
+            if entry.ok:
+                note = " (cached)" if entry.from_cache else ""
+                print(f"[ok] {entry.name}{note} ({entry.elapsed:.3f}s)")
+                if args.stats:
+                    for key, value in entry.result.project.statistics().items():
+                        print(f"    {key}: {value}")
+            else:
+                stage = entry.error_stage or "error"
+                print(f"[failed] {entry.name} ({stage}): {entry.error}")
+        stats = outcome.stats()
+        print(
+            f"batch: {stats['succeeded']}/{stats['jobs']} succeeded "
+            f"({stats['cached']} cached) in {stats['wall_time']:.3f}s "
+            f"[{stats['executor']} x{stats['workers']}]"
+        )
+
+    if args.ir_out:
+        out_dir = _make_dir(pathlib.Path(args.ir_out))
+        for entry in outcome.results:
+            if entry.ok:
+                _write_file(out_dir / f"{entry.name}.tir", entry.result.ir_text())
+        if not args.json_output:
+            print(f"wrote Tydi-IR for {sum(1 for e in outcome.results if e.ok)} design(s) to {out_dir}")
+
+    if args.vhdl_dir:
+        from repro.vhdl import generate_vhdl
+
+        base_dir = pathlib.Path(args.vhdl_dir)
+        written = 0
+        for entry in outcome.results:
+            if not entry.ok:
+                continue
+            design_dir = _make_dir(base_dir / entry.name)
+            files = generate_vhdl(entry.result.project)
+            for name, text in files.items():
+                _write_file(design_dir / name, text)
+            written += len(files)
+        if not args.json_output:
+            print(f"wrote {written} VHDL file(s) to {base_dir} (one directory per design)")
+
+    return 0 if outcome.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
+    try:
+        if args.batch:
+            return _run_batch(args)
+        return _run_single(args)
+    except _CliInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_single(args: argparse.Namespace) -> int:
     from repro.lang import compile_sources
     from repro.errors import TydiError
 
-    sources = []
-    for path_text in args.sources:
-        path = pathlib.Path(path_text)
-        sources.append((path.read_text(), path.name))
+    sources = _load_sources(args.sources)
+
+    cache = None
+    if args.cache_dir:
+        from repro.pipeline import CompilationCache
+
+        cache = CompilationCache(cache_dir=args.cache_dir)
 
     try:
         result = compile_sources(
@@ -47,31 +250,41 @@ def main(argv: list[str] | None = None) -> int:
             top=args.top,
             include_stdlib=not args.no_stdlib,
             sugaring=not args.no_sugaring,
+            cache=cache,
         )
     except TydiError as exc:
         print(f"error ({exc.stage}): {exc.render()}", file=sys.stderr)
         return 1
 
-    for stage in result.stages:
-        print(f"[{stage.name}] {stage.detail}")
+    if args.json_output:
+        payload = {
+            "stages": [{"name": s.name, "detail": s.detail} for s in result.stages],
+            "statistics": result.project.statistics(),
+            "cache": cache.stats.as_dict() if cache is not None else None,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for stage in result.stages:
+            print(f"[{stage.name}] {stage.detail}")
 
-    if args.stats:
+    if args.stats and not args.json_output:
         for key, value in result.project.statistics().items():
             print(f"  {key}: {value}")
 
     if args.ir_out:
-        pathlib.Path(args.ir_out).write_text(result.ir_text())
-        print(f"wrote Tydi-IR to {args.ir_out}")
+        _write_file(pathlib.Path(args.ir_out), result.ir_text())
+        if not args.json_output:
+            print(f"wrote Tydi-IR to {args.ir_out}")
 
     if args.vhdl_dir:
         from repro.vhdl import generate_vhdl
 
-        out_dir = pathlib.Path(args.vhdl_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
+        out_dir = _make_dir(pathlib.Path(args.vhdl_dir))
         files = generate_vhdl(result.project)
         for name, text in files.items():
-            (out_dir / name).write_text(text)
-        print(f"wrote {len(files)} VHDL file(s) to {out_dir}")
+            _write_file(out_dir / name, text)
+        if not args.json_output:
+            print(f"wrote {len(files)} VHDL file(s) to {out_dir}")
 
     return 0
 

@@ -18,7 +18,8 @@ regenerates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from functools import lru_cache
+from typing import Optional, Protocol, Sequence
 
 from repro.errors import DiagnosticSink
 from repro.ir.emit import emit_project
@@ -29,6 +30,49 @@ from repro.lang.evaluate import Evaluator, Program
 from repro.lang.parser import parse_source
 from repro.lang.sugaring import SugaringReport, apply_sugaring
 from repro.stdlib.source import STDLIB_SOURCE
+
+
+def normalize_sources(
+    sources: Sequence[tuple[str, str]] | Sequence[str],
+) -> tuple[tuple[str, str], ...]:
+    """Normalise compile inputs to ``(source_text, filename)`` pairs.
+
+    The single definition shared by :func:`compile_sources` and the pipeline
+    cache's fingerprinting (:func:`repro.pipeline.cache.fingerprint_sources`),
+    so content addresses can never drift from what actually gets compiled.
+    """
+    normalized: list[tuple[str, str]] = []
+    for index, entry in enumerate(sources):
+        if isinstance(entry, tuple):
+            normalized.append(entry)
+        else:
+            normalized.append((entry, f"source_{index}.td"))
+    return tuple(normalized)
+
+
+class ResultCache(Protocol):
+    """What :func:`compile_sources` needs from a cache (duck-typed so the
+    lang layer never imports :mod:`repro.pipeline`; pass a
+    :class:`repro.pipeline.CompilationCache`)."""
+
+    def key_for(self, sources, options) -> str: ...  # pragma: no cover
+
+    def get(self, key: str) -> Optional["CompilationResult"]: ...  # pragma: no cover
+
+    def put(self, key: str, result: "CompilationResult") -> None: ...  # pragma: no cover
+
+
+@lru_cache(maxsize=4)
+def _parsed_stdlib(source_text: str) -> SourceUnit:
+    """Parse the standard library once per distinct source text.
+
+    Every compilation with ``include_stdlib=True`` prepends the same ~200
+    lines of stdlib source; lexing and parsing them dominated short compiles,
+    so the parsed AST is memoised.  The AST is treated as immutable by every
+    later stage (evaluation only reads declarations), which makes sharing one
+    unit across compilations safe.
+    """
+    return parse_source(source_text, "std.td")
 
 
 @dataclass
@@ -71,6 +115,7 @@ def compile_sources(
     run_drc: bool = True,
     strict_drc: bool = True,
     project_name: str = "design",
+    cache: Optional[ResultCache] = None,
 ) -> CompilationResult:
     """Compile one or more Tydi-lang sources to Tydi-IR.
 
@@ -90,21 +135,41 @@ def compile_sources(
         Apply automatic duplicator/voider insertion (Section IV-D).
     run_drc / strict_drc:
         Run the design rule check; ``strict_drc`` raises on DRC errors.
+    cache:
+        Optional content-addressed result cache (see
+        :class:`repro.pipeline.CompilationCache`).  On a hit the stored
+        :class:`CompilationResult` is returned as-is (treat it as
+        immutable); on a miss the fresh result is stored before returning.
     """
+    normalized = normalize_sources(sources)
+
+    cache_key: Optional[str] = None
+    if cache is not None:
+        cache_key = cache.key_for(
+            normalized,
+            {
+                "top": top,
+                "top_args": top_args,
+                "include_stdlib": include_stdlib,
+                "sugaring": sugaring,
+                "run_drc": run_drc,
+                "strict_drc": strict_drc,
+                "project_name": project_name,
+            },
+        )
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
+
     diagnostics = DiagnosticSink()
     stages: list[CompilationStage] = []
 
-    # Stage 1: parse.
-    normalized: list[tuple[str, str]] = []
+    # Stage 1: parse (the stdlib AST is parsed once and shared, see
+    # :func:`_parsed_stdlib`).
+    units = []
     if include_stdlib:
-        normalized.append((STDLIB_SOURCE, "std.td"))
-    for index, entry in enumerate(sources):
-        if isinstance(entry, tuple):
-            normalized.append(entry)
-        else:
-            normalized.append((entry, f"source_{index}.td"))
-
-    units = [parse_source(text, filename) for text, filename in normalized]
+        units.append(_parsed_stdlib(STDLIB_SOURCE))
+    units.extend(parse_source(text, filename) for text, filename in normalized)
     total_decls = sum(len(u.declarations) for u in units)
     stages.append(
         CompilationStage("parse", f"parsed {len(units)} source file(s), {total_decls} declaration(s)")
@@ -141,7 +206,7 @@ def compile_sources(
     # Stage 5: Tydi-IR generation is on-demand via CompilationResult.ir_text().
     stages.append(CompilationStage("ir", "Tydi-IR available via CompilationResult.ir_text()"))
 
-    return CompilationResult(
+    result = CompilationResult(
         project=project,
         diagnostics=diagnostics,
         stages=stages,
@@ -149,6 +214,9 @@ def compile_sources(
         drc=drc_report,
         units=units,
     )
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, result)
+    return result
 
 
 def compile_project(

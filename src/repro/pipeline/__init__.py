@@ -1,0 +1,49 @@
+"""Batch compilation pipeline: caching, concurrent fan-out, incrementality.
+
+The frontend of Figure 3 (:func:`repro.lang.compile.compile_sources`) is a
+pure function of its source texts and options.  This package exploits that:
+
+* :mod:`repro.pipeline.cache` -- a content-addressed store of compilation
+  results (in-memory LRU plus an optional on-disk tier under
+  ``.tydi-cache/``), keyed by :func:`~repro.pipeline.cache.
+  fingerprint_sources`.
+* :mod:`repro.pipeline.batch` -- :class:`~repro.pipeline.batch.
+  BatchCompiler`, which compiles many independent designs concurrently
+  (serial / thread / process executors) with per-design error isolation.
+* :mod:`repro.pipeline.incremental` -- :class:`~repro.pipeline.incremental.
+  IncrementalCompiler`, which diffs source fingerprints between rounds and
+  recompiles only what changed.
+
+See ``docs/pipeline.md`` for the architecture and cache layout.
+"""
+
+from repro.pipeline.batch import (
+    BatchCompilationError,
+    BatchCompiler,
+    BatchResult,
+    CompileJob,
+    JobResult,
+)
+from repro.pipeline.cache import (
+    CacheStats,
+    CompilationCache,
+    DEFAULT_CACHE_DIR,
+    fingerprint_sources,
+    normalize_sources,
+)
+from repro.pipeline.incremental import IncrementalCompiler, IncrementalReport
+
+__all__ = [
+    "BatchCompilationError",
+    "BatchCompiler",
+    "BatchResult",
+    "CacheStats",
+    "CompilationCache",
+    "CompileJob",
+    "DEFAULT_CACHE_DIR",
+    "IncrementalCompiler",
+    "IncrementalReport",
+    "JobResult",
+    "fingerprint_sources",
+    "normalize_sources",
+]

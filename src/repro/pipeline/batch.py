@@ -1,0 +1,321 @@
+"""Batch compilation driver: many independent designs, compiled concurrently.
+
+A :class:`CompileJob` is a pure-data description of one frontend run (sources
+plus the :func:`repro.lang.compile.compile_sources` options), which makes it
+hashable into a content address and shippable to worker processes.
+:class:`BatchCompiler` fans a sequence of jobs out over a ``serial``,
+``thread`` or ``process`` executor with per-job error isolation: one design
+failing its parse or DRC records a :class:`JobResult` error entry instead of
+aborting the batch.
+
+Determinism: the frontend is pure, so batch output is byte-identical to
+compiling the same jobs serially (asserted by
+``benchmarks/test_pipeline_throughput.py``).
+
+Cache interaction
+-----------------
+* ``serial`` / ``thread``: workers share the driver's
+  :class:`~repro.pipeline.cache.CompilationCache` instance directly.
+* ``process``: the cache object cannot be shared, so workers get the cache's
+  *directory* and hit/populate the on-disk tier; the parent folds finished
+  results back into its in-memory tier.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.pipeline.cache import CompilationCache, fingerprint_sources
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lang.compile import CompilationResult
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One independent design to compile (pure data, picklable)."""
+
+    name: str
+    sources: tuple[tuple[str, str], ...]
+    top: Optional[str] = None
+    top_args: tuple = ()
+    include_stdlib: bool = True
+    sugaring: bool = True
+    run_drc: bool = True
+    strict_drc: bool = True
+    project_name: Optional[str] = None
+
+    def options(self) -> dict[str, object]:
+        """The ``compile_sources`` keyword options this job carries."""
+        return {
+            "top": self.top,
+            "top_args": self.top_args,
+            "include_stdlib": self.include_stdlib,
+            "sugaring": self.sugaring,
+            "run_drc": self.run_drc,
+            "strict_drc": self.strict_drc,
+            "project_name": self.project_name or self.name,
+        }
+
+    def fingerprint(self) -> str:
+        """Content address of this job (sources + options + stdlib)."""
+        return fingerprint_sources(self.sources, self.options())
+
+    def with_options(self, **changes: object) -> "CompileJob":
+        """A copy of this job with some option fields replaced."""
+        return replace(self, **changes)
+
+    def compile(self, *, cache: Optional[CompilationCache] = None) -> "CompilationResult":
+        """Compile this job directly (no executor, no error isolation)."""
+        from repro.lang.compile import compile_sources
+
+        return compile_sources(list(self.sources), cache=cache, **self.options())
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a result, or an isolated error."""
+
+    job: CompileJob
+    result: Optional["CompilationResult"] = None
+    error: Optional[str] = None
+    error_stage: Optional[str] = None
+    error_type: Optional[str] = None
+    elapsed: float = 0.0
+    from_cache: bool = False
+    #: Content address of the job, when a cache was in play (lets the
+    #: process-executor fold reuse the worker's hash instead of recomputing).
+    key: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.job.name
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def status(self) -> str:
+        if not self.ok:
+            return "error"
+        return "cached" if self.from_cache else "compiled"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready summary (used by ``tydi-compile --batch --json``)."""
+        entry: dict[str, object] = {
+            "name": self.name,
+            "status": self.status(),
+            "elapsed": round(self.elapsed, 6),
+        }
+        if self.ok:
+            entry["statistics"] = self.result.project.statistics()
+        else:
+            entry["error"] = self.error
+            entry["error_stage"] = self.error_stage
+            entry["error_type"] = self.error_type
+        return entry
+
+
+@dataclass
+class BatchResult:
+    """All job results of one batch, in the input job order."""
+
+    results: list[JobResult]
+    wall_time: float
+    executor: str
+    workers: int
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    def result_map(self) -> dict[str, "CompilationResult"]:
+        """Successful results by job name."""
+        return {r.name: r.result for r in self.results if r.ok}
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the first failure (for callers that want all-or-nothing)."""
+        for entry in self.results:
+            if not entry.ok:
+                raise BatchCompilationError(self)
+
+    def stats(self) -> dict[str, object]:
+        compiled = sum(1 for r in self.results if r.ok and not r.from_cache)
+        cached = sum(1 for r in self.results if r.ok and r.from_cache)
+        return {
+            "jobs": len(self.results),
+            "succeeded": compiled + cached,
+            "failed": len(self.failures),
+            "compiled": compiled,
+            "cached": cached,
+            "executor": self.executor,
+            "workers": self.workers,
+            "wall_time": round(self.wall_time, 6),
+            "job_time_total": round(sum(r.elapsed for r in self.results), 6),
+            "throughput": round(len(self.results) / self.wall_time, 3)
+            if self.wall_time > 0
+            else None,
+        }
+
+
+class BatchCompilationError(Exception):
+    """Raised by :meth:`BatchResult.raise_if_failed` when any job failed."""
+
+    def __init__(self, batch: BatchResult) -> None:
+        self.batch = batch
+        lines = [f"{len(batch.failures)} of {len(batch)} design(s) failed to compile:"]
+        for entry in batch.failures:
+            lines.append(f"  {entry.name} [{entry.error_stage or 'unknown'}]: {entry.error}")
+        super().__init__("\n".join(lines))
+
+
+def _execute_job(job: CompileJob, cache: Optional[CompilationCache]) -> JobResult:
+    """Compile one job with error isolation; shared by every executor."""
+    start = time.perf_counter()
+    key: Optional[str] = None
+    try:
+        if cache is not None:
+            key = job.fingerprint()
+            hit = cache.get(key)
+            if hit is not None:
+                return JobResult(
+                    job=job,
+                    result=hit,
+                    elapsed=time.perf_counter() - start,
+                    from_cache=True,
+                    key=key,
+                )
+        from repro.lang.compile import compile_sources
+
+        result = compile_sources(list(job.sources), **job.options())
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        return JobResult(job=job, result=result, elapsed=time.perf_counter() - start, key=key)
+    except Exception as exc:  # noqa: BLE001 - isolation is the whole point
+        return JobResult(
+            job=job,
+            error=str(exc) or traceback.format_exc(limit=1).strip(),
+            error_stage=getattr(exc, "stage", None),
+            error_type=type(exc).__name__,
+            elapsed=time.perf_counter() - start,
+        )
+
+
+def _process_worker(job: CompileJob, cache_dir: Optional[str]) -> JobResult:
+    """Process-pool entry point: rebuild a disk-backed cache in the worker."""
+    cache = CompilationCache(cache_dir=cache_dir) if cache_dir else None
+    return _execute_job(job, cache)
+
+
+@dataclass
+class BatchCompiler:
+    """Compile many independent designs, optionally concurrently.
+
+    Parameters
+    ----------
+    cache:
+        A shared :class:`~repro.pipeline.cache.CompilationCache`; jobs whose
+        fingerprint hits skip compilation entirely.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"``.  Threads share the
+        in-memory cache; processes share only its disk tier.
+    max_workers:
+        Worker count for the concurrent executors (default: CPU count,
+        capped at 8 for threads to match the GIL's useful parallelism).
+    """
+
+    cache: Optional[CompilationCache] = None
+    executor: str = "thread"
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {self.executor!r}")
+
+    def _worker_count(self, num_jobs: int) -> int:
+        if self.executor == "serial" or num_jobs <= 1:
+            return 1
+        workers = self.max_workers or min(os.cpu_count() or 2, 8)
+        return max(1, min(workers, num_jobs))
+
+    def compile_batch(self, jobs: Sequence[CompileJob]) -> BatchResult:
+        """Compile every job; failures are recorded per job, never raised."""
+        jobs = list(jobs)
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate job name(s) in batch: {', '.join(dupes)}")
+
+        start = time.perf_counter()
+        workers = self._worker_count(len(jobs))
+        if self.executor == "serial" or workers == 1:
+            results = [_execute_job(job, self.cache) for job in jobs]
+            executor_name = "serial"
+        elif self.executor == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(lambda job: _execute_job(job, self.cache), jobs))
+            executor_name = "thread"
+        else:
+            cache_dir = (
+                str(self.cache.cache_dir)
+                if self.cache is not None and self.cache.cache_dir is not None
+                else None
+            )
+            # Check the parent's in-memory tier before paying pool dispatch:
+            # workers can only see the disk tier, so without this a
+            # memory-only cache would never produce a warm process batch.
+            hits: dict[int, JobResult] = {}
+            pending: list[CompileJob] = []
+            if self.cache is not None:
+                for index, job in enumerate(jobs):
+                    key = job.fingerprint()
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        hits[index] = JobResult(job=job, result=hit, from_cache=True, key=key)
+                    else:
+                        pending.append(job)
+            else:
+                pending = jobs
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                compiled = list(pool.map(_process_worker, pending, [cache_dir] * len(pending)))
+            compiled_iter = iter(compiled)
+            results = [hits.get(i) or next(compiled_iter) for i in range(len(jobs))]
+            # Fold worker output back into the parent's cache: results into
+            # the in-memory tier (the workers already wrote the disk
+            # artefacts, so skip re-pickling those), and the workers'
+            # hit/miss activity into the parent's stats so e.g.
+            # ``tydi-compile --json`` reports a warm process batch as warm.
+            # Parent-side hits above already counted themselves via get().
+            if self.cache is not None:
+                for entry in compiled:
+                    if not entry.ok:
+                        continue
+                    key = entry.key or entry.job.fingerprint()
+                    if entry.from_cache:
+                        self.cache.absorb_hit(key, entry.result)
+                    else:
+                        self.cache.put(key, entry.result, disk=cache_dir is None)
+            executor_name = "process"
+        return BatchResult(
+            results=results,
+            wall_time=time.perf_counter() - start,
+            executor=executor_name,
+            workers=workers,
+        )

@@ -1,0 +1,285 @@
+"""Content-addressed compilation cache.
+
+The frontend of Figure 3 is deterministic: the same source texts compiled
+with the same options always produce the same :class:`~repro.lang.compile.
+CompilationResult` (and therefore the same textual Tydi-IR).  That makes
+compilation outputs *content-addressable* -- a stable fingerprint of the
+inputs is a complete identity for the output artefact.
+
+:func:`fingerprint_sources` computes that fingerprint: a SHA-256 over
+
+* a cache-format version salt (so layout changes invalidate old stores),
+* the compile options, serialised with sorted keys,
+* the standard-library source text (when ``include_stdlib`` is set, so
+  stdlib edits across revisions invalidate persistent caches), and
+* every ``(filename, source_text)`` pair in order.
+
+:class:`CompilationCache` stores pickled results under those keys in a
+bounded in-memory LRU, optionally backed by an on-disk store (conventionally
+``.tydi-cache/``) that survives across processes -- which is what lets the
+process-pool executor of :mod:`repro.pipeline.batch` share warm artefacts
+with its workers.
+
+Cached results are returned *as-is* (no defensive copy): treat a
+:class:`~repro.lang.compile.CompilationResult` obtained through the cache as
+immutable.  Results loaded from disk are fresh pickle round-trips and are
+never aliased with a result some other compilation already holds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lang.compile import CompilationResult
+
+#: Bump when the pickle layout or fingerprint recipe changes; old on-disk
+#: entries then simply miss instead of deserialising stale artefacts.
+CACHE_VERSION = 1
+
+#: Default directory name for the on-disk store.
+DEFAULT_CACHE_DIR = ".tydi-cache"
+
+
+# The one normalisation shared with compile_sources, so fingerprints agree
+# no matter which layer computed them (the lang layer owns the definition).
+from repro.lang.compile import normalize_sources  # noqa: E402
+
+
+def fingerprint_sources(
+    sources: Sequence[tuple[str, str]] | Sequence[str],
+    options: Mapping[str, object] | None = None,
+) -> str:
+    """Stable SHA-256 content hash of a compilation's inputs."""
+    import repro
+
+    options = dict(options or {})
+    hasher = hashlib.sha256()
+    # Both the cache-format salt and the compiler's own version participate:
+    # a new compiler release invalidates persistent artefacts automatically,
+    # without anyone remembering to bump CACHE_VERSION.
+    hasher.update(f"tydi-cache-v{CACHE_VERSION}:compiler-{repro.__version__}".encode())
+    for key in sorted(options):
+        hasher.update(b"\x00opt\x00")
+        hasher.update(key.encode())
+        hasher.update(b"=")
+        hasher.update(repr(options[key]).encode())
+    if options.get("include_stdlib", True):
+        from repro.stdlib.source import STDLIB_SOURCE
+
+        hasher.update(b"\x00stdlib\x00")
+        hasher.update(STDLIB_SOURCE.encode())
+    for text, filename in normalize_sources(sources):
+        hasher.update(b"\x00file\x00")
+        hasher.update(filename.encode())
+        hasher.update(b"\x00")
+        hasher.update(text.encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a :class:`CompilationCache` has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    disk_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "disk_errors": self.disk_errors,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = self.evictions = 0
+        self.disk_hits = self.disk_stores = self.disk_errors = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class CompilationCache:
+    """Bounded in-memory LRU of compilation results, with optional disk tier.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity; the least-recently-used entry is evicted on
+        overflow (it stays on disk if a ``cache_dir`` is configured).
+    cache_dir:
+        When set, every stored result is also pickled to
+        ``<cache_dir>/<key>.pkl`` and in-memory misses fall through to disk.
+        The directory is created lazily on first store.
+
+    The cache is thread-safe: the batch driver's thread executor shares one
+    instance across all workers.
+    """
+
+    max_entries: int = 128
+    cache_dir: Optional[str | Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+        self._entries: OrderedDict[str, "CompilationResult"] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- keying ---------------------------------------------------------------
+
+    def key_for(
+        self,
+        sources: Sequence[tuple[str, str]] | Sequence[str],
+        options: Mapping[str, object] | None = None,
+    ) -> str:
+        """Content-address of one compilation (see :func:`fingerprint_sources`)."""
+        return fingerprint_sources(sources, options)
+
+    # -- lookup / store -------------------------------------------------------
+
+    def get(self, key: str) -> Optional["CompilationResult"]:
+        """Return the cached result for ``key`` or ``None`` on a miss."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return result
+        result = self._disk_load(key)
+        with self._lock:
+            if result is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert(key, result)
+            else:
+                self.stats.misses += 1
+        return result
+
+    def put(self, key: str, result: "CompilationResult", *, disk: bool = True) -> None:
+        """Store a result under its content address (memory, then disk).
+
+        ``disk=False`` populates only the in-memory tier -- used when the
+        on-disk artefact is known to exist already (e.g. a process-pool
+        worker stored it), to avoid re-pickling the result.
+        """
+        with self._lock:
+            self.stats.stores += 1
+            self._insert(key, result)
+        if disk:
+            self._disk_store(key, result)
+
+    def absorb_hit(self, key: str, result: "CompilationResult") -> None:
+        """Fold in a hit observed by another process over the same disk store.
+
+        Process-pool workers do their lookups in their own cache instances;
+        the parent calls this per warm result so its stats reflect the batch
+        ("cached" designs <=> recorded hits) and its memory tier warms up.
+        """
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._insert(key, result)
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` would hit, without touching stats or LRU order."""
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self.cache_dir is not None and self._disk_path(key).exists()
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory tier (and, optionally, the on-disk store)."""
+        with self._lock:
+            self._entries.clear()
+        if disk and self.cache_dir is not None and self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    with self._lock:
+                        self.stats.disk_errors += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- internals ------------------------------------------------------------
+
+    def _insert(self, key: str, result: "CompilationResult") -> None:
+        """Insert under the lock, evicting the LRU entry on overflow."""
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: str) -> Path:
+        return Path(self.cache_dir) / f"{key}.pkl"
+
+    def _disk_load(self, key: str) -> Optional["CompilationResult"]:
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            # A corrupt or stale artefact is just a miss; drop it if we can.
+            with self._lock:
+                self.stats.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, key: str, result: "CompilationResult") -> None:
+        if self.cache_dir is None:
+            return
+        path = self._disk_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so concurrent readers never see a torn pickle.
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            with self._lock:
+                self.stats.disk_stores += 1
+        except (OSError, pickle.PickleError):
+            with self._lock:
+                self.stats.disk_errors += 1

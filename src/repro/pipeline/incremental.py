@@ -1,0 +1,110 @@
+"""Incremental recompilation: only rebuild the designs whose inputs changed.
+
+:class:`IncrementalCompiler` remembers, per design name, the content
+fingerprint of the last successful build.  On :meth:`~IncrementalCompiler.
+update` it diffs the incoming job set against that memory:
+
+* **unchanged** fingerprints reuse the previous result without touching the
+  compiler (or even the cache),
+* **changed or new** fingerprints are recompiled through a
+  :class:`~repro.pipeline.batch.BatchCompiler` (so they still enjoy cache
+  hits and concurrency),
+* names that disappeared from the job set are **removed**.
+
+A design that fails to compile loses its previous fingerprint *and* result,
+so the next ``update`` retries it instead of treating the failure as
+up-to-date, and :meth:`~IncrementalCompiler.result_for` never serves an
+artefact that no longer matches the sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.pipeline.batch import BatchCompiler, CompileJob
+from repro.pipeline.cache import CompilationCache
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lang.compile import CompilationResult
+
+
+@dataclass
+class IncrementalReport:
+    """What one :meth:`IncrementalCompiler.update` round did."""
+
+    compiled: list[str] = field(default_factory=list)
+    reused: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)
+    results: dict[str, "CompilationResult"] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.compiled)} recompiled, {len(self.reused)} reused, "
+            f"{len(self.removed)} removed, {len(self.failed)} failed"
+        )
+
+
+class IncrementalCompiler:
+    """Stateful driver that recompiles only fingerprint-dirty designs."""
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[CompilationCache] = None,
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.batch = BatchCompiler(cache=cache, executor=executor, max_workers=max_workers)
+        self._fingerprints: dict[str, str] = {}
+        self._results: dict[str, "CompilationResult"] = {}
+
+    @property
+    def known_designs(self) -> list[str]:
+        return sorted(self._results)
+
+    def result_for(self, name: str) -> Optional["CompilationResult"]:
+        return self._results.get(name)
+
+    def update(self, jobs: Sequence[CompileJob]) -> IncrementalReport:
+        """Bring the build state in line with ``jobs`` and report the diff."""
+        report = IncrementalReport()
+        jobs = list(jobs)
+        wanted = {job.name for job in jobs}
+
+        for name in sorted(set(self._fingerprints) - wanted):
+            del self._fingerprints[name]
+            self._results.pop(name, None)
+            report.removed.append(name)
+
+        dirty: list[tuple[CompileJob, str]] = []
+        for job in jobs:
+            key = job.fingerprint()
+            if self._fingerprints.get(job.name) == key and job.name in self._results:
+                report.reused.append(job.name)
+                report.results[job.name] = self._results[job.name]
+            else:
+                dirty.append((job, key))
+
+        if dirty:
+            batch = self.batch.compile_batch([job for job, _ in dirty])
+            for (job, key), entry in zip(dirty, batch.results):
+                if entry.ok:
+                    self._fingerprints[job.name] = key
+                    self._results[job.name] = entry.result
+                    report.compiled.append(job.name)
+                    report.results[job.name] = entry.result
+                else:
+                    # A failed design has no usable result: drop any previous
+                    # build so result_for() can't serve an artefact that no
+                    # longer matches the sources.  The stale fingerprint goes
+                    # too, so the next update always retries.
+                    self._fingerprints.pop(job.name, None)
+                    self._results.pop(job.name, None)
+                    report.failed[job.name] = entry.error or "unknown error"
+        return report

@@ -37,4 +37,36 @@ QUERIES: dict[str, TpchQuery] = {
     "q19": q19.QUERY,
 }
 
-__all__ = ["TpchQuery", "QueryLoc", "ALL_QUERIES", "QUERIES"]
+
+def compile_all(
+    queries=None,
+    *,
+    cache=None,
+    executor: str = "thread",
+    max_workers=None,
+    strict: bool = True,
+):
+    """Compile the TPC-H suite through the batch pipeline driver.
+
+    Returns ``{query_name: CompilationResult}`` in suite order and memoises
+    each result on its :class:`TpchQuery` (so later ``query.compile()`` /
+    ``query.simulate()`` calls reuse the batch output).  With ``strict`` the
+    first failing design raises :class:`repro.pipeline.
+    BatchCompilationError`; otherwise failures are silently absent from the
+    returned mapping.
+    """
+    from repro.pipeline import BatchCompiler
+
+    queries = list(ALL_QUERIES if queries is None else queries)
+    batch = BatchCompiler(cache=cache, executor=executor, max_workers=max_workers)
+    outcome = batch.compile_batch([query.compile_job() for query in queries])
+    if strict:
+        outcome.raise_if_failed()
+    results = outcome.result_map()
+    for query in queries:
+        if query.name in results:
+            query._compiled = results[query.name]
+    return {query.name: results[query.name] for query in queries if query.name in results}
+
+
+__all__ = ["TpchQuery", "QueryLoc", "ALL_QUERIES", "QUERIES", "compile_all"]

@@ -71,8 +71,14 @@ class TpchQuery:
             (self.query_source, f"{self.name}.td"),
         ]
 
-    def compile(self, *, force: bool = False) -> CompilationResult:
-        """Compile the full design (stdlib + Fletcher interface + query logic)."""
+    def compile(self, *, force: bool = False, cache=None) -> CompilationResult:
+        """Compile the full design (stdlib + Fletcher interface + query logic).
+
+        ``cache`` is an optional :class:`repro.pipeline.CompilationCache`;
+        the per-query memo (``_compiled``) sits in front of it.  ``force``
+        guarantees a real recompilation, so it bypasses both the memo and
+        the cache.
+        """
         if self._compiled is None or force:
             self._compiled = compile_sources(
                 self.sources(),
@@ -80,8 +86,22 @@ class TpchQuery:
                 include_stdlib=True,
                 sugaring=self.sugaring,
                 project_name=self.name,
+                cache=None if force else cache,
             )
         return self._compiled
+
+    def compile_job(self):
+        """This query as a :class:`repro.pipeline.CompileJob` for batch runs."""
+        from repro.pipeline import CompileJob
+
+        return CompileJob(
+            name=self.name,
+            sources=tuple(self.sources()),
+            top=self.top,
+            include_stdlib=True,
+            sugaring=self.sugaring,
+            project_name=self.name,
+        )
 
     def generate_vhdl(self) -> dict[str, str]:
         return VhdlBackend(self.compile().project).generate()

@@ -1,5 +1,7 @@
 """Tests for the ``tydi-compile`` command-line interface."""
 
+import json
+import os
 import pathlib
 
 import pytest
@@ -69,3 +71,132 @@ class TestCli:
         # Without sugaring the unused output makes the DRC fail.
         assert main([str(path), "--no-sugaring"]) == 1
         assert main([str(path)]) == 0
+
+    def test_same_basename_in_different_dirs_distinguishable(self, tmp_path, capsys, monkeypatch):
+        """Regression: sources used to be keyed by basename only, making two
+        inputs named ``top.td`` in different directories indistinguishable."""
+        monkeypatch.chdir(tmp_path)
+        for sub in ("a", "b"):
+            (tmp_path / sub).mkdir()
+        (tmp_path / "a" / "top.td").write_text("type good_t = Stream(Bit(8), d=1);")
+        # The failing file: its diagnostics must name b/top.td, not just top.td.
+        (tmp_path / "b" / "top.td").write_text("type bad_t = Stream(Mystery, d=1);\ntop nothing;")
+        assert main([os.path.join("a", "top.td"), os.path.join("b", "top.td")]) == 1
+        err = capsys.readouterr().err
+        assert os.path.join("b", "top.td") in err
+
+
+class TestCliCache:
+    def test_cache_dir_single_design(self, design_file, tmp_path, capsys):
+        cache_dir = tmp_path / ".tydi-cache"
+        assert main([str(design_file), "--cache-dir", str(cache_dir)]) == 0
+        assert list(cache_dir.glob("*.pkl"))
+        capsys.readouterr()
+        # Warm run: same design served from the on-disk store.
+        assert main([str(design_file), "--cache-dir", str(cache_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hits"] == 1
+        assert payload["cache"]["disk_hits"] == 1
+
+    def test_json_output_single_design(self, design_file, capsys):
+        assert main([str(design_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in payload["stages"]] == ["parse", "evaluate", "sugaring", "drc", "ir"]
+        assert payload["statistics"]["streamlets"] >= 1
+        assert payload["cache"] is None
+
+
+class TestCliBatch:
+    @pytest.fixture()
+    def design_dir(self, tmp_path):
+        for width in (2, 4, 8):
+            (tmp_path / f"w{width}.td").write_text(
+                f"type t = Stream(Bit({width}), d=1);\n"
+                "streamlet s { i: t in, o: t out, }\n"
+                "impl im of s { i => o, }\n"
+                "top im;\n"
+            )
+        return tmp_path
+
+    def _paths(self, design_dir):
+        return sorted(str(p) for p in design_dir.glob("*.td"))
+
+    def test_batch_compiles_every_design(self, design_dir, capsys):
+        assert main(["--batch", *self._paths(design_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok]") == 3
+        assert "batch: 3/3 succeeded" in out
+
+    def test_batch_jobs_and_executor_flags(self, design_dir, capsys):
+        argv = ["--batch", "--jobs", "2", "--executor", "serial", *self._paths(design_dir)]
+        assert main(argv) == 0
+        assert "batch: 3/3 succeeded" in capsys.readouterr().out
+
+    def test_batch_failure_sets_exit_code(self, design_dir, capsys):
+        bad = design_dir / "bad.td"
+        bad.write_text("streamlet s { i: Mystery in, }\nimpl im of s {}\ntop im;\n")
+        assert main(["--batch", *self._paths(design_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "[failed] bad" in out and out.count("[ok]") == 3
+
+    def test_batch_json_stats(self, design_dir, capsys):
+        cache_dir = design_dir / ".tydi-cache"
+        argv = ["--batch", "--cache-dir", str(cache_dir), "--json", *self._paths(design_dir)]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["batch"]["jobs"] == 3
+        assert cold["batch"]["failed"] == 0
+        assert cold["cache"]["stores"] == 3
+
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["batch"]["cached"] == 3
+        assert all(d["status"] == "cached" for d in warm["designs"])
+
+    def test_batch_vhdl_dir_per_design(self, design_dir, tmp_path, capsys):
+        vhdl_dir = tmp_path / "vhdl"
+        assert main(["--batch", "--vhdl-dir", str(vhdl_dir), *self._paths(design_dir)]) == 0
+        assert sorted(p.name for p in vhdl_dir.iterdir()) == ["w2", "w4", "w8"]
+        assert any(f.suffix == ".vhd" for f in (vhdl_dir / "w2").iterdir())
+        assert "VHDL file(s)" in capsys.readouterr().out
+
+    def test_batch_stats_flag(self, design_dir, capsys):
+        assert main(["--batch", "--stats", *self._paths(design_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("streamlets:") == 3
+
+    def test_batch_ir_out_directory(self, design_dir, tmp_path):
+        out_dir = tmp_path / "ir"
+        assert main(["--batch", "--ir-out", str(out_dir), *self._paths(design_dir)]) == 0
+        names = sorted(p.name for p in out_dir.glob("*.tir"))
+        assert names == ["w2.tir", "w4.tir", "w8.tir"]
+        assert "impl im" in (out_dir / "w2.tir").read_text()
+
+    def test_batch_unreadable_file_is_isolated(self, design_dir, capsys):
+        """A missing input is one failed design, not an aborted batch."""
+        argv = ["--batch", str(design_dir / "missing.td"), *self._paths(design_dir)]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "[failed] missing (read): cannot read" in out
+        assert out.count("[ok]") == 3  # the readable designs still compiled
+
+    def test_batch_ir_out_conflicting_file_clean_error(self, design_dir, tmp_path, capsys):
+        conflict = tmp_path / "out.tir"
+        conflict.write_text("already a file")
+        argv = ["--batch", "--ir-out", str(conflict), *self._paths(design_dir)]
+        assert main(argv) == 1
+        assert "cannot create directory" in capsys.readouterr().err
+
+    def test_batch_same_basename_gets_unique_names(self, tmp_path, capsys):
+        for sub in ("a", "b"):
+            (tmp_path / sub).mkdir()
+            (tmp_path / sub / "top.td").write_text(
+                "type t = Stream(Bit(4), d=1);\n"
+                "streamlet s { i: t in, o: t out, }\n"
+                "impl im of s { i => o, }\n"
+                "top im;\n"
+            )
+        argv = ["--batch", str(tmp_path / "a" / "top.td"), str(tmp_path / "b" / "top.td")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok]") == 2

@@ -1,0 +1,195 @@
+"""Tests for the batch compilation driver (fan-out, isolation, determinism)."""
+
+import pytest
+
+from repro.pipeline import (
+    BatchCompilationError,
+    BatchCompiler,
+    CompilationCache,
+    CompileJob,
+)
+
+
+def design_source(width: int) -> str:
+    return f"""
+type data_t = Stream(Bit({width}), d=1);
+streamlet pass_s {{ i: data_t in, o: data_t out, }}
+impl pass_i of pass_s {{ i => o, }}
+top pass_i;
+"""
+
+
+BAD_SOURCE = """
+streamlet broken_s { i: MysteryType in, }
+impl broken_i of broken_s {}
+top broken_i;
+"""
+
+
+def make_jobs(count: int = 5) -> list[CompileJob]:
+    return [
+        CompileJob(name=f"design_{width}", sources=((design_source(width), f"design_{width}.td"),))
+        for width in range(1, count + 1)
+    ]
+
+
+class TestCompileJob:
+    def test_fingerprint_tracks_options(self):
+        job = make_jobs(1)[0]
+        assert job.fingerprint() == job.fingerprint()
+        assert job.fingerprint() != job.with_options(sugaring=False).fingerprint()
+
+    def test_direct_compile(self):
+        result = make_jobs(1)[0].compile()
+        assert "impl pass_i" in result.ir_text()
+
+    def test_project_name_defaults_to_job_name(self):
+        job = make_jobs(1)[0]
+        assert job.options()["project_name"] == job.name
+        assert job.compile().project.name == job.name
+
+
+class TestBatchCompiler:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_all_jobs_compile(self, executor):
+        jobs = make_jobs(4)
+        outcome = BatchCompiler(executor=executor, max_workers=2).compile_batch(jobs)
+        assert outcome.ok
+        assert [entry.name for entry in outcome.results] == [job.name for job in jobs]
+        assert len(outcome.result_map()) == 4
+        assert outcome.stats()["failed"] == 0
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_failing_design_is_isolated(self, executor):
+        jobs = make_jobs(3)
+        jobs.insert(1, CompileJob(name="broken", sources=((BAD_SOURCE, "broken.td"),)))
+        outcome = BatchCompiler(executor=executor, max_workers=2).compile_batch(jobs)
+        assert not outcome.ok
+        assert [entry.ok for entry in outcome.results] == [True, False, True, True]
+        failure = outcome.results[1]
+        assert failure.error and "MysteryType" in failure.error
+        assert failure.error_stage is not None
+        assert outcome.stats()["succeeded"] == 3
+        with pytest.raises(BatchCompilationError, match="broken"):
+            outcome.raise_if_failed()
+
+    def test_parallel_output_identical_to_serial(self):
+        jobs = make_jobs(6)
+        serial = BatchCompiler(executor="serial").compile_batch(jobs)
+        threaded = BatchCompiler(executor="thread", max_workers=4).compile_batch(jobs)
+        for a, b in zip(serial.results, threaded.results):
+            assert a.result.ir_text() == b.result.ir_text()
+
+    def test_process_output_identical_to_serial(self):
+        jobs = make_jobs(3)
+        serial = BatchCompiler(executor="serial").compile_batch(jobs)
+        forked = BatchCompiler(executor="process", max_workers=2).compile_batch(jobs)
+        for a, b in zip(serial.results, forked.results):
+            assert a.result.ir_text() == b.result.ir_text()
+
+    def test_duplicate_job_names_rejected(self):
+        jobs = make_jobs(2)
+        with pytest.raises(ValueError, match="duplicate"):
+            BatchCompiler().compile_batch([jobs[0], jobs[0]])
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            BatchCompiler(executor="carrier-pigeon")
+
+    def test_empty_batch(self):
+        outcome = BatchCompiler().compile_batch([])
+        assert outcome.ok and len(outcome) == 0
+
+
+class TestBatchWithCache:
+    def test_second_batch_hits_cache(self):
+        cache = CompilationCache()
+        compiler = BatchCompiler(cache=cache, executor="thread", max_workers=3)
+        jobs = make_jobs(4)
+        cold = compiler.compile_batch(jobs)
+        warm = compiler.compile_batch(jobs)
+        assert all(not entry.from_cache for entry in cold.results)
+        assert all(entry.from_cache for entry in warm.results)
+        assert warm.stats()["cached"] == 4
+        for a, b in zip(cold.results, warm.results):
+            assert a.result.ir_text() == b.result.ir_text()
+
+    def test_process_foldback_does_not_rewrite_disk(self, tmp_path):
+        """Workers already pickled fresh results to disk; the parent folds
+        them into memory without re-serialising."""
+        cache = CompilationCache(cache_dir=tmp_path)
+        jobs = make_jobs(3)
+        cold = BatchCompiler(cache=cache, executor="process", max_workers=2).compile_batch(jobs)
+        assert cold.ok and all(not e.from_cache for e in cold.results)
+        assert len(list(tmp_path.glob("*.pkl"))) == 3  # written by the workers
+        assert cache.stats.disk_stores == 0  # ... not by the parent
+        # ... but the parent's memory tier is warm.
+        warm = BatchCompiler(cache=cache, executor="serial").compile_batch(jobs)
+        assert all(e.from_cache for e in warm.results)
+        assert cache.stats.disk_hits == 0
+
+    def test_process_workers_share_disk_cache(self, tmp_path):
+        cache = CompilationCache(cache_dir=tmp_path)
+        jobs = make_jobs(3)
+        BatchCompiler(cache=cache, executor="serial").compile_batch(jobs)
+
+        # A fresh compiler over the same directory: workers hit the disk tier,
+        # and the parent's stats absorb those hits (so --json output of a
+        # warm process batch actually reports hits).
+        warm_cache = CompilationCache(cache_dir=tmp_path)
+        warm = BatchCompiler(cache=warm_cache, executor="process", max_workers=2).compile_batch(jobs)
+        assert all(entry.from_cache for entry in warm.results)
+        assert warm_cache.stats.hits == 3
+        assert warm_cache.stats.disk_hits == 3
+        # ... and its memory tier is warm for follow-up serial/thread batches.
+        assert len(warm_cache) == 3
+
+    def test_process_batch_warms_from_memory_only_cache(self):
+        """Without a disk tier the parent's in-memory cache still makes the
+        second process batch warm (pre-checked before pool dispatch)."""
+        cache = CompilationCache()  # no cache_dir
+        compiler = BatchCompiler(cache=cache, executor="process", max_workers=2)
+        jobs = make_jobs(3)
+        cold = compiler.compile_batch(jobs)
+        assert all(not e.from_cache for e in cold.results)
+        warm = compiler.compile_batch(jobs)
+        assert all(e.from_cache for e in warm.results)
+        assert cache.stats.hits == 3
+        for a, b in zip(cold.results, warm.results):
+            assert a.result.ir_text() == b.result.ir_text()
+
+    def test_failed_jobs_are_not_cached(self):
+        cache = CompilationCache()
+        compiler = BatchCompiler(cache=cache, executor="serial")
+        jobs = [CompileJob(name="broken", sources=((BAD_SOURCE, "broken.td"),))]
+        compiler.compile_batch(jobs)
+        again = compiler.compile_batch(jobs)
+        assert not again.results[0].from_cache
+        assert cache.stats.stores == 0
+
+
+class TestTpchSuiteBatch:
+    def test_force_bypasses_cache(self):
+        """TpchQuery.compile(force=True) really recompiles, cache or not."""
+        from repro.queries import QUERIES
+
+        query = QUERIES["q6"]
+        cache = CompilationCache()
+        first = query.compile(force=True, cache=cache)
+        cache.put(cache.key_for(query.sources(), query.compile_job().options()), first)
+        forced = query.compile(force=True, cache=cache)
+        assert forced is not first  # a fresh compile, not the cached object
+        assert cache.stats.hits == 0
+
+    def test_compile_all_through_batch_driver(self):
+        from repro.queries import ALL_QUERIES, compile_all
+
+        fresh = [q for q in ALL_QUERIES]
+        for query in fresh:
+            query._compiled = None  # force a real batch compile
+        results = compile_all(executor="thread", max_workers=4)
+        assert set(results) == {q.name for q in ALL_QUERIES}
+        # The batch results are memoised onto the query objects.
+        for query in ALL_QUERIES:
+            assert query._compiled is results[query.name]
+            assert f"impl {query.top}" in results[query.name].ir_text()

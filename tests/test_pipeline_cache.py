@@ -1,0 +1,159 @@
+"""Tests for the content-addressed compilation cache."""
+
+import pickle
+
+import pytest
+
+from repro.lang import compile_sources
+from repro.pipeline import (
+    CompilationCache,
+    fingerprint_sources,
+    normalize_sources,
+)
+
+SOURCE = """
+type byte_t = Stream(Bit(8), d=1);
+streamlet echo_s { i: byte_t in, o: byte_t out, }
+impl echo_i of echo_s { i => o, }
+top echo_i;
+"""
+
+OTHER_SOURCE = SOURCE.replace("Bit(8)", "Bit(16)")
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = fingerprint_sources([(SOURCE, "a.td")], {"top": None})
+        b = fingerprint_sources([(SOURCE, "a.td")], {"top": None})
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_source_text_changes_key(self):
+        a = fingerprint_sources([(SOURCE, "a.td")])
+        b = fingerprint_sources([(OTHER_SOURCE, "a.td")])
+        assert a != b
+
+    def test_filename_changes_key(self):
+        assert fingerprint_sources([(SOURCE, "a.td")]) != fingerprint_sources([(SOURCE, "b.td")])
+
+    def test_options_change_key(self):
+        a = fingerprint_sources([(SOURCE, "a.td")], {"sugaring": True})
+        b = fingerprint_sources([(SOURCE, "a.td")], {"sugaring": False})
+        assert a != b
+
+    def test_option_order_is_irrelevant(self):
+        a = fingerprint_sources([(SOURCE, "a.td")], {"top": "x", "sugaring": True})
+        b = fingerprint_sources([(SOURCE, "a.td")], {"sugaring": True, "top": "x"})
+        assert a == b
+
+    def test_normalize_bare_strings(self):
+        assert normalize_sources([SOURCE]) == ((SOURCE, "source_0.td"),)
+        # ... and the bare-string form hashes like its normalised twin.
+        assert fingerprint_sources([SOURCE]) == fingerprint_sources([(SOURCE, "source_0.td")])
+
+
+class TestCompileSourcesCacheHook:
+    def test_miss_then_hit(self):
+        cache = CompilationCache()
+        first = compile_sources([(SOURCE, "a.td")], cache=cache)
+        second = compile_sources([(SOURCE, "a.td")], cache=cache)
+        assert second is first  # in-memory hit returns the stored artefact
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_source_change_invalidates(self):
+        cache = CompilationCache()
+        first = compile_sources([(SOURCE, "a.td")], cache=cache)
+        changed = compile_sources([(OTHER_SOURCE, "a.td")], cache=cache)
+        assert changed is not first
+        assert cache.stats.misses == 2
+
+    def test_option_change_invalidates(self):
+        cache = CompilationCache()
+        compile_sources([(SOURCE, "a.td")], cache=cache)
+        no_sugar = compile_sources([(SOURCE, "a.td")], sugaring=False, cache=cache)
+        assert cache.stats.misses == 2
+        assert "sugaring" not in no_sugar.stage_names()
+
+    def test_cached_result_ir_identical(self):
+        cache = CompilationCache()
+        cold = compile_sources([(SOURCE, "a.td")], cache=cache)
+        warm = compile_sources([(SOURCE, "a.td")], cache=cache)
+        assert warm.ir_text() == cold.ir_text()
+
+
+class TestLru:
+    def test_eviction_of_least_recently_used(self):
+        cache = CompilationCache(max_entries=2)
+        r = compile_sources([SOURCE])
+        cache.put("k1", r)
+        cache.put("k2", r)
+        assert cache.get("k1") is r  # k1 is now most recent
+        cache.put("k3", r)  # evicts k2
+        assert cache.get("k2") is None
+        assert cache.get("k1") is r
+        assert cache.get("k3") is r
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            CompilationCache(max_entries=0)
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        cache_dir = tmp_path / ".tydi-cache"
+        writer = CompilationCache(cache_dir=cache_dir)
+        cold = compile_sources([(SOURCE, "a.td")], cache=writer)
+        assert writer.stats.disk_stores == 1
+        assert list(cache_dir.glob("*.pkl"))
+
+        reader = CompilationCache(cache_dir=cache_dir)
+        warm = compile_sources([(SOURCE, "a.td")], cache=reader)
+        assert reader.stats.disk_hits == 1
+        assert warm is not cold  # pickle round-trip, not an alias
+        assert warm.ir_text() == cold.ir_text()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = CompilationCache(cache_dir=tmp_path)
+        compile_sources([(SOURCE, "a.td")], cache=cache)
+        entry = next(tmp_path.glob("*.pkl"))
+        entry.write_bytes(b"definitely not a pickle")
+
+        fresh = CompilationCache(cache_dir=tmp_path)
+        result = compile_sources([(SOURCE, "a.td")], cache=fresh)
+        assert result is not None
+        assert fresh.stats.disk_errors == 1
+        assert fresh.stats.misses == 1
+        # The corrupt artefact was dropped and replaced by the recompile.
+        reloaded = pickle.loads(next(tmp_path.glob("*.pkl")).read_bytes())
+        assert reloaded.ir_text() == result.ir_text()
+
+    def test_clear_disk(self, tmp_path):
+        cache = CompilationCache(cache_dir=tmp_path)
+        compile_sources([(SOURCE, "a.td")], cache=cache)
+        cache.clear(disk=True)
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_eviction_keeps_disk_copy(self, tmp_path):
+        cache = CompilationCache(max_entries=1, cache_dir=tmp_path)
+        a = compile_sources([(SOURCE, "a.td")], cache=cache)
+        compile_sources([(OTHER_SOURCE, "b.td")], cache=cache)  # evicts a from memory
+        assert cache.stats.evictions == 1
+        again = compile_sources([(SOURCE, "a.td")], cache=cache)
+        assert cache.stats.disk_hits == 1
+        assert again.ir_text() == a.ir_text()
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = CompilationCache()
+        compile_sources([SOURCE], cache=cache)
+        compile_sources([SOURCE], cache=cache)
+        compile_sources([SOURCE], cache=cache)
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate() == pytest.approx(2 / 3)
+        assert cache.stats.as_dict()["hits"] == 2

@@ -1,0 +1,101 @@
+"""Tests for incremental recompilation (fingerprint diffing)."""
+
+from repro.pipeline import CompilationCache, CompileJob, IncrementalCompiler
+
+
+def job(name: str, width: int, **options) -> CompileJob:
+    source = f"""
+type data_t = Stream(Bit({width}), d=1);
+streamlet pass_s {{ i: data_t in, o: data_t out, }}
+impl pass_i of pass_s {{ i => o, }}
+top pass_i;
+"""
+    return CompileJob(name=name, sources=((source, f"{name}.td"),), **options)
+
+
+BROKEN = CompileJob(
+    name="broken",
+    sources=(("streamlet s { i: Mystery in, }\nimpl i_impl of s {}\ntop i_impl;", "broken.td"),),
+)
+
+
+class TestIncrementalCompiler:
+    def test_first_round_compiles_everything(self):
+        inc = IncrementalCompiler()
+        report = inc.update([job("a", 8), job("b", 16)])
+        assert sorted(report.compiled) == ["a", "b"]
+        assert report.reused == [] and report.removed == []
+        assert report.ok
+        assert set(report.results) == {"a", "b"}
+
+    def test_unchanged_jobs_are_reused_not_recompiled(self):
+        inc = IncrementalCompiler()
+        first = inc.update([job("a", 8), job("b", 16)])
+        second = inc.update([job("a", 8), job("b", 16)])
+        assert second.compiled == [] and sorted(second.reused) == ["a", "b"]
+        # Reuse hands back the very same result objects.
+        assert second.results["a"] is first.results["a"]
+
+    def test_only_changed_job_recompiles(self):
+        inc = IncrementalCompiler()
+        inc.update([job("a", 8), job("b", 16)])
+        report = inc.update([job("a", 8), job("b", 32)])  # b's source changed
+        assert report.compiled == ["b"]
+        assert report.reused == ["a"]
+
+    def test_option_change_marks_dirty(self):
+        inc = IncrementalCompiler()
+        inc.update([job("a", 8)])
+        report = inc.update([job("a", 8, sugaring=False)])
+        assert report.compiled == ["a"]
+
+    def test_removed_designs_are_dropped(self):
+        inc = IncrementalCompiler()
+        inc.update([job("a", 8), job("b", 16)])
+        report = inc.update([job("a", 8)])
+        assert report.removed == ["b"]
+        assert inc.result_for("b") is None
+        assert inc.known_designs == ["a"]
+
+    def test_failed_design_is_retried_next_round(self):
+        inc = IncrementalCompiler()
+        report = inc.update([job("a", 8), BROKEN])
+        assert not report.ok
+        assert "broken" in report.failed and "Mystery" in report.failed["broken"]
+        # Same job set again: the good design is reused, the bad one retried.
+        again = inc.update([job("a", 8), BROKEN])
+        assert again.reused == ["a"]
+        assert "broken" in again.failed
+
+    def test_failed_recompile_drops_stale_result(self):
+        """A design that compiled once but now fails must not keep serving
+        the outdated artefact through result_for()."""
+        inc = IncrementalCompiler()
+        inc.update([job("design", 8)])
+        assert inc.result_for("design") is not None
+        broken_edit = CompileJob(name="design", sources=BROKEN.sources)
+        report = inc.update([broken_edit])
+        assert "design" in report.failed
+        assert inc.result_for("design") is None
+        assert "design" not in report.results
+
+    def test_fixing_a_failed_design(self):
+        inc = IncrementalCompiler()
+        inc.update([BROKEN])
+        fixed = inc.update([job("broken", 8)])
+        assert fixed.compiled == ["broken"] and fixed.ok
+
+    def test_shares_cache_with_other_drivers(self):
+        cache = CompilationCache()
+        jobs = [job("a", 8)]
+        IncrementalCompiler(cache=cache).update(jobs)
+        # A second, state-less incremental compiler still hits the cache.
+        other = IncrementalCompiler(cache=cache)
+        report = other.update(jobs)
+        assert report.compiled == ["a"]
+        assert cache.stats.hits == 1
+
+    def test_summary_line(self):
+        inc = IncrementalCompiler()
+        report = inc.update([job("a", 8)])
+        assert report.summary() == "1 recompiled, 0 reused, 0 removed, 0 failed"
