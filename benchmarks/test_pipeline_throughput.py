@@ -16,8 +16,10 @@ import time
 
 from conftest import run_once
 
-from repro.pipeline import BatchCompiler, CompilationCache
+from repro.lang.compile import compile_sources
+from repro.pipeline import BatchCompiler, CompilationCache, StageCache
 from repro.queries import ALL_QUERIES
+from repro.testing import build_chain_design
 
 
 def suite_jobs():
@@ -67,6 +69,78 @@ def test_pipeline_throughput_cold_vs_warm(benchmark):
     cold_ir = {entry.name: entry.result.ir_text() for entry in cold.results}
     for entry in warm.results:
         assert entry.result.ir_text() == cold_ir[entry.name]
+
+
+def _edit_workload(num_files: int = 16, decls_per_file: int = 100):
+    """An N-file design heavy enough that parsing dominates the frontend.
+
+    Each chain file is padded with constant declarations (cheap to evaluate,
+    expensive to lex/parse) -- the realistic shape of a large design where
+    most files hold type/constant libraries that rarely change.
+    """
+    sources = build_chain_design(num_files - 1)
+    padded = []
+    for file_index, (text, name) in enumerate(sources):
+        pad = "\n".join(
+            f"const pad_{file_index}_{i} = {i} * 3 + 1;" for i in range(decls_per_file)
+        )
+        padded.append((text + pad + "\n", name))
+    return padded
+
+
+def test_stage_cache_one_file_edit_speedup(benchmark):
+    """Acceptance criterion: warm stage cache makes a one-file-edit recompile
+    of an N-file design >= 3x faster than a cold monolithic compile."""
+    sources = _edit_workload()
+    assert len(sources) == 16
+
+    # Cold monolithic reference: the full parse -> evaluate -> sugar -> DRC
+    # pipeline with no cache at all (best of 3, timing noise guard).
+    def cold_monolithic():
+        return compile_sources(sources, include_stdlib=False)
+
+    cold_result = run_once(benchmark, cold_monolithic)
+    cold_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        compile_sources(sources, include_stdlib=False)
+        cold_times.append(time.perf_counter() - start)
+    cold_time = min(cold_times)
+
+    # Warm the stage cache, then measure recompiles after distinct one-file
+    # edits: each re-parses exactly one file and re-runs evaluate onward.
+    stage_cache = StageCache()
+    options = {"include_stdlib": False}
+    stage_cache.compile(sources, options)
+    warm_times = []
+    edited = sources
+    for round_index in range(3):
+        edited = list(sources)
+        text, name = edited[round_index]
+        edited[round_index] = (text + f"const edit_{round_index} = {round_index};\n", name)
+        start = time.perf_counter()
+        staged = stage_cache.compile(edited, options)
+        warm_times.append(time.perf_counter() - start)
+    warm_time = min(warm_times)
+
+    # The staged recompile is still byte-identical to a cold monolithic run.
+    reference = compile_sources(edited, include_stdlib=False)
+    assert staged.ir_text() == reference.ir_text()
+    assert [str(s) for s in staged.stages] == [str(s) for s in reference.stages]
+    # Exactly one file re-parsed per edit round.
+    assert stage_cache.stats.parse_misses == len(sources) + 3
+    assert stage_cache.stats.parse_hits == 3 * (len(sources) - 1)
+
+    speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    print("\nOne-file-edit recompile with a warm stage cache (16-file design)")
+    print(f"  cold monolithic: {cold_time * 1000:8.1f} ms")
+    print(f"  staged (1 edit): {warm_time * 1000:8.1f} ms")
+    print(f"  speedup:         {speedup:8.1f}x")
+    print(f"  stage cache:     {stage_cache.stats.as_dict()}")
+    assert cold_result.project is not None
+
+    # Acceptance criterion: >= 3x faster than the cold monolithic compile.
+    assert speedup >= 3.0, f"stage cache only {speedup:.1f}x faster than cold monolithic"
 
 
 def test_pipeline_parallel_matches_serial(benchmark):

@@ -67,6 +67,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="content-addressed compilation cache directory (e.g. .tydi-cache)",
     )
     batch.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="bound the on-disk cache (whole-result and per-stage artefacts) "
+        "to this many megabytes, evicting least-recently-used entries",
+    )
+    batch.add_argument(
         "--json",
         action="store_true",
         dest="json_output",
@@ -127,6 +135,22 @@ def _design_name(path_text: str, taken: set[str]) -> str:
     return candidate
 
 
+def _build_cache(args: argparse.Namespace):
+    """The compilation cache the CLI flags describe (``None`` without one)."""
+    max_disk_bytes = None
+    if args.max_cache_mb is not None:
+        if args.max_cache_mb < 0:
+            raise _CliInputError("--max-cache-mb must be >= 0")
+        if not args.cache_dir:
+            raise _CliInputError("--max-cache-mb requires --cache-dir")
+        max_disk_bytes = int(args.max_cache_mb * 1024 * 1024)
+    if not args.cache_dir:
+        return None
+    from repro.pipeline import CompilationCache
+
+    return CompilationCache(cache_dir=args.cache_dir, max_disk_bytes=max_disk_bytes)
+
+
 def _run_batch(args: argparse.Namespace) -> int:
     from repro.pipeline import BatchCompiler, CompilationCache, CompileJob, JobResult
 
@@ -160,7 +184,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             )
         )
 
-    cache = CompilationCache(cache_dir=args.cache_dir) if args.cache_dir else None
+    cache = _build_cache(args)
     compiler = BatchCompiler(cache=cache, executor=args.executor, max_workers=args.jobs)
     outcome = compiler.compile_batch(jobs)
 
@@ -173,6 +197,9 @@ def _run_batch(args: argparse.Namespace) -> int:
             "designs": [entry.as_dict() for entry in outcome.results],
             "batch": outcome.stats(),
             "cache": cache.stats.as_dict() if cache is not None else None,
+            "stage_cache": cache.stages.stats.as_dict()
+            if cache is not None and cache.stages is not None
+            else None,
         }
         print(json.dumps(payload, indent=2))
     else:
@@ -237,12 +264,7 @@ def _run_single(args: argparse.Namespace) -> int:
     from repro.errors import TydiError
 
     sources = _load_sources(args.sources)
-
-    cache = None
-    if args.cache_dir:
-        from repro.pipeline import CompilationCache
-
-        cache = CompilationCache(cache_dir=args.cache_dir)
+    cache = _build_cache(args)
 
     try:
         result = compile_sources(
@@ -261,6 +283,9 @@ def _run_single(args: argparse.Namespace) -> int:
             "stages": [{"name": s.name, "detail": s.detail} for s in result.stages],
             "statistics": result.project.statistics(),
             "cache": cache.stats.as_dict() if cache is not None else None,
+            "stage_cache": cache.stages.stats.as_dict()
+            if cache is not None and cache.stages is not None
+            else None,
         }
         print(json.dumps(payload, indent=2))
     else:

@@ -10,6 +10,16 @@
 4. **design rule check** (:mod:`repro.lang.drc`),
 5. hand back the Tydi-IR :class:`repro.ir.Project` together with all reports.
 
+Each of the four boxes is exposed as a composable function --
+:func:`parse_stage`, :func:`evaluate_stage`, :func:`sugar_stage`,
+:func:`drc_stage` -- each returning its artefact together with the
+:class:`CompilationStage` log entry it contributes.  ``compile_sources``
+is the monolithic composition of the four; the per-stage cache
+(:class:`repro.pipeline.stages.StageCache`) composes the *same* functions
+with memoised parse and evaluate artefacts, which is what makes the
+staged and monolithic pipelines provably equivalent (see
+``tests/test_stage_differential.py``).
+
 The stage log recorded on the result mirrors the "code structure #1..#4"
 progression in the paper's Figure 3 and is what the figure-3 benchmark
 regenerates.
@@ -19,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Optional, Protocol, Sequence
+from typing import Callable, Optional, Protocol, Sequence
 
 from repro.errors import DiagnosticSink
 from repro.ir.emit import emit_project
@@ -105,6 +115,88 @@ class CompilationResult:
         return [stage.name for stage in self.stages]
 
 
+# ---------------------------------------------------------------------------
+# The four Figure-3 stages as composable functions.
+#
+# Every function returns ``(artefact, CompilationStage)`` so that any caller
+# -- the monolithic ``compile_sources`` or the per-stage-cached pipeline --
+# produces byte-identical stage logs from the same inputs.
+# ---------------------------------------------------------------------------
+
+
+def parse_stage(
+    normalized: Sequence[tuple[str, str]],
+    *,
+    include_stdlib: bool = True,
+    parse_file: Callable[[str, str], SourceUnit] = parse_source,
+) -> tuple[list[SourceUnit], CompilationStage]:
+    """Stage 1: parse every source file (stdlib first) into ASTs.
+
+    ``parse_file`` is the per-file parser; the staged pipeline passes a
+    memoising wrapper (:meth:`repro.pipeline.stages.StageCache.cached_parse`)
+    so unchanged files skip lexing and parsing entirely.  Returned units are
+    treated as immutable by all later stages (evaluation only reads
+    declarations), which is what makes sharing cached ASTs safe.
+    """
+    units: list[SourceUnit] = []
+    if include_stdlib:
+        units.append(_parsed_stdlib(STDLIB_SOURCE))
+    units.extend(parse_file(text, filename) for text, filename in normalized)
+    total_decls = sum(len(u.declarations) for u in units)
+    entry = CompilationStage(
+        "parse", f"parsed {len(units)} source file(s), {total_decls} declaration(s)"
+    )
+    return units, entry
+
+
+def evaluate_stage(
+    units: Sequence[SourceUnit],
+    diagnostics: DiagnosticSink,
+    *,
+    top: Optional[str] = None,
+    top_args: tuple[object, ...] = (),
+    project_name: str = "design",
+) -> tuple[Project, CompilationStage]:
+    """Stage 2: evaluation / expansion ("code expansion & evaluation")."""
+    program = Program.from_units(list(units))
+    evaluator = Evaluator(program, diagnostics, project_name=project_name)
+    project = evaluator.evaluate(top=top, top_args=top_args)
+    stats = project.statistics()
+    entry = CompilationStage(
+        "evaluate",
+        f"expanded to {stats['streamlets']} streamlet(s), "
+        f"{stats['implementations']} implementation(s), "
+        f"{stats['instances']} instance(s), {stats['connections']} connection(s)",
+    )
+    return project, entry
+
+
+def sugar_stage(
+    project: Project,
+    diagnostics: DiagnosticSink,
+) -> tuple[SugaringReport, CompilationStage]:
+    """Stage 3: sugaring ("desugaring" box of Figure 3).  Mutates ``project``."""
+    report = apply_sugaring(project, diagnostics)
+    return report, CompilationStage("sugaring", report.summary())
+
+
+def drc_stage(
+    project: Project,
+    diagnostics: DiagnosticSink,
+    *,
+    strict: bool = True,
+) -> tuple[DRCReport, CompilationStage]:
+    """Stage 4: design rule check; ``strict`` raises on DRC errors."""
+    report = check_project(project, diagnostics)
+    entry = CompilationStage("drc", report.summary())
+    if strict:
+        report.raise_if_failed()
+    return report, entry
+
+
+IR_STAGE_DETAIL = "Tydi-IR available via CompilationResult.ir_text()"
+
+
 def compile_sources(
     sources: Sequence[tuple[str, str]] | Sequence[str],
     *,
@@ -140,71 +232,62 @@ def compile_sources(
         :class:`repro.pipeline.CompilationCache`).  On a hit the stored
         :class:`CompilationResult` is returned as-is (treat it as
         immutable); on a miss the fresh result is stored before returning.
+        When the cache exposes a per-stage sub-cache as a ``stages``
+        attribute (:class:`repro.pipeline.stages.StageCache`), whole-result
+        misses compile through the staged pipeline, reusing cached per-file
+        ASTs and evaluate snapshots.
     """
     normalized = normalize_sources(sources)
+    options = {
+        "top": top,
+        "top_args": top_args,
+        "include_stdlib": include_stdlib,
+        "sugaring": sugaring,
+        "run_drc": run_drc,
+        "strict_drc": strict_drc,
+        "project_name": project_name,
+    }
 
     cache_key: Optional[str] = None
     if cache is not None:
-        cache_key = cache.key_for(
-            normalized,
-            {
-                "top": top,
-                "top_args": top_args,
-                "include_stdlib": include_stdlib,
-                "sugaring": sugaring,
-                "run_drc": run_drc,
-                "strict_drc": strict_drc,
-                "project_name": project_name,
-            },
-        )
+        cache_key = cache.key_for(normalized, options)
         cached = cache.get(cache_key)
         if cached is not None:
             return cached
+        stage_cache = getattr(cache, "stages", None)
+        if stage_cache is not None:
+            result = stage_cache.compile(normalized, options)
+            cache.put(cache_key, result)
+            return result
 
     diagnostics = DiagnosticSink()
     stages: list[CompilationStage] = []
 
     # Stage 1: parse (the stdlib AST is parsed once and shared, see
     # :func:`_parsed_stdlib`).
-    units = []
-    if include_stdlib:
-        units.append(_parsed_stdlib(STDLIB_SOURCE))
-    units.extend(parse_source(text, filename) for text, filename in normalized)
-    total_decls = sum(len(u.declarations) for u in units)
-    stages.append(
-        CompilationStage("parse", f"parsed {len(units)} source file(s), {total_decls} declaration(s)")
-    )
+    units, parse_entry = parse_stage(normalized, include_stdlib=include_stdlib)
+    stages.append(parse_entry)
 
     # Stage 2: evaluation / expansion ("code expansion & evaluation").
-    program = Program.from_units(units)
-    evaluator = Evaluator(program, diagnostics, project_name=project_name)
-    project = evaluator.evaluate(top=top, top_args=top_args)
-    stats = project.statistics()
-    stages.append(
-        CompilationStage(
-            "evaluate",
-            f"expanded to {stats['streamlets']} streamlet(s), "
-            f"{stats['implementations']} implementation(s), "
-            f"{stats['instances']} instance(s), {stats['connections']} connection(s)",
-        )
+    project, evaluate_entry = evaluate_stage(
+        units, diagnostics, top=top, top_args=top_args, project_name=project_name
     )
+    stages.append(evaluate_entry)
 
     # Stage 3: sugaring ("desugaring" box of Figure 3).
     sugaring_report: Optional[SugaringReport] = None
     if sugaring:
-        sugaring_report = apply_sugaring(project, diagnostics)
-        stages.append(CompilationStage("sugaring", sugaring_report.summary()))
+        sugaring_report, sugar_entry = sugar_stage(project, diagnostics)
+        stages.append(sugar_entry)
 
     # Stage 4: design rule check.
     drc_report: Optional[DRCReport] = None
     if run_drc:
-        drc_report = check_project(project, diagnostics)
-        stages.append(CompilationStage("drc", drc_report.summary()))
-        if strict_drc:
-            drc_report.raise_if_failed()
+        drc_report, drc_entry = drc_stage(project, diagnostics, strict=strict_drc)
+        stages.append(drc_entry)
 
     # Stage 5: Tydi-IR generation is on-demand via CompilationResult.ir_text().
-    stages.append(CompilationStage("ir", "Tydi-IR available via CompilationResult.ir_text()"))
+    stages.append(CompilationStage("ir", IR_STAGE_DETAIL))
 
     result = CompilationResult(
         project=project,

@@ -6,7 +6,11 @@ pure function of its source texts and options.  This package exploits that:
 * :mod:`repro.pipeline.cache` -- a content-addressed store of compilation
   results (in-memory LRU plus an optional on-disk tier under
   ``.tydi-cache/``), keyed by :func:`~repro.pipeline.cache.
-  fingerprint_sources`.
+  fingerprint_sources`, with size-aware disk eviction (``max_disk_bytes``).
+* :mod:`repro.pipeline.stages` -- :class:`~repro.pipeline.stages.
+  StageCache`, per-stage sub-caching (per-file parse ASTs + post-evaluate
+  snapshots) so a one-file edit of an N-file design re-parses only that
+  file and re-runs only evaluate -> sugar -> DRC.
 * :mod:`repro.pipeline.batch` -- :class:`~repro.pipeline.batch.
   BatchCompiler`, which compiles many independent designs concurrently
   (serial / thread / process executors) with per-design error isolation.
@@ -28,10 +32,12 @@ from repro.pipeline.cache import (
     CacheStats,
     CompilationCache,
     DEFAULT_CACHE_DIR,
+    STAGE_SCHEMA_VERSION,
     fingerprint_sources,
     normalize_sources,
 )
 from repro.pipeline.incremental import IncrementalCompiler, IncrementalReport
+from repro.pipeline.stages import StageCache, StageStats, file_fingerprint
 
 __all__ = [
     "BatchCompilationError",
@@ -44,6 +50,10 @@ __all__ = [
     "IncrementalCompiler",
     "IncrementalReport",
     "JobResult",
+    "STAGE_SCHEMA_VERSION",
+    "StageCache",
+    "StageStats",
+    "file_fingerprint",
     "fingerprint_sources",
     "normalize_sources",
 ]

@@ -15,10 +15,14 @@ compiling the same jobs serially (asserted by
 Cache interaction
 -----------------
 * ``serial`` / ``thread``: workers share the driver's
-  :class:`~repro.pipeline.cache.CompilationCache` instance directly.
+  :class:`~repro.pipeline.cache.CompilationCache` instance directly --
+  including its per-stage sub-cache (:class:`~repro.pipeline.stages.
+  StageCache`), so whole-result misses still reuse unchanged files' parse
+  ASTs and warm evaluate snapshots.
 * ``process``: the cache object cannot be shared, so workers get the cache's
-  *directory* and hit/populate the on-disk tier; the parent folds finished
-  results back into its in-memory tier.
+  *directory* and hit/populate the on-disk tiers (whole-result artefacts and
+  ``stages/``); the parent folds finished results back into its in-memory
+  tier.
 """
 
 from __future__ import annotations
@@ -191,6 +195,7 @@ def _execute_job(job: CompileJob, cache: Optional[CompilationCache]) -> JobResul
     start = time.perf_counter()
     key: Optional[str] = None
     try:
+        stage_cache = None
         if cache is not None:
             key = job.fingerprint()
             hit = cache.get(key)
@@ -202,9 +207,15 @@ def _execute_job(job: CompileJob, cache: Optional[CompilationCache]) -> JobResul
                     from_cache=True,
                     key=key,
                 )
-        from repro.lang.compile import compile_sources
+            stage_cache = getattr(cache, "stages", None)
+        if stage_cache is not None:
+            # Whole-result miss, but the per-stage tiers may still hold the
+            # unchanged files' ASTs and the design's evaluate snapshot.
+            result = stage_cache.compile(job.sources, job.options())
+        else:
+            from repro.lang.compile import compile_sources
 
-        result = compile_sources(list(job.sources), **job.options())
+            result = compile_sources(list(job.sources), **job.options())
         if cache is not None and key is not None:
             cache.put(key, result)
         return JobResult(job=job, result=result, elapsed=time.perf_counter() - start, key=key)
@@ -218,9 +229,15 @@ def _execute_job(job: CompileJob, cache: Optional[CompilationCache]) -> JobResul
         )
 
 
-def _process_worker(job: CompileJob, cache_dir: Optional[str]) -> JobResult:
+def _process_worker(
+    job: CompileJob, cache_dir: Optional[str], max_disk_bytes: Optional[int] = None
+) -> JobResult:
     """Process-pool entry point: rebuild a disk-backed cache in the worker."""
-    cache = CompilationCache(cache_dir=cache_dir) if cache_dir else None
+    cache = (
+        CompilationCache(cache_dir=cache_dir, max_disk_bytes=max_disk_bytes)
+        if cache_dir
+        else None
+    )
     return _execute_job(job, cache)
 
 
@@ -293,8 +310,16 @@ class BatchCompiler:
                         pending.append(job)
             else:
                 pending = jobs
+            max_disk_bytes = self.cache.max_disk_bytes if self.cache is not None else None
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                compiled = list(pool.map(_process_worker, pending, [cache_dir] * len(pending)))
+                compiled = list(
+                    pool.map(
+                        _process_worker,
+                        pending,
+                        [cache_dir] * len(pending),
+                        [max_disk_bytes] * len(pending),
+                    )
+                )
             compiled_iter = iter(compiled)
             results = [hits.get(i) or next(compiled_iter) for i in range(len(jobs))]
             # Fold worker output back into the parent's cache: results into
@@ -312,6 +337,9 @@ class BatchCompiler:
                         self.cache.absorb_hit(key, entry.result)
                     else:
                         self.cache.put(key, entry.result, disk=cache_dir is None)
+                # The disk-skipping fold above bypasses the per-store budget
+                # check, so settle the batch's disk growth in one pass here.
+                self.cache.enforce_disk_budget()
             executor_name = "process"
         return BatchResult(
             results=results,

@@ -43,7 +43,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 #: Bump when the pickle layout or fingerprint recipe changes; old on-disk
 #: entries then simply miss instead of deserialising stale artefacts.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
+
+#: Schema version of the *per-stage* artefacts (parse ASTs, evaluate
+#: snapshots, see :mod:`repro.pipeline.stages`).  It participates in every
+#: fingerprint -- whole-result keys included -- so entries written by an
+#: older stage layout (e.g. the PR-1 whole-result-only cache) are never
+#: deserialised into the new layout: they simply miss.
+STAGE_SCHEMA_VERSION = 1
 
 #: Default directory name for the on-disk store.
 DEFAULT_CACHE_DIR = ".tydi-cache"
@@ -63,10 +70,13 @@ def fingerprint_sources(
 
     options = dict(options or {})
     hasher = hashlib.sha256()
-    # Both the cache-format salt and the compiler's own version participate:
-    # a new compiler release invalidates persistent artefacts automatically,
-    # without anyone remembering to bump CACHE_VERSION.
-    hasher.update(f"tydi-cache-v{CACHE_VERSION}:compiler-{repro.__version__}".encode())
+    # The cache-format salt, the per-stage schema version and the compiler's
+    # own version all participate: a new compiler release invalidates
+    # persistent artefacts automatically, without anyone remembering to bump
+    # CACHE_VERSION, and a stage-layout change orphans PR-1-era entries.
+    hasher.update(
+        f"tydi-cache-v{CACHE_VERSION}.{STAGE_SCHEMA_VERSION}:compiler-{repro.__version__}".encode()
+    )
     for key in sorted(options):
         hasher.update(b"\x00opt\x00")
         hasher.update(key.encode())
@@ -85,6 +95,66 @@ def fingerprint_sources(
     return hasher.hexdigest()
 
 
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via write-to-temp-then-rename.
+
+    Concurrent readers either see the old complete file or the new complete
+    file, never a torn write.  Shared by the whole-result cache and the
+    per-stage cache (:mod:`repro.pipeline.stages`).  Raises ``OSError`` for
+    the caller to account.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_pickle_dump(path: Path, obj: object) -> None:
+    """Pickle ``obj`` to ``path`` atomically (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def evict_lru_files(root: Path, max_bytes: int) -> int:
+    """Delete the least-recently-used ``*.pkl`` artefacts under ``root``.
+
+    Scans recursively (the per-stage tier lives in a ``stages/``
+    subdirectory of the whole-result store), sums artefact sizes, and
+    unlinks oldest-mtime-first until the total is within ``max_bytes``.
+    Loads refresh mtimes, so mtime order *is* recency order.  Returns the
+    number of files deleted; unreadable or already-gone files are skipped.
+    """
+    entries: list[tuple[float, int, Path]] = []
+    total = 0
+    for path in root.rglob("*.pkl"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+        total += stat.st_size
+    if total <= max_bytes:
+        return 0
+    evicted = 0
+    for _, size, path in sorted(entries):
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        evicted += 1
+        if total <= max_bytes:
+            break
+    return evicted
+
+
 @dataclass
 class CacheStats:
     """Counters describing how a :class:`CompilationCache` has been used."""
@@ -96,6 +166,7 @@ class CacheStats:
     disk_hits: int = 0
     disk_stores: int = 0
     disk_errors: int = 0
+    disk_evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -106,11 +177,13 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
             "disk_errors": self.disk_errors,
+            "disk_evictions": self.disk_evictions,
         }
 
     def reset(self) -> None:
         self.hits = self.misses = self.stores = self.evictions = 0
         self.disk_hits = self.disk_stores = self.disk_errors = 0
+        self.disk_evictions = 0
 
     @property
     def lookups(self) -> int:
@@ -133,6 +206,18 @@ class CompilationCache:
         When set, every stored result is also pickled to
         ``<cache_dir>/<key>.pkl`` and in-memory misses fall through to disk.
         The directory is created lazily on first store.
+    max_disk_bytes:
+        When set, the on-disk store (whole-result artefacts *and* the
+        per-stage tier under ``<cache_dir>/stages/``) is bounded: after every
+        disk store, least-recently-used artefacts are deleted until the total
+        is within budget (``stats.disk_evictions`` counts them).
+    stage_caching:
+        Construct a per-stage sub-cache (:class:`repro.pipeline.stages.
+        StageCache`, exposed as ``.stages``) sharing this cache's disk
+        directory and byte budget.  ``compile_sources`` compiles whole-result
+        misses through it, so a one-file edit of an N-file design re-parses
+        only the edited file.  Set to ``False`` for a PR-1-style
+        whole-result-only cache.
 
     The cache is thread-safe: the batch driver's thread executor shares one
     instance across all workers.
@@ -140,15 +225,31 @@ class CompilationCache:
 
     max_entries: int = 128
     cache_dir: Optional[str | Path] = None
+    max_disk_bytes: Optional[int] = None
+    stage_caching: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if self.max_disk_bytes is not None and self.max_disk_bytes < 0:
+            raise ValueError("max_disk_bytes must be >= 0")
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
         self._entries: OrderedDict[str, "CompilationResult"] = OrderedDict()
         self._lock = threading.Lock()
+        self.stages = None
+        if self.stage_caching:
+            from repro.pipeline.stages import StageCache
+
+            self.stages = StageCache(
+                cache_dir=self.cache_dir,
+                max_disk_bytes=self.max_disk_bytes,
+            )
+        # Apply the budget to whatever is already on disk: a store that only
+        # ever *hits* would otherwise never shrink after a budget decrease.
+        if self.cache_dir is not None and Path(self.cache_dir).is_dir():
+            self.enforce_disk_budget()
 
     # -- keying ---------------------------------------------------------------
 
@@ -213,7 +314,12 @@ class CompilationCache:
         return self.cache_dir is not None and self._disk_path(key).exists()
 
     def clear(self, *, disk: bool = False) -> None:
-        """Drop the in-memory tier (and, optionally, the on-disk store)."""
+        """Drop the in-memory tiers (and, optionally, the on-disk store).
+
+        Cascades to the per-stage sub-cache: a cleared cache serves no warm
+        artefacts of any kind, and ``disk=True`` reclaims the whole
+        directory including ``stages/``.
+        """
         with self._lock:
             self._entries.clear()
         if disk and self.cache_dir is not None and self.cache_dir.is_dir():
@@ -223,6 +329,8 @@ class CompilationCache:
                 except OSError:
                     with self._lock:
                         self.stats.disk_errors += 1
+        if self.stages is not None:
+            self.stages.clear(disk=disk)
 
     def __len__(self) -> int:
         with self._lock:
@@ -247,7 +355,12 @@ class CompilationCache:
         path = self._disk_path(key)
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                result = pickle.load(handle)
+            try:
+                os.utime(path)  # refresh mtime: LRU recency for eviction
+            except OSError:
+                pass
+            return result
         except FileNotFoundError:
             return None
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
@@ -263,23 +376,22 @@ class CompilationCache:
     def _disk_store(self, key: str, result: "CompilationResult") -> None:
         if self.cache_dir is None:
             return
-        path = self._disk_path(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # Write-then-rename so concurrent readers never see a torn pickle.
-            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            atomic_pickle_dump(self._disk_path(key), result)
             with self._lock:
                 self.stats.disk_stores += 1
         except (OSError, pickle.PickleError):
             with self._lock:
                 self.stats.disk_errors += 1
+            return
+        self.enforce_disk_budget()
+
+    def enforce_disk_budget(self) -> int:
+        """Apply ``max_disk_bytes`` to the on-disk store (both tiers)."""
+        if self.cache_dir is None or self.max_disk_bytes is None:
+            return 0
+        evicted = evict_lru_files(Path(self.cache_dir), self.max_disk_bytes)
+        if evicted:
+            with self._lock:
+                self.stats.disk_evictions += evicted
+        return evicted

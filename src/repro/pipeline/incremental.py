@@ -11,6 +11,13 @@ update` it diffs the incoming job set against that memory:
   hits and concurrency),
 * names that disappeared from the job set are **removed**.
 
+Invalidation is additionally tracked at *file* granularity: each design's
+per-file fingerprints (:func:`repro.pipeline.stages.file_fingerprint` --
+the same keys the per-stage cache uses) are remembered, and a dirty
+design's report records exactly which files changed.  When the batch's
+cache carries a :class:`~repro.pipeline.stages.StageCache` (the default),
+the recompile then re-parses *only* those changed files.
+
 A design that fails to compile loses its previous fingerprint *and* result,
 so the next ``update`` retries it instead of treating the failure as
 up-to-date, and :meth:`~IncrementalCompiler.result_for` never serves an
@@ -24,6 +31,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.pipeline.batch import BatchCompiler, CompileJob
 from repro.pipeline.cache import CompilationCache
+from repro.pipeline.stages import file_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.lang.compile import CompilationResult
@@ -38,6 +46,12 @@ class IncrementalReport:
     removed: list[str] = field(default_factory=list)
     failed: dict[str, str] = field(default_factory=dict)
     results: dict[str, "CompilationResult"] = field(default_factory=dict)
+    #: Per recompiled design: the filenames whose content fingerprints
+    #: differ from the previous round (new designs list every file).
+    changed_files: dict[str, list[str]] = field(default_factory=dict)
+    #: Per recompiled design: the filenames carried over unchanged (their
+    #: parse artefacts are served from the stage cache, not re-parsed).
+    unchanged_files: dict[str, list[str]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -48,6 +62,11 @@ class IncrementalReport:
             f"{len(self.compiled)} recompiled, {len(self.reused)} reused, "
             f"{len(self.removed)} removed, {len(self.failed)} failed"
         )
+
+    def file_summary(self) -> str:
+        changed = sum(len(v) for v in self.changed_files.values())
+        unchanged = sum(len(v) for v in self.unchanged_files.values())
+        return f"{changed} file(s) re-parsed, {unchanged} file(s) reused"
 
 
 class IncrementalCompiler:
@@ -62,7 +81,13 @@ class IncrementalCompiler:
     ) -> None:
         self.batch = BatchCompiler(cache=cache, executor=executor, max_workers=max_workers)
         self._fingerprints: dict[str, str] = {}
+        self._file_keys: dict[str, dict[str, str]] = {}
         self._results: dict[str, "CompilationResult"] = {}
+
+    @staticmethod
+    def _job_file_keys(job: CompileJob) -> dict[str, str]:
+        """Per-file fingerprints of one job (filename -> content address)."""
+        return {filename: file_fingerprint(text, filename) for text, filename in job.sources}
 
     @property
     def known_designs(self) -> list[str]:
@@ -79,6 +104,7 @@ class IncrementalCompiler:
 
         for name in sorted(set(self._fingerprints) - wanted):
             del self._fingerprints[name]
+            self._file_keys.pop(name, None)
             self._results.pop(name, None)
             report.removed.append(name)
 
@@ -90,12 +116,28 @@ class IncrementalCompiler:
                 report.results[job.name] = self._results[job.name]
             else:
                 dirty.append((job, key))
+                # File-granularity diff: which of this design's files
+                # actually changed since the last successful build?  (An
+                # option-only change legitimately shows zero changed files.)
+                file_keys = self._job_file_keys(job)
+                previous = self._file_keys.get(job.name, {})
+                report.changed_files[job.name] = [
+                    filename
+                    for filename, fkey in file_keys.items()
+                    if previous.get(filename) != fkey
+                ]
+                report.unchanged_files[job.name] = [
+                    filename
+                    for filename, fkey in file_keys.items()
+                    if previous.get(filename) == fkey
+                ]
 
         if dirty:
             batch = self.batch.compile_batch([job for job, _ in dirty])
             for (job, key), entry in zip(dirty, batch.results):
                 if entry.ok:
                     self._fingerprints[job.name] = key
+                    self._file_keys[job.name] = self._job_file_keys(job)
                     self._results[job.name] = entry.result
                     report.compiled.append(job.name)
                     report.results[job.name] = entry.result
@@ -105,6 +147,7 @@ class IncrementalCompiler:
                     # longer matches the sources.  The stale fingerprint goes
                     # too, so the next update always retries.
                     self._fingerprints.pop(job.name, None)
+                    self._file_keys.pop(job.name, None)
                     self._results.pop(job.name, None)
                     report.failed[job.name] = entry.error or "unknown error"
         return report

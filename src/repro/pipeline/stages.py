@@ -1,0 +1,454 @@
+"""Per-stage sub-caching for the Figure-3 frontend pipeline.
+
+The whole-result cache of :mod:`repro.pipeline.cache` only hits when an
+*entire* design -- every source file plus every option -- is byte-identical.
+Editing one file of an N-file design therefore recompiled everything from
+scratch, even though the paper's staged frontend (parse -> evaluate ->
+sugar -> DRC) produces stable intermediate artefacts that are individually
+reusable.  :class:`StageCache` exploits exactly that structure:
+
+* **Per-file parse cache** -- every source file is fingerprinted
+  individually (:func:`file_fingerprint`) and its parsed
+  :class:`~repro.lang.ast.SourceUnit` is memoised, so a one-file edit
+  re-parses only the edited file.  Cached ASTs are shared (the evaluator
+  only reads declarations -- the same immutability contract that lets
+  ``compile_sources`` share its memoised stdlib AST).
+* **Evaluate snapshot cache** -- the post-evaluate state (the evaluated
+  :class:`~repro.ir.model.Project`, its diagnostics, the evaluate stage-log
+  entry) is pickled and keyed by the ordered sequence of contributing file
+  fingerprints plus the evaluate-relevant options.  Compilations that differ
+  only in the *downstream* options (``sugaring`` / ``run_drc`` /
+  ``strict_drc``) reuse the snapshot and re-run only sugar -> DRC on a
+  fresh deserialised copy; the snapshot itself is never mutated.  Units are
+  deliberately *not* part of the snapshot: the parse tier already holds
+  them, so a snapshot hit reconstructs the unit list through
+  :meth:`StageCache.cached_parse` (all hits) and keeps the pickled payload
+  small -- the project is typically an order of magnitude lighter than the
+  ASTs it was evaluated from.
+
+Both tiers live in memory (bounded LRUs) and, when ``cache_dir`` is set,
+under ``<cache_dir>/stages/`` on disk (``ast-<key>.pkl`` /
+``eval-<key>.pkl``, written atomically).  A ``max_disk_bytes`` budget is
+enforced over the *whole* cache directory -- whole-result artefacts
+included -- via LRU-by-mtime eviction, so per-stage artefacts cannot grow
+``.tydi-cache/`` without bound.
+
+:meth:`StageCache.compile` composes the *same* stage functions as the
+monolithic ``compile_sources`` (:func:`repro.lang.compile.parse_stage` and
+friends), which is what makes the staged pipeline provably equivalent to a
+cold monolithic compile -- the property the differential harness
+(``tests/test_stage_differential.py``) asserts over randomized designs and
+edits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import DiagnosticSink
+from repro.lang.ast import SourceUnit
+from repro.lang.compile import (
+    IR_STAGE_DETAIL,
+    CompilationResult,
+    CompilationStage,
+    drc_stage,
+    evaluate_stage,
+    normalize_sources,
+    parse_stage,
+    sugar_stage,
+)
+from repro.lang.parser import parse_source
+from repro.pipeline.cache import (
+    CACHE_VERSION,
+    STAGE_SCHEMA_VERSION,
+    atomic_write_bytes,
+    evict_lru_files,
+)
+
+#: Subdirectory of the cache dir holding per-stage artefacts.
+STAGE_DIR_NAME = "stages"
+
+#: Options that change the outcome of parse+evaluate (and therefore
+#: participate in the snapshot key).  ``sugaring`` / ``run_drc`` /
+#: ``strict_drc`` deliberately do not: flipping them reuses the snapshot.
+EVALUATE_OPTIONS = ("top", "top_args", "include_stdlib", "project_name")
+
+
+def _stage_salt() -> str:
+    import repro
+
+    return f"tydi-stage-v{CACHE_VERSION}.{STAGE_SCHEMA_VERSION}:compiler-{repro.__version__}"
+
+
+def file_fingerprint(text: str, filename: str) -> str:
+    """Stable content address of one source file (text + diagnostic name).
+
+    The filename participates because it is embedded in spans, diagnostics
+    and stage logs: the same text under a different name is a different
+    parse artefact.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(_stage_salt().encode())
+    hasher.update(b"\x00file\x00")
+    hasher.update(filename.encode())
+    hasher.update(b"\x00")
+    hasher.update(text.encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class StageStats:
+    """Counters describing how a :class:`StageCache` has been used."""
+
+    parse_hits: int = 0
+    parse_misses: int = 0
+    evaluate_hits: int = 0
+    evaluate_misses: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    disk_errors: int = 0
+    disk_evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "evaluate_hits": self.evaluate_hits,
+            "evaluate_misses": self.evaluate_misses,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "disk_errors": self.disk_errors,
+            "disk_evictions": self.disk_evictions,
+        }
+
+    def reset(self) -> None:
+        self.parse_hits = self.parse_misses = 0
+        self.evaluate_hits = self.evaluate_misses = 0
+        self.disk_hits = self.disk_stores = self.disk_errors = 0
+        self.disk_evictions = 0
+
+
+class StageCache:
+    """Memoises per-file parse results and post-evaluate snapshots.
+
+    Parameters
+    ----------
+    max_parse_entries / max_evaluate_entries:
+        In-memory LRU capacities of the two tiers.
+    cache_dir:
+        Root of the on-disk store (shared with a
+        :class:`~repro.pipeline.cache.CompilationCache` when this instance
+        is owned by one); per-stage artefacts live under
+        ``<cache_dir>/stages/``.
+    max_disk_bytes:
+        Byte budget enforced over ``cache_dir`` (recursively) after every
+        disk store; least-recently-used ``*.pkl`` artefacts are deleted
+        first.
+
+    Thread-safe; one instance may serve every worker of a thread-executor
+    batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_parse_entries: int = 512,
+        max_evaluate_entries: int = 64,
+        cache_dir: Optional[str | Path] = None,
+        max_disk_bytes: Optional[int] = None,
+    ) -> None:
+        if max_parse_entries < 1 or max_evaluate_entries < 1:
+            raise ValueError("stage cache LRU capacities must be >= 1")
+        self.max_parse_entries = max_parse_entries
+        self.max_evaluate_entries = max_evaluate_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_disk_bytes = max_disk_bytes
+        self.stats = StageStats()
+        self._parse: OrderedDict[str, SourceUnit] = OrderedDict()
+        #: Snapshots are held as pickle *bytes* so cached state can never be
+        #: mutated through an aliased object; every use deserialises fresh.
+        self._evaluate: OrderedDict[str, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- keying ---------------------------------------------------------------
+
+    def evaluate_key(
+        self,
+        sources: Sequence[tuple[str, str]] | Sequence[str],
+        options: Mapping[str, object] | None = None,
+    ) -> str:
+        """Snapshot key: ordered file fingerprints + evaluate options."""
+        options = dict(options or {})
+        hasher = hashlib.sha256()
+        hasher.update(_stage_salt().encode())
+        for name in EVALUATE_OPTIONS:
+            hasher.update(b"\x00opt\x00")
+            hasher.update(name.encode())
+            hasher.update(b"=")
+            hasher.update(repr(options.get(name)).encode())
+        if options.get("include_stdlib", True):
+            from repro.stdlib.source import STDLIB_SOURCE
+
+            hasher.update(b"\x00stdlib\x00")
+            hasher.update(STDLIB_SOURCE.encode())
+        for text, filename in normalize_sources(sources):
+            hasher.update(b"\x00unit\x00")
+            hasher.update(file_fingerprint(text, filename).encode())
+        return hasher.hexdigest()
+
+    # -- the staged pipeline --------------------------------------------------
+
+    def cached_parse(self, text: str, filename: str) -> SourceUnit:
+        """Parse one file through the per-file AST cache.
+
+        Drop-in for :func:`repro.lang.parser.parse_source` (it is passed to
+        :func:`~repro.lang.compile.parse_stage` as ``parse_file``).  Parse
+        errors propagate unchanged and are never cached.
+        """
+        key = file_fingerprint(text, filename)
+        with self._lock:
+            unit = self._parse.get(key)
+            if unit is not None:
+                self._parse.move_to_end(key)
+                self.stats.parse_hits += 1
+                return unit
+        unit = self._disk_load(self._ast_path(key), SourceUnit)
+        if unit is None:
+            unit = parse_source(text, filename)
+            with self._lock:
+                self.stats.parse_misses += 1
+                self._insert(self._parse, key, unit, self.max_parse_entries)
+            self._disk_store(self._ast_path(key), unit)
+        else:
+            with self._lock:
+                self.stats.parse_hits += 1
+                self.stats.disk_hits += 1
+                self._insert(self._parse, key, unit, self.max_parse_entries)
+        return unit
+
+    def compile(
+        self,
+        sources: Sequence[tuple[str, str]] | Sequence[str],
+        options: Mapping[str, object] | None = None,
+    ) -> CompilationResult:
+        """Run the staged pipeline: cached parse/evaluate, then sugar + DRC.
+
+        Produces a :class:`~repro.lang.compile.CompilationResult` that is
+        byte-identical (IR text, diagnostics, stage log) to what a cold
+        monolithic ``compile_sources`` call with the same inputs produces,
+        including raising the same exceptions on parse / evaluate / strict
+        DRC failures.
+        """
+        normalized = normalize_sources(sources)
+        options = dict(options or {})
+        include_stdlib = options.get("include_stdlib", True)
+
+        eval_key = self.evaluate_key(normalized, options)
+        snapshot = self._load_snapshot(eval_key)
+        # The unit list is served by the parse tier either way; on a
+        # snapshot hit every file is a parse-cache hit (shared, immutable
+        # ASTs), so only the mutable project/diagnostics ride in the pickle.
+        units, parse_entry = parse_stage(
+            normalized, include_stdlib=include_stdlib, parse_file=self.cached_parse
+        )
+        if snapshot is not None:
+            project, diagnostics, evaluate_entry = snapshot
+            stages = [parse_entry, evaluate_entry]
+            with self._lock:
+                self.stats.evaluate_hits += 1
+        else:
+            diagnostics = DiagnosticSink()
+            # Values pass through verbatim (same defaults as compile_sources,
+            # no falsy coercion): a degenerate option like project_name=""
+            # must behave identically on the staged and monolithic paths.
+            project, evaluate_entry = evaluate_stage(
+                units,
+                diagnostics,
+                top=options.get("top"),
+                top_args=options.get("top_args", ()),
+                project_name=options.get("project_name", "design"),
+            )
+            stages = [parse_entry, evaluate_entry]
+            with self._lock:
+                self.stats.evaluate_misses += 1
+            # Snapshot *before* sugaring: sugar/DRC mutate the project, and
+            # the stored bytes must stay the pristine post-evaluate state.
+            self._store_snapshot(eval_key, (project, diagnostics, evaluate_entry))
+
+        sugaring_report = None
+        if options.get("sugaring", True):
+            sugaring_report, sugar_entry = sugar_stage(project, diagnostics)
+            stages.append(sugar_entry)
+
+        drc_report = None
+        if options.get("run_drc", True):
+            drc_report, drc_entry = drc_stage(
+                project, diagnostics, strict=options.get("strict_drc", True)
+            )
+            stages.append(drc_entry)
+
+        stages.append(CompilationStage("ir", IR_STAGE_DETAIL))
+        # One budget pass per compile (stores above defer theirs): a full
+        # rglob scan per artefact would make eviction O(files x entries).
+        self.enforce_disk_budget()
+        return CompilationResult(
+            project=project,
+            diagnostics=diagnostics,
+            stages=stages,
+            sugaring=sugaring_report,
+            drc=drc_report,
+            units=list(units),
+        )
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory tiers (and, optionally, the on-disk artefacts)."""
+        with self._lock:
+            self._parse.clear()
+            self._evaluate.clear()
+        if disk and self.cache_dir is not None:
+            stage_dir = self.cache_dir / STAGE_DIR_NAME
+            if stage_dir.is_dir():
+                for path in stage_dir.glob("*.pkl"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        with self._lock:
+                            self.stats.disk_errors += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._parse) + len(self._evaluate)
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _insert(table: OrderedDict, key: str, value, capacity: int) -> None:
+        table[key] = value
+        table.move_to_end(key)
+        while len(table) > capacity:
+            table.popitem(last=False)
+
+    def _ast_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / STAGE_DIR_NAME / f"ast-{key}.pkl"
+
+    def _eval_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / STAGE_DIR_NAME / f"eval-{key}.pkl"
+
+    def _load_snapshot(self, key: str):
+        payload: Optional[bytes] = None
+        with self._lock:
+            payload = self._evaluate.get(key)
+            if payload is not None:
+                self._evaluate.move_to_end(key)
+        if payload is None:
+            payload = self._disk_read(self._eval_path(key))
+            if payload is None:
+                return None
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._insert(self._evaluate, key, payload, self.max_evaluate_entries)
+        try:
+            return pickle.loads(payload)
+        except (pickle.PickleError, EOFError, AttributeError, ImportError, ValueError):
+            # A stale or corrupt snapshot (e.g. from a crashed writer) is a
+            # miss; drop it from both tiers so it is rebuilt.
+            with self._lock:
+                self.stats.disk_errors += 1
+                self._evaluate.pop(key, None)
+            path = self._eval_path(key)
+            if path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+
+    def _store_snapshot(self, key: str, snapshot: tuple) -> None:
+        try:
+            payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError):
+            with self._lock:
+                self.stats.disk_errors += 1
+            return
+        with self._lock:
+            self._insert(self._evaluate, key, payload, self.max_evaluate_entries)
+        path = self._eval_path(key)
+        if path is not None:
+            try:
+                atomic_write_bytes(path, payload)
+                with self._lock:
+                    self.stats.disk_stores += 1
+            except OSError:
+                with self._lock:
+                    self.stats.disk_errors += 1
+
+    def _disk_read(self, path: Optional[Path]) -> Optional[bytes]:
+        if path is None:
+            return None
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            with self._lock:
+                self.stats.disk_errors += 1
+            return None
+        try:
+            os.utime(path)  # refresh mtime: LRU recency for eviction
+        except OSError:
+            pass
+        return payload
+
+    def _disk_load(self, path: Optional[Path], expected_type: type) -> Optional[object]:
+        payload = self._disk_read(path)
+        if payload is None:
+            return None
+        try:
+            value = pickle.loads(payload)
+            if not isinstance(value, expected_type):
+                raise pickle.UnpicklingError(f"expected {expected_type.__name__}")
+            return value
+        except (pickle.PickleError, EOFError, AttributeError, ImportError, ValueError):
+            with self._lock:
+                self.stats.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, path: Optional[Path], value: object) -> None:
+        """Store one artefact; budget enforcement is deferred to the caller
+        (one pass per :meth:`compile`, not one per file)."""
+        if path is None:
+            return
+        try:
+            atomic_write_bytes(path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            with self._lock:
+                self.stats.disk_stores += 1
+        except (OSError, pickle.PickleError):
+            with self._lock:
+                self.stats.disk_errors += 1
+
+    def enforce_disk_budget(self) -> int:
+        """Apply ``max_disk_bytes`` over the whole cache directory."""
+        if self.cache_dir is None or self.max_disk_bytes is None:
+            return 0
+        evicted = evict_lru_files(self.cache_dir, self.max_disk_bytes)
+        if evicted:
+            with self._lock:
+                self.stats.disk_evictions += evicted
+        return evicted

@@ -1,0 +1,125 @@
+"""Randomized design builders for differential testing and benchmarks.
+
+:func:`build_random_design` generates always-valid multi-file Tydi-lang
+designs; :func:`mutate_design` applies validity-preserving single-file
+edits.  Together they are the substrate of the staged-vs-monolithic
+differential harness (``tests/test_stage_differential.py``) and of the
+one-file-edit throughput benchmark
+(``benchmarks/test_pipeline_throughput.py``): both need the same notion of
+"an N-file design with a one-file edit", so it lives in the package where
+either suite can import it.
+
+The generated shape is a processing *chain*: one source file per step
+(an external streamlet implementation consuming the previous step's link
+type), plus a top file wiring the chain together.  Randomness covers file
+count, bit widths, stream depths, spare (never-connected) ports -- voider
+insertion -- and an optional duplicated tap -- duplicator insertion -- so
+sugaring and the DRC see different work per seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _chain_file(index: int, width: int, depth: int, unused: bool) -> str:
+    """One source file declaring a processing step of the design's chain.
+
+    Step ``k`` consumes the previous step's link type and produces its own
+    ``link{k}_t`` (so chained connections always type-check), plus an
+    optional never-connected ``spare`` output for sugaring to void.
+    """
+    in_type = f"link{index - 1}_t" if index > 0 else f"link{index}_t"
+    spare = f" spare: link{index}_t out," if unused else ""
+    return (
+        f"type link{index}_t = Stream(Bit({width}), d={depth});\n"
+        f"streamlet step{index}_s {{ i: {in_type} in, o: link{index}_t out,{spare} }}\n"
+        f"external impl step{index}_i of step{index}_s;\n"
+    )
+
+
+def _top_file(num_steps: int, tap_step: int | None) -> str:
+    """The design's top: instantiate every step and wire a straight chain.
+
+    ``feed`` drives the first step, step ``k`` feeds step ``k+1``, and the
+    last step drives ``result``.  When ``tap_step`` is set, that step's
+    output additionally drives a ``tap`` port -- two sinks on one source,
+    exercising duplicator insertion.
+    """
+    last = num_steps - 1
+    ports = ["feed: link0_t in", f"result: link{last}_t out"]
+    if tap_step is not None:
+        ports.append(f"tap: link{tap_step}_t out")
+    lines = ["streamlet chain_s { " + ", ".join(ports) + ", }"]
+    lines.append("impl chain_i of chain_s {")
+    for index in range(num_steps):
+        lines.append(f"    instance u{index}(step{index}_i),")
+    lines.append("    feed => u0.i,")
+    for index in range(num_steps - 1):
+        lines.append(f"    u{index}.o => u{index + 1}.i,")
+    lines.append(f"    u{last}.o => result,")
+    if tap_step is not None:
+        lines.append(f"    u{tap_step}.o => tap,")
+    lines.append("}")
+    lines.append("top chain_i;")
+    return "\n".join(lines) + "\n"
+
+
+def build_random_design(
+    rng: random.Random,
+    *,
+    min_files: int = 2,
+    max_files: int = 6,
+) -> list[tuple[str, str]]:
+    """A randomized, always-valid multi-file design as (text, filename) pairs."""
+    num_steps = rng.randint(max(1, min_files - 1), max_files - 1)
+    sources: list[tuple[str, str]] = []
+    for index in range(num_steps):
+        width = rng.choice([4, 8, 12, 16, 24, 32])
+        depth = rng.randint(1, 2)
+        unused = rng.random() < 0.5
+        sources.append((_chain_file(index, width, depth, unused), f"step{index}.td"))
+    tap_step = rng.randrange(num_steps) if rng.random() < 0.6 else None
+    sources.append((_top_file(num_steps, tap_step), "chain_top.td"))
+    return sources
+
+
+def build_chain_design(num_steps: int) -> list[tuple[str, str]]:
+    """A deterministic N+1-file chain design (for benchmarks: fixed shape)."""
+    sources = [
+        (_chain_file(index, width=8 + 4 * (index % 4), depth=1, unused=index % 2 == 0), f"step{index}.td")
+        for index in range(num_steps)
+    ]
+    sources.append((_top_file(num_steps, tap_step=num_steps // 2), "chain_top.td"))
+    return sources
+
+
+def mutate_design(
+    rng: random.Random,
+    sources: list[tuple[str, str]],
+) -> tuple[list[tuple[str, str]], int]:
+    """Apply a random validity-preserving edit to one randomly chosen file.
+
+    Returns the edited source list and the index of the edited file.  Edits
+    cover the interesting cache cases: a semantic change (bit width), a
+    fingerprint-only change (appended comment), and a new declaration
+    (an unused constant).
+    """
+    index = rng.randrange(len(sources))
+    text, filename = sources[index]
+    kind = rng.choice(["width", "comment", "const"])
+    if kind == "width" and "Bit(" not in text:
+        kind = "comment"  # the top file declares no Bit types
+    if kind == "width":
+        start = text.index("Bit(") + len("Bit(")
+        end = text.index(")", start)
+        old_width = int(text[start:end])
+        new_width = old_width + rng.choice([1, 2, 8])
+        text = text[:start] + str(new_width) + text[end:]
+    elif kind == "const":
+        text += f"const tweak_{rng.randrange(10_000)} = {rng.randrange(1, 100)};\n"
+    else:
+        text += f"// edit {rng.randrange(10_000)}\n"
+    edited = list(sources)
+    edited[index] = (text, filename)
+    return edited, index

@@ -1,10 +1,26 @@
-"""Shared fixtures: synthetic TPC-H data and cached compiled query designs."""
+"""Shared fixtures and builders.
+
+Fixtures: synthetic TPC-H data and cached compiled query designs.
+
+Builders: the randomized multi-file design generators backing the
+staged-vs-monolithic differential harness
+(``tests/test_stage_differential.py``).  The implementations live in
+:mod:`repro.testing` (the benchmark suite needs the same notion of "an
+N-file design with a one-file edit" and has its own conftest namespace);
+they are re-exported here so harness code can treat them as test-suite
+builders.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.arrow.tpch import generate_tpch_data
+from repro.testing import (  # noqa: F401 - shared differential-harness builders
+    build_chain_design,
+    build_random_design,
+    mutate_design,
+)
 
 
 @pytest.fixture(scope="session")

@@ -104,6 +104,31 @@ class TestCliCache:
         assert [s["name"] for s in payload["stages"]] == ["parse", "evaluate", "sugaring", "drc", "ir"]
         assert payload["statistics"]["streamlets"] >= 1
         assert payload["cache"] is None
+        assert payload["stage_cache"] is None
+
+    def test_max_cache_mb_reports_stage_stats(self, design_file, tmp_path, capsys):
+        cache_dir = tmp_path / ".tydi-cache"
+        args = [str(design_file), "--cache-dir", str(cache_dir), "--max-cache-mb", "64", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stage_cache"]["parse_misses"] == 1
+        assert list((cache_dir / "stages").glob("*.pkl"))
+
+    def test_max_cache_mb_zero_evicts_everything(self, design_file, tmp_path, capsys):
+        """A zero budget still compiles; it just keeps nothing on disk."""
+        cache_dir = tmp_path / ".tydi-cache"
+        args = [str(design_file), "--cache-dir", str(cache_dir), "--max-cache-mb", "0"]
+        assert main(args) == 0
+        assert not list(cache_dir.rglob("*.pkl"))
+
+    def test_negative_max_cache_mb_rejected(self, design_file, capsys):
+        assert main([str(design_file), "--cache-dir", "x", "--max-cache-mb", "-1"]) == 1
+        assert "--max-cache-mb" in capsys.readouterr().err
+
+    def test_max_cache_mb_without_cache_dir_rejected(self, design_file, capsys):
+        """The budget flag must not be silently ignored without a cache dir."""
+        assert main([str(design_file), "--max-cache-mb", "64"]) == 1
+        assert "requires --cache-dir" in capsys.readouterr().err
 
 
 class TestCliBatch:

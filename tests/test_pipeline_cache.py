@@ -21,6 +21,19 @@ top echo_i;
 OTHER_SOURCE = SOURCE.replace("Bit(8)", "Bit(16)")
 
 
+def _default_options() -> dict:
+    """The options dict compile_sources keys a default-argument call with."""
+    return {
+        "top": None,
+        "top_args": (),
+        "include_stdlib": True,
+        "sugaring": True,
+        "run_drc": True,
+        "strict_drc": True,
+        "project_name": "design",
+    }
+
+
 class TestFingerprint:
     def test_deterministic(self):
         a = fingerprint_sources([(SOURCE, "a.td")], {"top": None})
@@ -50,6 +63,26 @@ class TestFingerprint:
         assert normalize_sources([SOURCE]) == ((SOURCE, "source_0.td"),)
         # ... and the bare-string form hashes like its normalised twin.
         assert fingerprint_sources([SOURCE]) == fingerprint_sources([(SOURCE, "source_0.td")])
+
+    def test_stage_schema_version_changes_key(self, monkeypatch):
+        """Keys from a different per-stage layout can never collide.
+
+        ``key_for`` mixes ``STAGE_SCHEMA_VERSION`` into the salt, so entries
+        written by the PR-1 whole-result-only layout (or any future layout)
+        address different files and are simply never deserialised.
+        """
+        from repro.pipeline import cache as cache_module
+
+        current = fingerprint_sources([(SOURCE, "a.td")])
+        monkeypatch.setattr(cache_module, "STAGE_SCHEMA_VERSION", cache_module.STAGE_SCHEMA_VERSION + 1)
+        assert fingerprint_sources([(SOURCE, "a.td")]) != current
+
+    def test_cache_format_version_changes_key(self, monkeypatch):
+        from repro.pipeline import cache as cache_module
+
+        current = fingerprint_sources([(SOURCE, "a.td")])
+        monkeypatch.setattr(cache_module, "CACHE_VERSION", cache_module.CACHE_VERSION + 1)
+        assert fingerprint_sources([(SOURCE, "a.td")]) != current
 
 
 class TestCompileSourcesCacheHook:
@@ -130,6 +163,47 @@ class TestDiskTier:
         # The corrupt artefact was dropped and replaced by the recompile.
         reloaded = pickle.loads(next(tmp_path.glob("*.pkl")).read_bytes())
         assert reloaded.ir_text() == result.ir_text()
+
+    def test_old_layout_entry_is_never_deserialized(self, tmp_path, monkeypatch):
+        """A PR-1-era store (older stage schema) misses instead of loading.
+
+        The old entry addresses a different key, so the new layout recompiles
+        and stores under its own key; the stale artefact is left untouched
+        until disk eviction (or a manual clear) reaps it -- it is never
+        loaded into the new layout.
+        """
+        from repro.pipeline import cache as cache_module
+
+        # Write an artefact under the key an *older* schema would compute --
+        # with a payload that would blow up if it were ever unpickled.
+        monkeypatch.setattr(cache_module, "STAGE_SCHEMA_VERSION", 0)
+        old_key = fingerprint_sources([(SOURCE, "a.td")], _default_options())
+        monkeypatch.undo()
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / f"{old_key}.pkl").write_bytes(b"stale layout, do not load")
+
+        cache = CompilationCache(cache_dir=tmp_path)
+        result = compile_sources([(SOURCE, "a.td")], cache=cache)
+        assert result.project.top == "echo_i"
+        assert cache.stats.disk_errors == 0  # the stale entry was never opened
+        assert cache.stats.misses == 1
+        assert (tmp_path / f"{old_key}.pkl").exists()
+
+    def test_unreadable_stage_entry_is_a_miss(self, tmp_path):
+        """Corrupt per-stage artefacts recover exactly like whole-result ones."""
+        cache = CompilationCache(cache_dir=tmp_path)
+        compile_sources([(SOURCE, "a.td")], cache=cache)
+        stage_pkls = list((tmp_path / "stages").glob("*.pkl"))
+        assert stage_pkls
+        for path in stage_pkls:
+            path.write_bytes(b"truncated garbage")
+        for path in tmp_path.glob("*.pkl"):
+            path.unlink()  # force a whole-result miss into the staged path
+
+        fresh = CompilationCache(cache_dir=tmp_path)
+        result = compile_sources([(SOURCE, "a.td")], cache=fresh)
+        assert result.project.top == "echo_i"
+        assert fresh.stages.stats.disk_errors >= 1
 
     def test_clear_disk(self, tmp_path):
         cache = CompilationCache(cache_dir=tmp_path)

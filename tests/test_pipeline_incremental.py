@@ -99,3 +99,67 @@ class TestIncrementalCompiler:
         inc = IncrementalCompiler()
         report = inc.update([job("a", 8)])
         assert report.summary() == "1 recompiled, 0 reused, 0 removed, 0 failed"
+
+
+def multi_file_job(name: str, step_width: int = 8, top_note: str = "") -> CompileJob:
+    """A three-file design for the file-granularity invalidation tests."""
+    types = (f"type data_t = Stream(Bit({step_width}), d=1);", "types.td")
+    stage = ("streamlet pass_s { i: data_t in, o: data_t out, }", "streamlet.td")
+    top = (f"impl pass_i of pass_s {{ i => o, }}\ntop pass_i;\n{top_note}", "top.td")
+    return CompileJob(name=name, sources=(types, stage, top), include_stdlib=False)
+
+
+class TestFileGranularity:
+    def test_new_design_lists_every_file_as_changed(self):
+        inc = IncrementalCompiler()
+        report = inc.update([multi_file_job("a")])
+        assert sorted(report.changed_files["a"]) == ["streamlet.td", "top.td", "types.td"]
+        assert report.unchanged_files["a"] == []
+
+    def test_one_file_edit_is_diffed_at_file_level(self):
+        inc = IncrementalCompiler()
+        inc.update([multi_file_job("a")])
+        report = inc.update([multi_file_job("a", top_note="// edited")])
+        assert report.compiled == ["a"]
+        assert report.changed_files["a"] == ["top.td"]
+        assert sorted(report.unchanged_files["a"]) == ["streamlet.td", "types.td"]
+        assert report.file_summary() == "1 file(s) re-parsed, 2 file(s) reused"
+
+    def test_reused_designs_have_no_file_churn(self):
+        inc = IncrementalCompiler()
+        inc.update([multi_file_job("a")])
+        report = inc.update([multi_file_job("a")])
+        assert report.reused == ["a"]
+        assert report.changed_files == {} and report.unchanged_files == {}
+
+    def test_option_only_change_shows_zero_changed_files(self):
+        inc = IncrementalCompiler()
+        inc.update([multi_file_job("a")])
+        changed_options = multi_file_job("a").with_options(run_drc=False)
+        report = inc.update([changed_options])
+        assert report.compiled == ["a"]
+        assert report.changed_files["a"] == []
+        assert len(report.unchanged_files["a"]) == 3
+
+    def test_stage_cache_reuses_unchanged_files_across_update(self):
+        """The recompile after a one-file edit re-parses only that file."""
+        cache = CompilationCache()
+        inc = IncrementalCompiler(cache=cache)
+        inc.update([multi_file_job("a")])
+        assert cache.stages.stats.parse_misses == 3
+        inc.update([multi_file_job("a", top_note="// edited")])
+        assert cache.stages.stats.parse_misses == 4  # only top.td re-parsed
+        assert cache.stages.stats.parse_hits == 2
+
+    def test_failed_design_drops_file_memory(self):
+        inc = IncrementalCompiler()
+        inc.update([multi_file_job("a")])
+        broken = CompileJob(
+            name="a", sources=(("streamlet broken {", "types.td"),), include_stdlib=False
+        )
+        failed = inc.update([broken])
+        assert "a" in failed.failed
+        # After the failure the design is fully forgotten: the next good
+        # round treats every file as new.
+        report = inc.update([multi_file_job("a")])
+        assert sorted(report.changed_files["a"]) == ["streamlet.td", "top.td", "types.td"]

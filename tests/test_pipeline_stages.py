@@ -1,0 +1,311 @@
+"""Unit tests for the per-stage sub-cache (:mod:`repro.pipeline.stages`).
+
+The end-to-end staged == monolithic property lives in
+``tests/test_stage_differential.py``; these tests pin down the
+:class:`StageCache` mechanics themselves -- keying, tier behaviour, disk
+persistence, size-aware eviction, corrupt-artefact recovery and
+concurrent sharing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.pipeline import (
+    BatchCompiler,
+    CompilationCache,
+    CompileJob,
+    StageCache,
+    file_fingerprint,
+)
+from repro.pipeline.stages import STAGE_DIR_NAME
+from repro.testing import build_chain_design, build_random_design, mutate_design
+
+TYPES = ("type byte_t = Stream(Bit(8), d=1);", "types.td")
+DESIGN = (
+    "streamlet echo_s { i: byte_t in, o: byte_t out, }\n"
+    "impl echo_i of echo_s { i => o, }\n"
+    "top echo_i;",
+    "design.td",
+)
+OPTIONS = {"include_stdlib": False}
+
+
+class TestFileFingerprint:
+    def test_deterministic(self):
+        assert file_fingerprint("a", "f.td") == file_fingerprint("a", "f.td")
+
+    def test_text_changes_key(self):
+        assert file_fingerprint("a", "f.td") != file_fingerprint("b", "f.td")
+
+    def test_filename_changes_key(self):
+        # The filename is embedded in spans and diagnostics, so the same
+        # text under a different name is a different parse artefact.
+        assert file_fingerprint("a", "f.td") != file_fingerprint("a", "g.td")
+
+
+class TestEvaluateKey:
+    def test_downstream_options_do_not_participate(self):
+        cache = StageCache()
+        base = cache.evaluate_key([TYPES, DESIGN], OPTIONS)
+        relaxed = cache.evaluate_key(
+            [TYPES, DESIGN], {**OPTIONS, "run_drc": False, "sugaring": False, "strict_drc": False}
+        )
+        assert base == relaxed
+
+    def test_evaluate_options_participate(self):
+        cache = StageCache()
+        base = cache.evaluate_key([TYPES, DESIGN], OPTIONS)
+        assert cache.evaluate_key([TYPES, DESIGN], {**OPTIONS, "top": "echo_i"}) != base
+        assert cache.evaluate_key([TYPES, DESIGN], {**OPTIONS, "project_name": "x"}) != base
+        assert cache.evaluate_key([TYPES, DESIGN], {**OPTIONS, "include_stdlib": True}) != base
+
+    def test_file_order_participates(self):
+        cache = StageCache()
+        assert cache.evaluate_key([TYPES, DESIGN], OPTIONS) != cache.evaluate_key(
+            [DESIGN, TYPES], OPTIONS
+        )
+
+
+class TestParseTier:
+    def test_one_file_edit_reparses_only_that_file(self):
+        cache = StageCache()
+        cache.compile([TYPES, DESIGN], OPTIONS)
+        assert cache.stats.parse_misses == 2
+
+        edited = (TYPES[0] + "// touched\n", TYPES[1])
+        cache.compile([edited, DESIGN], OPTIONS)
+        assert cache.stats.parse_misses == 3  # only the edited file
+        assert cache.stats.parse_hits == 1  # design.td served from cache
+
+    def test_parse_errors_propagate_and_are_not_cached(self):
+        from repro.errors import TydiSyntaxError
+
+        cache = StageCache()
+        for _ in range(2):
+            with pytest.raises(TydiSyntaxError):
+                cache.cached_parse("streamlet broken {", "bad.td")
+        assert cache.stats.parse_misses == 0
+        assert len(cache) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StageCache(max_parse_entries=0)
+        with pytest.raises(ValueError):
+            StageCache(max_evaluate_entries=0)
+
+    def test_parse_lru_bounded(self):
+        cache = StageCache(max_parse_entries=2)
+        for index in range(5):
+            cache.cached_parse(f"const c{index} = {index};", f"f{index}.td")
+        assert len(cache) == 2
+
+
+class TestEvaluateTier:
+    def test_snapshot_reused_across_downstream_option_changes(self):
+        cache = StageCache()
+        full = cache.compile([TYPES, DESIGN], OPTIONS)
+        relaxed = cache.compile([TYPES, DESIGN], {**OPTIONS, "run_drc": False})
+        assert cache.stats.evaluate_misses == 1
+        assert cache.stats.evaluate_hits == 1
+        assert relaxed.drc is None
+        assert full.ir_text() == relaxed.ir_text()
+
+    def test_snapshot_is_immutable_across_reuse(self):
+        """Sugaring mutates the project -- the stored snapshot must not see it."""
+        rng = random.Random(5)
+        sources = build_random_design(rng)
+        cache = StageCache()
+        first = cache.compile(sources, OPTIONS)
+        second = cache.compile(sources, OPTIONS)
+        third = cache.compile(sources, OPTIONS)
+        assert first.ir_text() == second.ir_text() == third.ir_text()
+        # Each reuse starts from the pristine post-evaluate state, so the
+        # sugaring report is rebuilt identically, never doubled.
+        assert first.sugaring.summary() == second.sugaring.summary() == third.sugaring.summary()
+
+
+class TestDiskTier:
+    def test_stage_artefacts_persist_across_instances(self, tmp_path):
+        first = StageCache(cache_dir=tmp_path)
+        first.compile([TYPES, DESIGN], OPTIONS)
+        stage_dir = tmp_path / STAGE_DIR_NAME
+        assert list(stage_dir.glob("ast-*.pkl")) and list(stage_dir.glob("eval-*.pkl"))
+
+        # A new instance (e.g. another process) hits both tiers from disk.
+        second = StageCache(cache_dir=tmp_path)
+        second.compile([TYPES, DESIGN], OPTIONS)
+        assert second.stats.evaluate_hits == 1
+        assert second.stats.parse_misses == 0
+
+    def test_corrupt_stage_artefact_is_a_miss_not_a_crash(self, tmp_path):
+        cache = StageCache(cache_dir=tmp_path)
+        cache.compile([TYPES, DESIGN], OPTIONS)
+        for path in (tmp_path / STAGE_DIR_NAME).glob("*.pkl"):
+            path.write_bytes(b"\x80\x05not a pickle at all")
+
+        fresh = StageCache(cache_dir=tmp_path)
+        result = fresh.compile([TYPES, DESIGN], OPTIONS)
+        assert result.project.top == "echo_i"
+        assert fresh.stats.disk_errors >= 1
+        assert fresh.stats.evaluate_misses == 1
+
+    def test_clear_disk(self, tmp_path):
+        cache = StageCache(cache_dir=tmp_path)
+        cache.compile([TYPES, DESIGN], OPTIONS)
+        cache.clear(disk=True)
+        assert not list((tmp_path / STAGE_DIR_NAME).glob("*.pkl"))
+        assert len(cache) == 0
+
+
+class TestDiskEviction:
+    def test_budget_bounds_stage_artefacts(self, tmp_path):
+        cache = StageCache(cache_dir=tmp_path, max_disk_bytes=8 * 1024)
+        for index in range(6):
+            sources = build_chain_design(3)
+            tweaked = [(text + f"// v{index}\n", name) for text, name in sources]
+            cache.compile(tweaked, OPTIONS)
+        total = sum(p.stat().st_size for p in tmp_path.rglob("*.pkl"))
+        assert total <= 8 * 1024
+        assert cache.stats.disk_evictions > 0
+
+    def test_recently_used_artefacts_survive(self, tmp_path):
+        import os
+        import time
+
+        cache = StageCache(cache_dir=tmp_path, max_disk_bytes=1024 * 1024)
+        cache.cached_parse(*TYPES)
+        cache.cached_parse(*DESIGN)
+        stage_dir = tmp_path / STAGE_DIR_NAME
+        paths = sorted(stage_dir.glob("ast-*.pkl"))
+        assert len(paths) == 2
+        # Make the first artefact look stale and the second recently used.
+        now = time.time()
+        os.utime(paths[0], (now - 1000, now - 1000))
+        os.utime(paths[1], (now, now))
+        cache.max_disk_bytes = paths[1].stat().st_size
+        cache.enforce_disk_budget()
+        assert not paths[0].exists()
+        assert paths[1].exists()
+
+    def test_process_batch_respects_disk_budget(self, tmp_path):
+        """--max-cache-mb shape: workers and the parent fold both enforce."""
+        budget = 8 * 1024
+        cache = CompilationCache(cache_dir=tmp_path, max_disk_bytes=budget)
+        jobs = [
+            CompileJob(
+                name=f"d{index}",
+                sources=tuple(build_chain_design(3 + index % 2)),
+                include_stdlib=False,
+            )
+            for index in range(5)
+        ]
+        outcome = BatchCompiler(cache=cache, executor="process", max_workers=2).compile_batch(jobs)
+        assert outcome.ok
+        total = sum(p.stat().st_size for p in tmp_path.rglob("*.pkl"))
+        assert total <= budget
+
+    def test_clear_cascades_to_stage_tiers(self, tmp_path):
+        from repro.lang.compile import compile_sources
+
+        cache = CompilationCache(cache_dir=tmp_path)
+        compile_sources([TYPES, DESIGN], include_stdlib=False, cache=cache)
+        assert len(cache.stages) > 0
+        cache.clear(disk=True)
+        assert len(cache.stages) == 0
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_whole_cache_budget_covers_both_tiers(self, tmp_path):
+        """CompilationCache(max_disk_bytes=...) bounds result + stage pkls."""
+        cache = CompilationCache(cache_dir=tmp_path, max_disk_bytes=16 * 1024)
+        from repro.lang.compile import compile_sources
+
+        for index in range(6):
+            sources = [(TYPES[0] + f"const v{index} = {index};\n", TYPES[1]), DESIGN]
+            compile_sources(sources, include_stdlib=False, cache=cache)
+        total = sum(p.stat().st_size for p in tmp_path.rglob("*.pkl"))
+        assert total <= 16 * 1024
+        assert cache.stats.disk_evictions + cache.stages.stats.disk_evictions > 0
+
+
+class TestConcurrency:
+    def test_two_batch_runs_share_one_cache_and_disk(self, tmp_path):
+        """Two thread-executor batches racing on one cache + one disk dir.
+
+        Both must succeed with byte-identical results and leave only whole,
+        loadable artefacts behind (atomic write-to-temp-then-rename: no
+        torn pickles, no leftover temp files).
+        """
+        rng = random.Random(99)
+        designs = [build_random_design(rng) for _ in range(6)]
+        jobs = [
+            CompileJob(name=f"d{index}", sources=tuple(sources), include_stdlib=False)
+            for index, sources in enumerate(designs)
+        ]
+        cache = CompilationCache(cache_dir=tmp_path)
+        outcomes = [None, None]
+        errors = []
+
+        def run(slot: int) -> None:
+            try:
+                compiler = BatchCompiler(cache=cache, executor="thread", max_workers=4)
+                outcomes[slot] = compiler.compile_batch(jobs)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(slot,)) for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert outcomes[0].ok and outcomes[1].ok
+        for a, b in zip(outcomes[0].results, outcomes[1].results):
+            assert a.name == b.name
+            assert a.result.ir_text() == b.result.ir_text()
+
+        # No torn disk writes: every artefact on disk deserialises, and no
+        # temp files were left behind by the atomic-rename protocol.
+        import pickle
+
+        for path in tmp_path.rglob("*.pkl"):
+            pickle.loads(path.read_bytes())
+        assert not list(tmp_path.rglob("*.tmp"))
+
+        # A cold instance over the same store serves every design warm.
+        fresh = CompilationCache(cache_dir=tmp_path)
+        warm = BatchCompiler(cache=fresh, executor="serial").compile_batch(jobs)
+        assert warm.ok
+        assert all(entry.from_cache for entry in warm.results)
+
+    def test_concurrent_stage_compiles_on_one_stage_cache(self):
+        """Raw StageCache sharing: concurrent compiles of overlapping designs."""
+        rng = random.Random(123)
+        base = build_random_design(rng, min_files=4, max_files=6)
+        variants = [base] + [mutate_design(random.Random(i), base)[0] for i in range(5)]
+        stage_cache = StageCache()
+        results: dict[int, str] = {}
+        errors = []
+
+        def run(slot: int) -> None:
+            try:
+                results[slot] = stage_cache.compile(variants[slot % len(variants)], OPTIONS).ir_text()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(slot,)) for slot in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        from repro.lang.compile import compile_sources
+
+        for slot, ir in results.items():
+            reference = compile_sources(variants[slot % len(variants)], include_stdlib=False)
+            assert ir == reference.ir_text()
