@@ -6,6 +6,8 @@ The package is organised as a toolchain (Figure 1 of the paper):
 * :mod:`repro.lang`   -- the Tydi-lang frontend (parser, evaluator, templates,
   sugaring, design rule check) producing Tydi-IR.
 * :mod:`repro.ir`     -- the Tydi-IR data model and textual emitter.
+* :mod:`repro.backends` -- the pluggable backend registry (``vhdl``,
+  ``ir``, ``dot``) behind the Tydi-IR -> output boundary.
 * :mod:`repro.vhdl`   -- the Tydi-IR to VHDL backend.
 * :mod:`repro.stdlib` -- the Tydi-lang standard library and its hard-coded
   RTL generators.

@@ -1,0 +1,175 @@
+"""The registered ``dot`` backend: a Graphviz netlist of the design.
+
+Renders every implementation as a cluster -- streamlet instances as boxes,
+the implementation's own ports as ovals, connections as edges (dashed when
+inserted by sugaring) -- producing one ``<project>.dot`` document that
+``dot -Tsvg`` turns into a browsable netlist::
+
+    tydi-compile --target dot q19.td | dot -Tsvg > q19.svg
+
+The bottleneck/deadlock analyses use the ``highlight`` option to paint the
+components their reports point at (:meth:`repro.sim.bottleneck.
+BottleneckReport.to_dot`), which is the graph a designer actually wants
+next to a congestion ranking.
+
+Each cluster is one per-implementation unit, so a warm backend-output
+cache re-renders only the implementations an edit touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.backends.base import Backend, BackendOptions
+from repro.backends.registry import register_backend
+from repro.ir.model import Implementation, Project
+
+#: Fill colour of highlighted nodes (congested / deadlocked components).
+_HIGHLIGHT_COLOR = "#f4a6a6"
+
+
+def _quote(text: str) -> str:
+    """A DOT double-quoted string literal (newlines become label breaks)."""
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return '"' + escaped + '"'
+
+
+def _unit_filename(implementation_name: str) -> str:
+    return f"cluster/{implementation_name}.dot-frag"
+
+
+@dataclass(frozen=True)
+class DotBackendOptions(BackendOptions):
+    """Options of the ``dot`` backend.
+
+    rankdir:
+        Graph layout direction (``LR`` reads like a dataflow pipeline).
+    highlight:
+        Instance or implementation names to fill (the sim reports pass the
+        components they rank here).
+    show_types:
+        Label edges with the source port's logical type.
+    """
+
+    rankdir: str = "LR"
+    highlight: tuple[str, ...] = ()
+    show_types: bool = True
+
+
+def render_highlighted(project: Project, endpoints) -> str:
+    """The project netlist with the named components painted.
+
+    The shared tail of the sim-report consumers
+    (:meth:`repro.sim.bottleneck.BottleneckReport.to_dot`,
+    :meth:`repro.sim.deadlock.DeadlockReport.to_dot`): each endpoint --
+    a component path or an ``instance.port`` string -- is normalised to
+    its component name (the sim's synthetic ``top`` scope is dropped),
+    deduplicated preserving order, and passed as the ``highlight`` option.
+    """
+    from repro.backends.registry import get_backend
+
+    highlight: list[str] = []
+    for endpoint in endpoints:
+        component = endpoint.split(".")[0]
+        if component and component != "top" and component not in highlight:
+            highlight.append(component)
+    backend = get_backend("dot", DotBackendOptions(highlight=tuple(highlight)))
+    return "".join(backend.emit(project).values())
+
+
+@register_backend
+class DotBackend(Backend):
+    """Emit the project as one Graphviz ``digraph`` netlist."""
+
+    name = "dot"
+    description = "Graphviz netlist of streamlet instances and connections"
+    options_type = DotBackendOptions
+
+    def _is_highlighted(self, *names: str) -> bool:
+        return any(name in self.options.highlight for name in names)
+
+    def _node_attrs(self, label: str, shape: str, *names: str) -> str:
+        attrs = [f"label={_quote(label)}", f"shape={shape}"]
+        if self._is_highlighted(*names):
+            attrs.append("style=filled")
+            attrs.append(f"fillcolor={_quote(_HIGHLIGHT_COLOR)}")
+        return ", ".join(attrs)
+
+    def emit_unit(self, project: Project, implementation: Implementation) -> dict[str, str]:
+        streamlet = project.streamlet_of(implementation)
+        prefix = implementation.name
+        lines = [
+            f"  subgraph {_quote(f'cluster_{prefix}')} {{",
+            f"    label={_quote(f'{implementation.name} : {streamlet.name}')};",
+        ]
+        if implementation.external:
+            from repro.stdlib.components import primitive_kind
+
+            kind = primitive_kind(implementation) or "blackbox"
+            attrs = self._node_attrs(
+                f"{implementation.name}\n(external {kind})",
+                "component",
+                implementation.name,
+                streamlet.name,
+            )
+            lines.append(f"    {_quote(prefix)} [{attrs}];")
+        else:
+            for port in streamlet.ports:
+                attrs = self._node_attrs(
+                    f"{port.name} {port.direction}", "oval", f"{prefix}.{port.name}"
+                )
+                lines.append(f"    {_quote(f'{prefix}.port.{port.name}')} [{attrs}];")
+            for instance in implementation.instances:
+                inner_impl = project.implementation(instance.implementation)
+                inner_streamlet = project.streamlet_of(inner_impl)
+                attrs = self._node_attrs(
+                    f"{instance.name}\n{inner_streamlet.name}",
+                    "box",
+                    instance.name,
+                    instance.implementation,
+                    f"{prefix}.{instance.name}",
+                )
+                lines.append(f"    {_quote(f'{prefix}.{instance.name}')} [{attrs}];")
+            for connection in implementation.connections:
+                source_id = (
+                    f"{prefix}.{connection.source.instance}"
+                    if connection.source.instance
+                    else f"{prefix}.port.{connection.source.port}"
+                )
+                sink_id = (
+                    f"{prefix}.{connection.sink.instance}"
+                    if connection.sink.instance
+                    else f"{prefix}.port.{connection.sink.port}"
+                )
+                attrs = [
+                    f"taillabel={_quote(connection.source.port)}",
+                    f"headlabel={_quote(connection.sink.port)}",
+                ]
+                if self.options.show_types:
+                    source_port = project.resolve_port(implementation, connection.source)
+                    attrs.append(f"label={_quote(source_port.logical_type.to_tydi())}")
+                if connection.synthesized:
+                    attrs.append("style=dashed")
+                lines.append(f"    {_quote(source_id)} -> {_quote(sink_id)} [{', '.join(attrs)}];")
+        lines.append("  }")
+        return {_unit_filename(implementation.name): "\n".join(lines)}
+
+    def assemble(
+        self,
+        project: Project,
+        shared: Mapping[str, str],
+        units: Mapping[str, Mapping[str, str]],
+    ) -> dict[str, str]:
+        lines = [
+            f"digraph {_quote(project.name)} {{",
+            f"  rankdir={_quote(self.options.rankdir)};",
+            "  labelloc=\"t\";",
+            f"  label={_quote(f'Tydi netlist: {project.name}')};",
+            "  node [fontsize=10, fontname=\"Helvetica\"];",
+            "  edge [fontsize=8, fontname=\"Helvetica\"];",
+        ]
+        for implementation_name in project.implementations:
+            lines.append(units[implementation_name][_unit_filename(implementation_name)])
+        lines.append("}")
+        return {f"{project.name}.dot": "\n".join(lines) + "\n"}

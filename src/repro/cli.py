@@ -15,6 +15,15 @@ parallel and against a content-addressed cache:
 .. code-block:: console
 
     $ tydi-compile --batch --jobs 4 --cache-dir .tydi-cache --json designs/*.td
+
+Output backends are pluggable (:mod:`repro.backends`): ``--target`` selects
+one or more registered emitters (``--list-backends`` enumerates them), and a
+single design's outputs stream to stdout when no ``--out-dir`` is given:
+
+.. code-block:: console
+
+    $ tydi-compile --target dot design.td | dot -Tsvg > design.svg
+    $ tydi-compile --target vhdl --target ir --target dot --out-dir out/ design.td
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="tydi-compile",
         description="Compile Tydi-lang sources to Tydi-IR and VHDL.",
     )
-    parser.add_argument("sources", nargs="+", help="Tydi-lang source files (.td)")
+    parser.add_argument("sources", nargs="*", help="Tydi-lang source files (.td)")
     parser.add_argument("--top", help="name of the top-level implementation", default=None)
     parser.add_argument("--no-stdlib", action="store_true", help="do not include the standard library")
     parser.add_argument("--no-sugaring", action="store_true", help="disable duplicator/voider insertion")
@@ -41,6 +50,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=None,
     )
     parser.add_argument("--stats", action="store_true", help="print design statistics")
+    backends = parser.add_argument_group("output backends")
+    backends.add_argument(
+        "--target",
+        action="append",
+        dest="targets",
+        default=None,
+        metavar="NAME",
+        help="run a registered output backend (vhdl, ir, dot, ...); repeatable, "
+        "one output set per target",
+    )
+    backends.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="write --target outputs under DIR/<target>/ "
+        "(DIR/<design>/<target>/ in --batch mode); without it a single "
+        "design's outputs stream to stdout, pipeable into e.g. dot -Tsvg",
+    )
+    backends.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered output backends and exit",
+    )
     batch = parser.add_argument_group("batch compilation")
     batch.add_argument(
         "--batch",
@@ -154,6 +186,8 @@ def _build_cache(args: argparse.Namespace):
 def _run_batch(args: argparse.Namespace) -> int:
     from repro.pipeline import BatchCompiler, CompilationCache, CompileJob, JobResult
 
+    targets = _resolve_targets(args)
+
     # An unreadable file is one failed *design*, not a reason to abort the
     # batch -- mirroring the driver's per-design compile-error isolation.
     jobs = []
@@ -181,6 +215,7 @@ def _run_batch(args: argparse.Namespace) -> int:
                 top=args.top,
                 include_stdlib=not args.no_stdlib,
                 sugaring=not args.no_sugaring,
+                targets=targets,
             )
         )
 
@@ -244,13 +279,81 @@ def _run_batch(args: argparse.Namespace) -> int:
         if not args.json_output:
             print(f"wrote {written} VHDL file(s) to {base_dir} (one directory per design)")
 
+    if targets:
+        if args.out_dir:
+            base_dir = pathlib.Path(args.out_dir)
+            written = 0
+            for entry in outcome.results:
+                if entry.ok:
+                    written += _write_outputs(base_dir / entry.name, entry.result.outputs)
+            if not args.json_output:
+                print(
+                    f"wrote {written} backend output file(s) to {base_dir} "
+                    f"(one directory per design and target)"
+                )
+        elif not args.json_output:
+            # The outputs were produced but have nowhere to go: say so
+            # instead of silently dropping them.
+            emitted = sum(
+                len(files)
+                for entry in outcome.results
+                if entry.ok
+                for files in entry.result.outputs.values()
+            )
+            print(
+                f"emitted {emitted} backend output file(s) in memory; "
+                f"pass --out-dir to write them"
+            )
+
     return 0 if outcome.ok else 1
+
+
+def _list_backends() -> int:
+    from repro.backends import available_backends, backend_class
+
+    for name in available_backends():
+        print(f"{name:8s} {backend_class(name).description}")
+    return 0
+
+
+def _resolve_targets(args: argparse.Namespace) -> tuple[str, ...]:
+    """Validate the --target names against the registry (ordered, deduped)."""
+    from repro.backends import backend_class
+    from repro.errors import TydiBackendError
+    from repro.lang.compile import normalize_targets
+
+    targets = normalize_targets(args.targets)
+    for name in targets:
+        try:
+            backend_class(name)
+        except TydiBackendError as exc:
+            raise _CliInputError(str(exc)) from exc
+    if args.out_dir and not targets:
+        raise _CliInputError("--out-dir requires at least one --target")
+    return targets
+
+
+def _write_outputs(base_dir: pathlib.Path, outputs: dict[str, dict[str, str]]) -> int:
+    """Write every target's files under ``base_dir/<target>/``."""
+    written = 0
+    for target, files in outputs.items():
+        target_dir = _make_dir(base_dir / target)
+        for filename, text in files.items():
+            path = target_dir / filename
+            _make_dir(path.parent)
+            _write_file(path, text)
+            written += 1
+    return written
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
     try:
+        if args.list_backends:
+            return _list_backends()
+        if not args.sources:
+            build_arg_parser().error("at least one source file is required")
         if args.batch:
             return _run_batch(args)
         return _run_single(args)
@@ -264,7 +367,14 @@ def _run_single(args: argparse.Namespace) -> int:
     from repro.errors import TydiError
 
     sources = _load_sources(args.sources)
+    targets = _resolve_targets(args)
     cache = _build_cache(args)
+
+    # When target outputs stream to stdout (no --out-dir), the stage log
+    # moves to stderr so e.g. `tydi-compile --target dot x.td | dot -Tsvg`
+    # pipes clean DOT.
+    emit_to_stdout = bool(targets) and not args.out_dir and not args.json_output
+    log_stream = sys.stderr if emit_to_stdout else sys.stdout
 
     try:
         result = compile_sources(
@@ -272,6 +382,7 @@ def _run_single(args: argparse.Namespace) -> int:
             top=args.top,
             include_stdlib=not args.no_stdlib,
             sugaring=not args.no_sugaring,
+            targets=targets,
             cache=cache,
         )
     except TydiError as exc:
@@ -282,6 +393,7 @@ def _run_single(args: argparse.Namespace) -> int:
         payload = {
             "stages": [{"name": s.name, "detail": s.detail} for s in result.stages],
             "statistics": result.project.statistics(),
+            "outputs": {target: sorted(files) for target, files in result.outputs.items()},
             "cache": cache.stats.as_dict() if cache is not None else None,
             "stage_cache": cache.stages.stats.as_dict()
             if cache is not None and cache.stages is not None
@@ -290,16 +402,26 @@ def _run_single(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         for stage in result.stages:
-            print(f"[{stage.name}] {stage.detail}")
+            print(f"[{stage.name}] {stage.detail}", file=log_stream)
 
     if args.stats and not args.json_output:
         for key, value in result.project.statistics().items():
-            print(f"  {key}: {value}")
+            print(f"  {key}: {value}", file=log_stream)
+
+    if targets:
+        if args.out_dir:
+            written = _write_outputs(pathlib.Path(args.out_dir), result.outputs)
+            if not args.json_output:
+                print(f"wrote {written} file(s) to {args.out_dir} (one directory per target)")
+        elif not args.json_output:
+            for target in targets:
+                for _, text in sorted(result.outputs[target].items()):
+                    sys.stdout.write(text)
 
     if args.ir_out:
         _write_file(pathlib.Path(args.ir_out), result.ir_text())
         if not args.json_output:
-            print(f"wrote Tydi-IR to {args.ir_out}")
+            print(f"wrote Tydi-IR to {args.ir_out}", file=log_stream)
 
     if args.vhdl_dir:
         from repro.vhdl import generate_vhdl
@@ -309,7 +431,7 @@ def _run_single(args: argparse.Namespace) -> int:
         for name, text in files.items():
             _write_file(out_dir / name, text)
         if not args.json_output:
-            print(f"wrote {len(files)} VHDL file(s) to {out_dir}")
+            print(f"wrote {len(files)} VHDL file(s) to {out_dir}", file=log_stream)
 
     return 0
 

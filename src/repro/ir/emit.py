@@ -8,25 +8,43 @@ backend -> VHDL") is inspectable, countable (LoC) and diffable in tests.
 
 from __future__ import annotations
 
+from repro.errors import TydiBackendError
 from repro.ir.model import Implementation, Port, Project, Streamlet
 from repro.spec.logical_types import Group, LogicalType, Stream, Union
 from repro.utils.text import indent_block
 
 
-def _named_type_declarations(project: Project) -> dict[str, LogicalType]:
-    """Collect named Group/Union declarations used anywhere in the project."""
+def named_type_declarations(project: Project) -> dict[str, LogicalType]:
+    """Collect named Group/Union declarations used anywhere in the project.
+
+    Two *structurally identical* occurrences of a name collapse into one
+    declaration; two structurally distinct types sharing a name are an
+    error -- emitting only the first (the old ``setdefault`` behaviour)
+    would silently misdeclare every use of the second.
+    """
     named: dict[str, LogicalType] = {}
 
     def visit(t: LogicalType) -> None:
         for sub in t.walk():
             name = getattr(sub, "name", None)
             if name and isinstance(sub, (Group, Union)):
-                named.setdefault(name, sub)
+                existing = named.get(name)
+                if existing is None:
+                    named[name] = sub
+                elif existing != sub:
+                    raise TydiBackendError(
+                        f"conflicting declarations of type {name!r}: "
+                        f"{existing.to_tydi()} vs {sub.to_tydi()}"
+                    )
 
     for streamlet in project.streamlets.values():
         for port in streamlet.ports:
             visit(port.logical_type)
     return named
+
+
+#: Backwards-compatible private alias (pre-registry callers).
+_named_type_declarations = named_type_declarations
 
 
 def _type_ref(t: LogicalType) -> str:
@@ -85,9 +103,17 @@ def emit_implementation(implementation: Implementation) -> str:
 
 
 def emit_project(project: Project) -> str:
-    """Emit the whole project as textual Tydi-IR."""
+    """Emit the whole project as textual Tydi-IR.
+
+    The registered ``ir`` backend (:class:`repro.backends.ir_text.
+    IrTextBackend`) composes the same section sequence and separators from
+    cacheable per-implementation pieces; the two must stay byte-identical,
+    which ``tests/test_backend_differential.py`` pins over fuzzed designs.
+    Change the section order, separators or prelude here and there
+    together.
+    """
     sections: list[str] = [f"// Tydi-IR for project {project.name}"]
-    named_types = _named_type_declarations(project)
+    named_types = named_type_declarations(project)
     for t in named_types.values():
         sections.append(emit_type_declaration(t))
     for streamlet in project.streamlets.values():

@@ -60,6 +60,17 @@ def normalize_sources(
     return tuple(normalized)
 
 
+def normalize_targets(targets: Sequence[str] | None) -> tuple[str, ...]:
+    """Normalise a backend target list: ordered, duplicates dropped.
+
+    Shared by :func:`compile_sources`, the per-stage cache and
+    :class:`repro.pipeline.batch.CompileJob` so that ``("vhdl", "vhdl")``
+    and ``("vhdl",)`` produce the same outputs *and* the same content
+    address.
+    """
+    return tuple(dict.fromkeys(targets or ()))
+
+
 class ResultCache(Protocol):
     """What :func:`compile_sources` needs from a cache (duck-typed so the
     lang layer never imports :mod:`repro.pipeline`; pass a
@@ -106,10 +117,22 @@ class CompilationResult:
     sugaring: Optional[SugaringReport] = None
     drc: Optional[DRCReport] = None
     units: list[SourceUnit] = field(default_factory=list)
+    #: Backend outputs requested via ``targets``: backend name -> files.
+    outputs: dict[str, dict[str, str]] = field(default_factory=dict)
 
     def ir_text(self) -> str:
         """The textual Tydi-IR of the compiled project."""
         return emit_project(self.project)
+
+    def output_files(self, target: str) -> dict[str, str]:
+        """The emitted files of one requested backend target."""
+        try:
+            return self.outputs[target]
+        except KeyError as exc:
+            requested = ", ".join(self.outputs) or "none"
+            raise KeyError(
+                f"no {target!r} output on this result (requested targets: {requested})"
+            ) from exc
 
     def stage_names(self) -> list[str]:
         return [stage.name for stage in self.stages]
@@ -197,6 +220,40 @@ def drc_stage(
 IR_STAGE_DETAIL = "Tydi-IR available via CompilationResult.ir_text()"
 
 
+def backend_stage(
+    project: Project,
+    targets: Sequence[str],
+    *,
+    stage_cache=None,
+) -> tuple[dict[str, dict[str, str]], list[CompilationStage]]:
+    """Stage 6: run every requested backend over the compiled project.
+
+    ``stage_cache`` (a :class:`repro.pipeline.stages.StageCache`, duck-typed
+    so the lang layer never imports the pipeline) serves memoised
+    per-implementation unit outputs; without one every backend emits from
+    scratch.  Both paths produce identical outputs *and* identical stage-log
+    entries -- the differential harness asserts it -- so the log detail
+    deliberately carries no hit/miss counts.
+    """
+    outputs: dict[str, dict[str, str]] = {}
+    entries: list[CompilationStage] = []
+    if not targets:
+        return outputs, entries
+    from repro.backends import get_backend
+
+    for target in normalize_targets(targets):
+        backend = get_backend(target)
+        if stage_cache is not None:
+            files = stage_cache.emit_backend(project, backend)
+        else:
+            files = backend.emit(project)
+        outputs[backend.name] = files
+        entries.append(
+            CompilationStage(f"backend:{backend.name}", f"emitted {len(files)} file(s)")
+        )
+    return outputs, entries
+
+
 def compile_sources(
     sources: Sequence[tuple[str, str]] | Sequence[str],
     *,
@@ -207,6 +264,7 @@ def compile_sources(
     run_drc: bool = True,
     strict_drc: bool = True,
     project_name: str = "design",
+    targets: Sequence[str] = (),
     cache: Optional[ResultCache] = None,
 ) -> CompilationResult:
     """Compile one or more Tydi-lang sources to Tydi-IR.
@@ -227,6 +285,11 @@ def compile_sources(
         Apply automatic duplicator/voider insertion (Section IV-D).
     run_drc / strict_drc:
         Run the design rule check; ``strict_drc`` raises on DRC errors.
+    targets:
+        Names of registered output backends (see :mod:`repro.backends`,
+        e.g. ``("vhdl", "dot")``) to run after the frontend; their files
+        land on :attr:`CompilationResult.outputs`.  Duplicates are dropped,
+        order is preserved.
     cache:
         Optional content-addressed result cache (see
         :class:`repro.pipeline.CompilationCache`).  On a hit the stored
@@ -238,6 +301,7 @@ def compile_sources(
         ASTs and evaluate snapshots.
     """
     normalized = normalize_sources(sources)
+    targets = normalize_targets(targets)
     options = {
         "top": top,
         "top_args": top_args,
@@ -246,6 +310,7 @@ def compile_sources(
         "run_drc": run_drc,
         "strict_drc": strict_drc,
         "project_name": project_name,
+        "targets": targets,
     }
 
     cache_key: Optional[str] = None
@@ -289,6 +354,11 @@ def compile_sources(
     # Stage 5: Tydi-IR generation is on-demand via CompilationResult.ir_text().
     stages.append(CompilationStage("ir", IR_STAGE_DETAIL))
 
+    # Stage 6: requested output backends (uncached on the monolithic path;
+    # the staged pipeline memoises per-implementation unit outputs).
+    outputs, backend_entries = backend_stage(project, targets)
+    stages.extend(backend_entries)
+
     result = CompilationResult(
         project=project,
         diagnostics=diagnostics,
@@ -296,6 +366,7 @@ def compile_sources(
         sugaring=sugaring_report,
         drc=drc_report,
         units=units,
+        outputs=outputs,
     )
     if cache is not None and cache_key is not None:
         cache.put(cache_key, result)

@@ -55,9 +55,15 @@ class CompileJob:
     run_drc: bool = True
     strict_drc: bool = True
     project_name: Optional[str] = None
+    #: Output backends to run for this design (see :mod:`repro.backends`);
+    #: participates in the content address, so requesting a new target is a
+    #: whole-result miss that still reuses every per-stage artefact.
+    targets: tuple[str, ...] = ()
 
     def options(self) -> dict[str, object]:
         """The ``compile_sources`` keyword options this job carries."""
+        from repro.lang.compile import normalize_targets
+
         return {
             "top": self.top,
             "top_args": self.top_args,
@@ -66,6 +72,7 @@ class CompileJob:
             "run_drc": self.run_drc,
             "strict_drc": self.strict_drc,
             "project_name": self.project_name or self.name,
+            "targets": normalize_targets(self.targets),
         }
 
     def fingerprint(self) -> str:
@@ -120,6 +127,10 @@ class JobResult:
         }
         if self.ok:
             entry["statistics"] = self.result.project.statistics()
+            if self.result.outputs:
+                entry["outputs"] = {
+                    target: len(files) for target, files in self.result.outputs.items()
+                }
         else:
             entry["error"] = self.error
             entry["error_stage"] = self.error_stage

@@ -46,11 +46,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 CACHE_VERSION = 2
 
 #: Schema version of the *per-stage* artefacts (parse ASTs, evaluate
-#: snapshots, see :mod:`repro.pipeline.stages`).  It participates in every
-#: fingerprint -- whole-result keys included -- so entries written by an
-#: older stage layout (e.g. the PR-1 whole-result-only cache) are never
-#: deserialised into the new layout: they simply miss.
-STAGE_SCHEMA_VERSION = 1
+#: snapshots, backend unit outputs, see :mod:`repro.pipeline.stages`).  It
+#: participates in every fingerprint -- whole-result keys included -- so
+#: entries written by an older stage layout (e.g. the PR-1 whole-result-only
+#: cache) are never deserialised into the new layout: they simply miss.
+#: v2: ``CompilationResult`` gained the ``outputs`` field and the stage
+#: cache its backend-output tier.
+STAGE_SCHEMA_VERSION = 2
 
 #: Default directory name for the on-disk store.
 DEFAULT_CACHE_DIR = ".tydi-cache"

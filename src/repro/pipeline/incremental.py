@@ -96,6 +96,19 @@ class IncrementalCompiler:
     def result_for(self, name: str) -> Optional["CompilationResult"]:
         return self._results.get(name)
 
+    def outputs_for(self, name: str, target: str) -> Optional[dict[str, str]]:
+        """One design's emitted files for one backend target, if built.
+
+        Backends ride in :attr:`CompileJob.targets`, so requesting a new
+        target dirties the design's fingerprint and the next
+        :meth:`update` re-emits it (through the per-implementation
+        backend-output cache when the batch carries one).
+        """
+        result = self._results.get(name)
+        if result is None:
+            return None
+        return result.outputs.get(target)
+
     def update(self, jobs: Sequence[CompileJob]) -> IncrementalReport:
         """Bring the build state in line with ``jobs`` and report the diff."""
         report = IncrementalReport()

@@ -25,6 +25,13 @@ reusable.  :class:`StageCache` exploits exactly that structure:
   :meth:`StageCache.cached_parse` (all hits) and keeps the pickled payload
   small -- the project is typically an order of magnitude lighter than the
   ASTs it was evaluated from.
+* **Per-implementation backend-output cache** -- every requested output
+  backend's unit files (one implementation's VHDL file, IR section, DOT
+  cluster; see :mod:`repro.backends`) are memoised under the
+  implementation's emission-subgraph fingerprint + backend name + backend
+  options (:meth:`StageCache.backend_unit_key`), so a one-file edit
+  re-emits only the implementations it actually changed -- the remaining
+  uncached stage left open by PR 2.
 
 Both tiers live in memory (bounded LRUs) and, when ``cache_dir`` is set,
 under ``<cache_dir>/stages/`` on disk (``ast-<key>.pkl`` /
@@ -58,9 +65,11 @@ from repro.lang.compile import (
     IR_STAGE_DETAIL,
     CompilationResult,
     CompilationStage,
+    backend_stage,
     drc_stage,
     evaluate_stage,
     normalize_sources,
+    normalize_targets,
     parse_stage,
     sugar_stage,
 )
@@ -77,7 +86,8 @@ STAGE_DIR_NAME = "stages"
 
 #: Options that change the outcome of parse+evaluate (and therefore
 #: participate in the snapshot key).  ``sugaring`` / ``run_drc`` /
-#: ``strict_drc`` deliberately do not: flipping them reuses the snapshot.
+#: ``strict_drc`` / ``targets`` deliberately do not: flipping them reuses
+#: the snapshot (a new backend target re-runs sugar -> DRC -> emit only).
 EVALUATE_OPTIONS = ("top", "top_args", "include_stdlib", "project_name")
 
 
@@ -111,6 +121,8 @@ class StageStats:
     parse_misses: int = 0
     evaluate_hits: int = 0
     evaluate_misses: int = 0
+    backend_hits: int = 0
+    backend_misses: int = 0
     disk_hits: int = 0
     disk_stores: int = 0
     disk_errors: int = 0
@@ -122,6 +134,8 @@ class StageStats:
             "parse_misses": self.parse_misses,
             "evaluate_hits": self.evaluate_hits,
             "evaluate_misses": self.evaluate_misses,
+            "backend_hits": self.backend_hits,
+            "backend_misses": self.backend_misses,
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
             "disk_errors": self.disk_errors,
@@ -131,6 +145,7 @@ class StageStats:
     def reset(self) -> None:
         self.parse_hits = self.parse_misses = 0
         self.evaluate_hits = self.evaluate_misses = 0
+        self.backend_hits = self.backend_misses = 0
         self.disk_hits = self.disk_stores = self.disk_errors = 0
         self.disk_evictions = 0
 
@@ -161,13 +176,15 @@ class StageCache:
         *,
         max_parse_entries: int = 512,
         max_evaluate_entries: int = 64,
+        max_backend_entries: int = 1024,
         cache_dir: Optional[str | Path] = None,
         max_disk_bytes: Optional[int] = None,
     ) -> None:
-        if max_parse_entries < 1 or max_evaluate_entries < 1:
+        if max_parse_entries < 1 or max_evaluate_entries < 1 or max_backend_entries < 1:
             raise ValueError("stage cache LRU capacities must be >= 1")
         self.max_parse_entries = max_parse_entries
         self.max_evaluate_entries = max_evaluate_entries
+        self.max_backend_entries = max_backend_entries
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_disk_bytes = max_disk_bytes
         self.stats = StageStats()
@@ -175,6 +192,9 @@ class StageCache:
         #: Snapshots are held as pickle *bytes* so cached state can never be
         #: mutated through an aliased object; every use deserialises fresh.
         self._evaluate: OrderedDict[str, bytes] = OrderedDict()
+        #: Per-implementation backend unit outputs ({filename: text}); plain
+        #: string payloads, safe to share across compilations.
+        self._backend: OrderedDict[str, dict[str, str]] = OrderedDict()
         self._lock = threading.Lock()
 
     # -- keying ---------------------------------------------------------------
@@ -201,6 +221,24 @@ class StageCache:
         for text, filename in normalize_sources(sources):
             hasher.update(b"\x00unit\x00")
             hasher.update(file_fingerprint(text, filename).encode())
+        return hasher.hexdigest()
+
+    def backend_unit_key(self, backend, implementation_key: str) -> str:
+        """Cache key of one implementation's output under one backend.
+
+        Keyed by the implementation's emission-subgraph fingerprint
+        (:func:`repro.backends.implementation_fingerprint`), the backend
+        name, its options token, and -- via the stage salt -- the
+        ``STAGE_SCHEMA_VERSION`` and compiler version.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(_stage_salt().encode())
+        hasher.update(b"\x00backend\x00")
+        hasher.update(backend.name.encode())
+        hasher.update(b"\x00options\x00")
+        hasher.update(backend.options.token().encode())
+        hasher.update(b"\x00impl\x00")
+        hasher.update(implementation_key.encode())
         return hasher.hexdigest()
 
     # -- the staged pipeline --------------------------------------------------
@@ -232,6 +270,58 @@ class StageCache:
                 self.stats.disk_hits += 1
                 self._insert(self._parse, key, unit, self.max_parse_entries)
         return unit
+
+    def cached_backend_unit(self, project, implementation, backend) -> dict[str, str]:
+        """One implementation's backend output, through the unit cache.
+
+        A hit serves the memoised ``{filename: text}`` mapping without
+        touching the backend; a miss calls ``backend.emit_unit`` and stores
+        the result in both tiers.  Emission errors propagate unchanged and
+        are never cached.
+        """
+        from repro.backends import implementation_fingerprint
+
+        key = self.backend_unit_key(
+            backend, implementation_fingerprint(project, implementation)
+        )
+        with self._lock:
+            files = self._backend.get(key)
+            if files is not None:
+                self._backend.move_to_end(key)
+                self.stats.backend_hits += 1
+                return files
+        files = self._disk_load(self._backend_path(key), dict)
+        if files is None:
+            files = backend.emit_unit(project, implementation)
+            with self._lock:
+                self.stats.backend_misses += 1
+                self._insert(self._backend, key, files, self.max_backend_entries)
+            self._disk_store(self._backend_path(key), files)
+        else:
+            with self._lock:
+                self.stats.backend_hits += 1
+                self.stats.disk_hits += 1
+                self._insert(self._backend, key, files, self.max_backend_entries)
+        return files
+
+    def emit_backend(self, project, backend) -> dict[str, str]:
+        """Emit one backend over ``project`` with per-implementation caching.
+
+        Byte-identical to ``backend.emit(project)`` (same assemble over the
+        same units -- the composition law of :class:`repro.backends.base.
+        Backend`), but every unchanged implementation's unit output is
+        served from the cache.
+
+        Disk stores defer their budget pass to the caller (the single
+        per-compile pass in :meth:`compile`); standalone callers with a
+        ``max_disk_bytes`` budget should call :meth:`enforce_disk_budget`
+        after a burst of emissions.
+        """
+        units = {
+            name: self.cached_backend_unit(project, implementation, backend)
+            for name, implementation in project.implementations.items()
+        }
+        return backend.assemble(project, backend.emit_shared(project), units)
 
     def compile(
         self,
@@ -295,6 +385,13 @@ class StageCache:
             stages.append(drc_entry)
 
         stages.append(CompilationStage("ir", IR_STAGE_DETAIL))
+
+        # The backend stage, with per-implementation unit outputs served by
+        # this cache (the monolithic path emits the same bytes uncached).
+        outputs, backend_entries = backend_stage(
+            project, normalize_targets(options.get("targets", ())), stage_cache=self
+        )
+        stages.extend(backend_entries)
         # One budget pass per compile (stores above defer theirs): a full
         # rglob scan per artefact would make eviction O(files x entries).
         self.enforce_disk_budget()
@@ -305,6 +402,7 @@ class StageCache:
             sugaring=sugaring_report,
             drc=drc_report,
             units=list(units),
+            outputs=outputs,
         )
 
     # -- maintenance ----------------------------------------------------------
@@ -314,6 +412,7 @@ class StageCache:
         with self._lock:
             self._parse.clear()
             self._evaluate.clear()
+            self._backend.clear()
         if disk and self.cache_dir is not None:
             stage_dir = self.cache_dir / STAGE_DIR_NAME
             if stage_dir.is_dir():
@@ -326,7 +425,7 @@ class StageCache:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._parse) + len(self._evaluate)
+            return len(self._parse) + len(self._evaluate) + len(self._backend)
 
     # -- internals ------------------------------------------------------------
 
@@ -346,6 +445,11 @@ class StageCache:
         if self.cache_dir is None:
             return None
         return self.cache_dir / STAGE_DIR_NAME / f"eval-{key}.pkl"
+
+    def _backend_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / STAGE_DIR_NAME / f"backend-{key}.pkl"
 
     def _load_snapshot(self, key: str):
         payload: Optional[bytes] = None

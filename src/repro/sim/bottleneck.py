@@ -51,6 +51,24 @@ class BottleneckReport:
             return None
         return ranked[0].sink.split(".")[0] or None
 
+    def to_dot(self, project, *, count: int = 3) -> str:
+        """The design netlist with the most congested components painted.
+
+        Runs the registered ``dot`` backend (see :mod:`repro.backends.dot`)
+        with the worst ``count`` channels' endpoint components highlighted,
+        so the ranking of :meth:`summary` can be read directly off the
+        graph (pipe through ``dot -Tsvg``).
+        """
+        from repro.backends.dot import render_highlighted
+
+        endpoints = [
+            endpoint
+            for entry in self.worst(count)
+            if entry.congestion_score() > 0
+            for endpoint in (entry.sink, entry.source)
+        ]
+        return render_highlighted(project, endpoints)
+
     def summary(self) -> str:
         lines = [f"bottleneck analysis over {self.total_time} cycle(s):"]
         for entry in self.worst(5):

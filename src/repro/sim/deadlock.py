@@ -41,6 +41,22 @@ class DeadlockReport:
     def deadlocked(self) -> bool:
         return bool(self.stalled)
 
+    def to_dot(self, project) -> str:
+        """The design netlist with the stall participants painted.
+
+        Highlights every component on a wait cycle, every waiting
+        component, and the endpoints of stalled channels -- the graph a
+        designer wants next to :meth:`summary` (pipe through
+        ``dot -Tsvg``).
+        """
+        from repro.backends.dot import render_highlighted
+
+        endpoints = [node for cycle in self.wait_cycles for node in cycle]
+        endpoints.extend(self.waiting_components)
+        for stall in self.stalled:
+            endpoints.extend((stall.sink, stall.source))
+        return render_highlighted(project, endpoints)
+
     def summary(self) -> str:
         if not self.deadlocked:
             return "no deadlock: all packets were consumed"

@@ -1,0 +1,106 @@
+"""Differential harness: registry backends == legacy emission paths.
+
+The tentpole refactor turned ``generate_vhdl`` / ``emit_project`` into (or
+left them as) thin legacy entry points next to the registered backends.
+This suite proves, over fuzzed designs from the :mod:`repro.testing`
+builders, that
+
+* the registry ``vhdl`` backend is **byte-identical** (content *and* file
+  order) to the bespoke :meth:`repro.vhdl.backend.VhdlBackend.generate`,
+* the registry ``ir`` backend's single file is byte-identical to the
+  bespoke :func:`repro.ir.emit.emit_project`,
+* the staged pipeline (per-implementation backend-output cache, cold and
+  warm) assembles the same outputs as the uncached monolithic path, and
+* the TPC-H suite of the paper gets the same treatment as the fuzzed
+  designs.
+"""
+
+import random
+
+import pytest
+
+from repro.backends import get_backend
+from repro.ir.emit import emit_project
+from repro.lang.compile import compile_sources
+from repro.pipeline import StageCache
+from repro.testing import build_random_design, mutate_design
+from repro.vhdl.backend import VhdlBackend
+
+#: Number of fuzzed designs (the acceptance criterion demands >= 30).
+NUM_DESIGNS = 36
+
+
+def _fuzzed_designs():
+    for seed in range(NUM_DESIGNS):
+        rng = random.Random(1000 + seed)
+        yield seed, build_random_design(rng)
+
+
+@pytest.mark.parametrize(
+    "seed,sources",
+    list(_fuzzed_designs()),
+    ids=[f"design{seed}" for seed in range(NUM_DESIGNS)],
+)
+def test_registry_paths_byte_identical_to_legacy(seed, sources):
+    project = compile_sources(sources, include_stdlib=False).project
+
+    registry_vhdl = get_backend("vhdl").emit(project)
+    legacy_vhdl = VhdlBackend(project).generate()
+    assert list(registry_vhdl.items()) == list(legacy_vhdl.items())
+
+    (registry_ir,) = get_backend("ir").emit(project).values()
+    assert registry_ir == emit_project(project)
+
+
+def test_staged_outputs_equal_monolithic_cold_and_warm():
+    """Cold staged, warm staged and monolithic backend outputs all agree."""
+    targets = ("vhdl", "ir", "dot")
+    stage_cache = StageCache()
+    checked = 0
+    for seed, sources in _fuzzed_designs():
+        if seed % 4:  # a quarter of the corpus keeps this test fast
+            continue
+        monolithic = compile_sources(sources, include_stdlib=False, targets=targets)
+        cold = stage_cache.compile(sources, {"include_stdlib": False, "targets": targets})
+        warm = stage_cache.compile(sources, {"include_stdlib": False, "targets": targets})
+        for result in (cold, warm):
+            assert set(result.outputs) == set(targets)
+            for target in targets:
+                assert list(result.outputs[target].items()) == list(
+                    monolithic.outputs[target].items()
+                ), f"seed {seed}, target {target}"
+        assert [s.name for s in cold.stages] == [s.name for s in monolithic.stages]
+        checked += 1
+    assert checked >= 5
+    assert stage_cache.stats.backend_hits > 0
+
+
+def test_one_file_edit_reuses_unit_outputs_and_stays_identical():
+    """After a one-file edit the warm emission equals a cold monolithic
+    compile of the edited design, while reusing unchanged units."""
+    rng = random.Random(7)
+    sources = build_random_design(rng, min_files=4, max_files=6)
+    targets = ("vhdl", "dot")
+    stage_cache = StageCache()
+    stage_cache.compile(sources, {"include_stdlib": False, "targets": targets})
+
+    edited, _ = mutate_design(rng, sources)
+    stage_cache.stats.reset()
+    staged = stage_cache.compile(edited, {"include_stdlib": False, "targets": targets})
+    monolithic = compile_sources(edited, include_stdlib=False, targets=targets)
+    for target in targets:
+        assert list(staged.outputs[target].items()) == list(
+            monolithic.outputs[target].items()
+        )
+    # A comment-only edit changes no implementation; a width edit changes a
+    # few.  Either way at least one unit per backend must be a warm hit.
+    assert stage_cache.stats.backend_hits >= 2
+
+
+def test_tpch_suite_registry_equals_legacy(compiled_queries):
+    for name, result in compiled_queries.items():
+        registry_vhdl = get_backend("vhdl").emit(result.project)
+        legacy_vhdl = VhdlBackend(result.project).generate()
+        assert list(registry_vhdl.items()) == list(legacy_vhdl.items()), name
+        (registry_ir,) = get_backend("ir").emit(result.project).values()
+        assert registry_ir == emit_project(result.project), name

@@ -1,0 +1,240 @@
+"""Unit tests for the pluggable backend architecture (repro.backends)."""
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    BackendOptions,
+    DotBackend,
+    DotBackendOptions,
+    available_backends,
+    backend_class,
+    get_backend,
+    implementation_fingerprint,
+    register_backend,
+    unregister_backend,
+)
+from repro.errors import TydiBackendError
+from repro.lang.compile import compile_project, compile_sources
+from repro.testing import build_chain_design
+
+
+SOURCE = """
+type byte_t = Stream(Bit(8), d=1);
+streamlet stage_s { input: byte_t in, output: byte_t out, }
+external impl stage_i of stage_s;
+streamlet top_s { i: byte_t in, o: byte_t out, }
+impl top_i of top_s {
+    instance a(stage_i),
+    instance b(stage_i),
+    i => a.input,
+    a.output => b.input,
+    b.output => o,
+}
+top top_i;
+"""
+
+
+@pytest.fixture(scope="module")
+def project():
+    return compile_project(SOURCE, include_stdlib=False).project
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert {"vhdl", "ir", "dot"} <= set(names)
+        assert names == sorted(names)
+
+    def test_get_backend_instantiates_with_default_options(self):
+        backend = get_backend("dot")
+        assert isinstance(backend, DotBackend)
+        assert backend.options == DotBackendOptions()
+
+    def test_unknown_backend_names_available(self):
+        with pytest.raises(TydiBackendError, match="unknown backend 'verilog'"):
+            get_backend("verilog")
+        with pytest.raises(TydiBackendError, match="vhdl"):
+            get_backend("verilog")
+
+    def test_register_and_unregister_custom_backend(self, project):
+        class NullBackend(Backend):
+            name = "null"
+            description = "emits nothing per implementation"
+
+            def emit_unit(self, project, implementation):
+                return {f"{implementation.name}.null": f"-- {implementation.name}\n"}
+
+        register_backend(NullBackend)
+        try:
+            assert "null" in available_backends()
+            files = get_backend("null").emit(project)
+            assert set(files) == {"stage_i.null", "top_i.null"}
+        finally:
+            unregister_backend("null")
+        assert "null" not in available_backends()
+
+    def test_conflicting_registration_rejected(self):
+        class FakeVhdl(Backend):
+            name = "vhdl"
+
+            def emit_unit(self, project, implementation):  # pragma: no cover
+                return {}
+
+        with pytest.raises(TydiBackendError, match="already registered"):
+            register_backend(FakeVhdl)
+
+    def test_reregistering_same_class_is_noop(self):
+        cls = backend_class("vhdl")
+        assert register_backend(cls) is cls
+
+    def test_wrong_options_type_rejected(self):
+        with pytest.raises(TydiBackendError, match="expects DotBackendOptions"):
+            get_backend("dot", BackendOptions())
+
+
+class TestProtocol:
+    def test_emit_is_assemble_of_units(self, project):
+        """The composition law the per-implementation cache relies on."""
+        backend = get_backend("vhdl")
+        units = {
+            name: backend.emit_unit(project, impl)
+            for name, impl in project.implementations.items()
+        }
+        assembled = backend.assemble(project, backend.emit_shared(project), units)
+        assert list(assembled.items()) == list(backend.emit(project).items())
+
+    def test_default_assemble_sorted_and_collision_checked(self, project):
+        class CollidingBackend(Backend):
+            name = "colliding"
+
+            def emit_unit(self, project, implementation):
+                return {"same.txt": implementation.name}
+
+        with pytest.raises(TydiBackendError, match="duplicate file"):
+            CollidingBackend().emit(project)
+
+    def test_options_token_is_order_independent_and_typed(self):
+        token = DotBackendOptions(highlight=("a",), rankdir="TB").token()
+        assert token.startswith("DotBackendOptions(")
+        assert "highlight=('a',)" in token and "rankdir='TB'" in token
+        assert DotBackendOptions().token() != BackendOptions().token()
+
+
+class TestImplementationFingerprint:
+    def test_stable_across_recompiles(self):
+        p1 = compile_project(SOURCE, include_stdlib=False).project
+        p2 = compile_project(SOURCE, include_stdlib=False).project
+        for name in p1.implementations:
+            assert implementation_fingerprint(
+                p1, p1.implementations[name]
+            ) == implementation_fingerprint(p2, p2.implementations[name])
+
+    def test_sensitive_to_type_change(self):
+        p1 = compile_project(SOURCE, include_stdlib=False).project
+        p2 = compile_project(SOURCE.replace("Bit(8)", "Bit(16)"), include_stdlib=False).project
+        for name in p1.implementations:
+            assert implementation_fingerprint(
+                p1, p1.implementations[name]
+            ) != implementation_fingerprint(p2, p2.implementations[name])
+
+    def test_unrelated_implementations_unaffected_by_edit(self):
+        sources = build_chain_design(4)
+        p1 = compile_sources(sources, include_stdlib=False).project
+        edited = list(sources)
+        text, name = edited[0]
+        edited[0] = (text.replace("Bit(8)", "Bit(9)"), name)
+        p2 = compile_sources(edited, include_stdlib=False).project
+        changed = [
+            impl_name
+            for impl_name in p1.implementations
+            if impl_name in p2.implementations
+            and implementation_fingerprint(p1, p1.implementations[impl_name])
+            != implementation_fingerprint(p2, p2.implementations[impl_name])
+        ]
+        unchanged = [
+            impl_name
+            for impl_name in p1.implementations
+            if impl_name in p2.implementations and impl_name not in changed
+        ]
+        # The edited step (and its consumers) change; the tail of the chain
+        # and unrelated steps keep their fingerprints.
+        assert changed, "the edited implementation must change fingerprint"
+        assert unchanged, "untouched implementations must keep their fingerprint"
+
+
+class TestDotBackend:
+    def test_clusters_instances_and_edges(self, project):
+        text = get_backend("dot").emit(project)["design.dot"]
+        assert text.startswith('digraph "design" {')
+        assert '"cluster_top_i"' in text
+        assert '"top_i.a" [label="a\\nstage_s", shape=box]' in text
+        assert '"top_i.port.i"' in text
+        assert '"top_i.a" -> "top_i.b"' in text
+        assert 'label="Stream(Bit(8), d=1)"' in text
+        assert text.endswith("}\n")
+
+    def test_external_implementation_rendered_as_component(self, project):
+        text = get_backend("dot").emit(project)["design.dot"]
+        assert '"cluster_stage_i"' in text
+        assert "external blackbox" in text
+
+    def test_highlight_option_fills_nodes(self, project):
+        options = DotBackendOptions(highlight=("a",))
+        text = get_backend("dot", options).emit(project)["design.dot"]
+        assert 'style=filled' in text and 'fillcolor="#f4a6a6"' in text
+        plain = get_backend("dot").emit(project)["design.dot"]
+        assert "style=filled" not in plain
+
+    def test_synthesized_connections_dashed(self):
+        source = """
+        type t = Stream(Bit(8), d=1);
+        streamlet src_s { a: t out, }
+        external impl src_i of src_s;
+        streamlet snk_s { x: t in, }
+        external impl snk_i of snk_s;
+        streamlet top_s { }
+        impl top_i of top_s {
+            instance s(src_i), instance k1(snk_i), instance k2(snk_i),
+            s.a => k1.x, s.a => k2.x,
+        }
+        top top_i;
+        """
+        result = compile_project(source, include_stdlib=False)
+        text = get_backend("dot").emit(result.project)[f"{result.project.name}.dot"]
+        assert "style=dashed" in text
+
+    def test_show_types_can_be_disabled(self, project):
+        options = DotBackendOptions(show_types=False)
+        text = get_backend("dot", options).emit(project)["design.dot"]
+        assert "Stream(Bit(8)" not in text
+
+
+class TestSimConsumers:
+    def test_bottleneck_report_to_dot_highlights_components(self, compiled_queries, tpch_tables):
+        query_result = compiled_queries["q6"]
+        from repro.queries import QUERIES
+        from repro.sim.bottleneck import analyze_bottlenecks
+
+        _, trace, _ = QUERIES["q6"].simulate(tpch_tables)
+        report = analyze_bottlenecks(trace)
+        dot = report.to_dot(query_result.project)
+        assert dot.startswith("digraph")
+        if report.bottleneck_component() is not None:
+            assert "style=filled" in dot
+
+    def test_deadlock_report_to_dot_renders(self, project):
+        from repro.sim.deadlock import DeadlockReport, StalledChannel
+
+        report = DeadlockReport(
+            stalled=[
+                StalledChannel(
+                    channel="c0", source="a.output", sink="b.input",
+                    queued_packets=1, pending_packets=0,
+                )
+            ],
+            waiting_components=["b"],
+        )
+        dot = report.to_dot(project)
+        assert "digraph" in dot
+        assert "style=filled" in dot

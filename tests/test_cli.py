@@ -225,3 +225,125 @@ class TestCliBatch:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert out.count("[ok]") == 2
+
+
+class TestCliBackends:
+    def test_list_backends(self, capsys):
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("vhdl", "ir", "dot"):
+            assert name in out
+
+    def test_no_sources_without_list_backends_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_target_clean_error(self, design_file, capsys):
+        assert main([str(design_file), "--target", "verilog"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown backend 'verilog'" in err and "vhdl" in err
+
+    def test_single_target_streams_to_stdout(self, design_file, capsys):
+        """`tydi-compile --target dot x.td | dot -Tsvg` must pipe clean DOT:
+        outputs on stdout, stage log on stderr."""
+        assert main([str(design_file), "--target", "dot"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("digraph")
+        assert "[parse]" in captured.err and "[parse]" not in captured.out
+
+    def test_all_three_targets_one_invocation_out_dir(self, design_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        argv = [
+            str(design_file),
+            "--target", "vhdl", "--target", "dot", "--target", "ir",
+            "--out-dir", str(out_dir),
+        ]
+        assert main(argv) == 0
+        assert sorted(p.name for p in out_dir.iterdir()) == ["dot", "ir", "vhdl"]
+        assert any(f.suffix == ".vhd" for f in (out_dir / "vhdl").iterdir())
+        assert (out_dir / "dot" / "design.dot").read_text().startswith("digraph")
+        assert "streamlet echo_s" in (out_dir / "ir" / "design.tir").read_text()
+
+    def test_json_reports_outputs_and_backend_cache_stats(self, design_file, tmp_path, capsys):
+        cache_dir = tmp_path / ".tydi-cache"
+        argv = [
+            str(design_file),
+            "--target", "vhdl", "--target", "dot", "--target", "ir",
+            "--cache-dir", str(cache_dir), "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["outputs"]) == {"vhdl", "dot", "ir"}
+        assert payload["outputs"]["dot"] == ["design.dot"]
+        assert [s["name"] for s in payload["stages"]][-3:] == [
+            "backend:vhdl", "backend:dot", "backend:ir",
+        ]
+        assert payload["stage_cache"]["backend_misses"] > 0
+        assert payload["stage_cache"]["backend_hits"] == 0
+
+    def test_duplicate_targets_collapse(self, design_file, capsys):
+        assert main([str(design_file), "--target", "dot", "--target", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("digraph") == 1
+
+    def test_batch_targets_out_dir(self, tmp_path, capsys):
+        for width in (2, 4):
+            (tmp_path / f"w{width}.td").write_text(
+                f"type t = Stream(Bit({width}), d=1);\n"
+                "streamlet s { i: t in, o: t out, }\n"
+                "impl im of s { i => o, }\n"
+                "top im;\n"
+            )
+        out_dir = tmp_path / "out"
+        argv = [
+            "--batch", "--target", "vhdl", "--target", "dot",
+            "--out-dir", str(out_dir),
+            str(tmp_path / "w2.td"), str(tmp_path / "w4.td"),
+        ]
+        assert main(argv) == 0
+        assert sorted(p.name for p in out_dir.iterdir()) == ["w2", "w4"]
+        assert sorted(p.name for p in (out_dir / "w2").iterdir()) == ["dot", "vhdl"]
+        assert "backend output file(s)" in capsys.readouterr().out
+
+    def test_batch_json_includes_output_counts(self, tmp_path, capsys):
+        (tmp_path / "d.td").write_text(
+            "type t = Stream(Bit(8), d=1);\n"
+            "streamlet s { i: t in, o: t out, }\n"
+            "impl im of s { i => o, }\n"
+            "top im;\n"
+        )
+        argv = ["--batch", "--target", "vhdl", "--json", str(tmp_path / "d.td")]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["designs"][0]["outputs"] == {"vhdl": 2}
+
+    def test_out_dir_without_target_rejected(self, design_file, capsys):
+        assert main([str(design_file), "--out-dir", "out"]) == 1
+        assert "--out-dir requires at least one --target" in capsys.readouterr().err
+
+    def test_batch_targets_without_out_dir_hint(self, tmp_path, capsys):
+        (tmp_path / "d.td").write_text(
+            "type t = Stream(Bit(8), d=1);\n"
+            "streamlet s { i: t in, o: t out, }\n"
+            "impl im of s { i => o, }\n"
+            "top im;\n"
+        )
+        assert main(["--batch", "--target", "vhdl", str(tmp_path / "d.td")]) == 0
+        out = capsys.readouterr().out
+        assert "pass --out-dir to write them" in out
+
+    def test_stdout_streaming_keeps_legacy_write_messages_off_stdout(self, design_file, tmp_path, capsys):
+        """Regression: `--target dot --ir-out x | dot -Tsvg` must not append
+        'wrote Tydi-IR to ...' after the digraph on stdout."""
+        ir_path = tmp_path / "x.tir"
+        vhdl_dir = tmp_path / "vhdl"
+        argv = [
+            str(design_file), "--target", "dot",
+            "--ir-out", str(ir_path), "--vhdl-dir", str(vhdl_dir),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("digraph")
+        assert "wrote" not in captured.out
+        assert "wrote Tydi-IR" in captured.err
+        assert ir_path.exists()

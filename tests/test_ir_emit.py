@@ -1,6 +1,16 @@
 """Unit tests for textual Tydi-IR emission."""
 
-from repro.ir.emit import emit_implementation, emit_project, emit_streamlet, emit_type_declaration
+import pytest
+
+from repro.errors import TydiBackendError
+from repro.ir.emit import (
+    emit_implementation,
+    emit_project,
+    emit_streamlet,
+    emit_type_declaration,
+    named_type_declarations,
+)
+from repro.ir.model import Port, PortDirection, Project, Streamlet
 from repro.lang.compile import compile_project
 from repro.spec.logical_types import Bit, Group, Stream, Union
 from repro.utils.text import count_loc
@@ -78,3 +88,38 @@ class TestEmission:
         result = compile_project(source, include_stdlib=False)
         text = emit_project(result.project)
         assert "// auto-inserted" in text
+
+
+class TestNamedTypeConflicts:
+    @staticmethod
+    def _project_with(*types):
+        """A project whose streamlet ports carry the given element types."""
+        project = Project(name="conflict")
+        ports = [
+            Port(name=f"p{index}", logical_type=Stream(t, dimension=1), direction=PortDirection.IN)
+            for index, t in enumerate(types)
+        ]
+        project.add_streamlet(Streamlet(name="s", ports=ports))
+        return project
+
+    def test_identical_duplicates_collapse(self):
+        sample = Group.of("Sample", value=Bit(8))
+        named = named_type_declarations(self._project_with(sample, Group.of("Sample", value=Bit(8))))
+        assert list(named) == ["Sample"]
+
+    def test_structurally_distinct_types_sharing_a_name_raise(self):
+        """Regression: ``setdefault`` silently kept the first of two distinct
+        Group types named ``Sample`` and misdeclared every use of the second."""
+        a = Group.of("Sample", value=Bit(8))
+        b = Group.of("Sample", value=Bit(16))
+        project = self._project_with(a, b)
+        with pytest.raises(TydiBackendError, match="conflicting declarations of type 'Sample'"):
+            named_type_declarations(project)
+        with pytest.raises(TydiBackendError, match="Bit\\(8\\).*Bit\\(16\\)"):
+            emit_project(project)
+
+    def test_group_union_name_clash_raises(self):
+        group = Group.of("Value", num=Bit(8))
+        union = Union.of("Value", num=Bit(8))
+        with pytest.raises(TydiBackendError, match="conflicting declarations"):
+            named_type_declarations(self._project_with(group, union))

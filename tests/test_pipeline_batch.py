@@ -193,3 +193,46 @@ class TestTpchSuiteBatch:
         for query in ALL_QUERIES:
             assert query._compiled is results[query.name]
             assert f"impl {query.top}" in results[query.name].ir_text()
+
+
+class TestBackendTargets:
+    def test_job_targets_produce_outputs(self):
+        job_with_targets = make_jobs(1)[0].with_options(targets=("vhdl", "dot"))
+        result = job_with_targets.compile()
+        assert set(result.outputs) == {"vhdl", "dot"}
+        assert any(name.endswith(".vhd") for name in result.outputs["vhdl"])
+
+    def test_targets_participate_in_fingerprint(self):
+        base = make_jobs(1)[0]
+        assert base.fingerprint() != base.with_options(targets=("vhdl",)).fingerprint()
+        # Duplicates are normalised away, so they do not split the cache.
+        assert (
+            base.with_options(targets=("vhdl", "vhdl")).fingerprint()
+            == base.with_options(targets=("vhdl",)).fingerprint()
+        )
+
+    def test_batch_carries_backend_outputs_and_caches_them(self):
+        cache = CompilationCache()
+        compiler = BatchCompiler(cache=cache, executor="serial")
+        jobs = [job.with_options(targets=("vhdl", "ir")) for job in make_jobs(3)]
+        cold = compiler.compile_batch(jobs)
+        assert cold.ok
+        for entry in cold.results:
+            assert set(entry.result.outputs) == {"vhdl", "ir"}
+            assert entry.as_dict()["outputs"] == {
+                "vhdl": len(entry.result.outputs["vhdl"]),
+                "ir": len(entry.result.outputs["ir"]),
+            }
+        warm = compiler.compile_batch(jobs)
+        assert all(entry.from_cache for entry in warm.results)
+        for cold_entry, warm_entry in zip(cold.results, warm.results):
+            assert warm_entry.result.outputs == cold_entry.result.outputs
+
+    def test_unknown_target_is_isolated_error(self):
+        compiler = BatchCompiler(executor="serial")
+        jobs = [make_jobs(1)[0].with_options(targets=("verilog",))]
+        outcome = compiler.compile_batch(jobs)
+        assert not outcome.ok
+        entry = outcome.results[0]
+        assert entry.error_stage == "backend"
+        assert "unknown backend" in entry.error

@@ -163,3 +163,26 @@ class TestFileGranularity:
         # round treats every file as new.
         report = inc.update([multi_file_job("a")])
         assert sorted(report.changed_files["a"]) == ["streamlet.td", "top.td", "types.td"]
+
+
+class TestBackendTargets:
+    def test_new_target_dirties_and_outputs_for(self):
+        compiler = IncrementalCompiler(cache=CompilationCache())
+        first = compiler.update([job("a", 8)])
+        assert first.compiled == ["a"]
+        assert compiler.outputs_for("a", "vhdl") is None
+
+        # Requesting a backend changes the job fingerprint: the design is
+        # dirty even though no source file changed.
+        second = compiler.update([job("a", 8, targets=("vhdl",))])
+        assert second.compiled == ["a"]
+        assert second.changed_files == {"a": []}
+        vhdl = compiler.outputs_for("a", "vhdl")
+        assert vhdl and all(name.endswith(".vhd") for name in vhdl)
+        assert compiler.outputs_for("a", "dot") is None
+        assert compiler.outputs_for("missing", "vhdl") is None
+
+        # Unchanged job (same targets) is reused, outputs still served.
+        third = compiler.update([job("a", 8, targets=("vhdl",))])
+        assert third.reused == ["a"]
+        assert compiler.outputs_for("a", "vhdl") == vhdl

@@ -309,3 +309,94 @@ class TestConcurrency:
         for slot, ir in results.items():
             reference = compile_sources(variants[slot % len(variants)], include_stdlib=False)
             assert ir == reference.ir_text()
+
+
+class TestBackendTier:
+    TARGETS = ("vhdl", "ir", "dot")
+
+    def test_second_compile_hits_every_unit(self):
+        cache = StageCache()
+        options = {**OPTIONS, "targets": self.TARGETS}
+        first = cache.compile([TYPES, DESIGN], options)
+        impl_count = len(first.project.implementations)
+        assert cache.stats.backend_misses == impl_count * len(self.TARGETS)
+        cache.stats.reset()
+        second = cache.compile([TYPES, DESIGN], options)
+        assert cache.stats.backend_hits == impl_count * len(self.TARGETS)
+        assert cache.stats.backend_misses == 0
+        for target in self.TARGETS:
+            assert list(second.outputs[target].items()) == list(first.outputs[target].items())
+
+    def test_unit_outputs_shared_across_designs(self):
+        """Two designs containing a byte-identical implementation reuse its
+        unit output: the key is the implementation fingerprint, not the
+        design fingerprint."""
+        cache = StageCache()
+        options = {**OPTIONS, "targets": ("vhdl",)}
+        cache.compile([TYPES, DESIGN], options)
+        cache.stats.reset()
+        # Same design plus an unrelated comment in a *new* file: whole-result
+        # and evaluate keys change, but every implementation is unchanged.
+        extra = ("// unrelated comment file", "comment.td")
+        result = cache.compile([TYPES, DESIGN, extra], options)
+        assert cache.stats.backend_hits == len(result.project.implementations)
+        assert cache.stats.backend_misses == 0
+
+    def test_options_participate_in_unit_key(self):
+        from repro.backends import DotBackendOptions, get_backend
+
+        cache = StageCache()
+        result = cache.compile([TYPES, DESIGN], OPTIONS)
+        plain = cache.emit_backend(result.project, get_backend("dot"))
+        highlighted = cache.emit_backend(
+            result.project, get_backend("dot", DotBackendOptions(highlight=("echo_i.i",)))
+        )
+        assert plain != highlighted
+        assert cache.stats.backend_misses == 2 * len(result.project.implementations)
+
+    def test_disk_tier_round_trip(self, tmp_path):
+        options = {**OPTIONS, "targets": ("vhdl",)}
+        writer = StageCache(cache_dir=tmp_path)
+        first = writer.compile([TYPES, DESIGN], options)
+        assert list((tmp_path / STAGE_DIR_NAME).glob("backend-*.pkl"))
+
+        reader = StageCache(cache_dir=tmp_path)
+        second = reader.compile([TYPES, DESIGN], options)
+        assert reader.stats.backend_hits == len(second.project.implementations)
+        assert reader.stats.backend_misses == 0
+        assert list(second.outputs["vhdl"].items()) == list(first.outputs["vhdl"].items())
+
+    def test_corrupt_backend_artefact_recovers(self, tmp_path):
+        options = {**OPTIONS, "targets": ("vhdl",)}
+        writer = StageCache(cache_dir=tmp_path)
+        expected = writer.compile([TYPES, DESIGN], options)
+        for path in (tmp_path / STAGE_DIR_NAME).glob("backend-*.pkl"):
+            path.write_bytes(b"not a pickle")
+        reader = StageCache(cache_dir=tmp_path)
+        result = reader.compile([TYPES, DESIGN], options)
+        assert list(result.outputs["vhdl"].items()) == list(expected.outputs["vhdl"].items())
+        assert reader.stats.disk_errors > 0
+
+    def test_one_file_edit_reuses_untouched_units(self):
+        sources = build_chain_design(6)
+        options = {**OPTIONS, "targets": ("vhdl",)}
+        cache = StageCache()
+        cache.compile(sources, options)
+        # Comment-only edit of one chain step: no implementation changes.
+        edited = list(sources)
+        text, name = edited[2]
+        edited[2] = (text + "// tweak\n", name)
+        cache.stats.reset()
+        result = cache.compile(edited, options)
+        assert cache.stats.backend_hits == len(result.project.implementations)
+        assert cache.stats.backend_misses == 0
+
+    def test_clear_drops_backend_tier(self):
+        cache = StageCache()
+        options = {**OPTIONS, "targets": ("vhdl",)}
+        cache.compile([TYPES, DESIGN], options)
+        assert len(cache) > 0
+        cache.clear()
+        cache.stats.reset()
+        cache.compile([TYPES, DESIGN], options)
+        assert cache.stats.backend_misses > 0

@@ -121,3 +121,30 @@ class TestPrimitiveArchitectures:
     def test_empty_project_rejected(self):
         with pytest.raises(TydiBackendError):
             generate_vhdl(Project(name="empty"))
+
+
+class TestDeterministicOrdering:
+    def test_generate_vhdl_returns_sorted_files(self, pipeline_files):
+        files, project = pipeline_files
+        assert list(files) == sorted(files)
+        assert list(generate_vhdl(project)) == sorted(files)
+
+    def test_ordering_independent_of_insertion_history(self, pipeline_files):
+        """Reordering the project's implementation dict must not change the
+        emitted artefact set or its order."""
+        _, project = pipeline_files
+        reference = generate_vhdl(project)
+        shuffled_impls = dict(reversed(list(project.implementations.items())))
+        original = project.implementations
+        project.implementations = shuffled_impls
+        try:
+            reordered = generate_vhdl(project)
+        finally:
+            project.implementations = original
+        assert list(reordered.items()) == list(reference.items())
+
+    def test_legacy_generate_matches_registry_order(self, pipeline_files):
+        _, project = pipeline_files
+        assert list(VhdlBackend(project).generate().items()) == list(
+            generate_vhdl(project).items()
+        )
