@@ -14,12 +14,17 @@ asserts the two properties the pipeline promises:
 
 import time
 
+import pytest
 from conftest import run_once
 
 from repro.lang.compile import compile_sources
 from repro.pipeline import BatchCompiler, CompilationCache, StageCache
 from repro.queries import ALL_QUERIES
 from repro.testing import build_chain_design
+
+# Drives the deprecated BatchCompiler facade on purpose: the shim's
+# throughput must match the engine's.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def suite_jobs():

@@ -22,22 +22,50 @@ The package is organised as a toolchain (Figure 1 of the paper):
 * :mod:`repro.report` -- LoC accounting and regeneration of the paper's
   tables and figures.
 
-Typical use::
+Typical one-shot use::
 
     from repro.lang import compile_project
     from repro.vhdl import generate_vhdl
 
     result = compile_project(source_text, top="my_top")
     vhdl_files = generate_vhdl(result.project)
+
+Session use (the canonical API for anything long-lived -- editors,
+services, watch loops; see ``docs/workspace.md``)::
+
+    from repro.workspace import Workspace
+
+    ws = Workspace(cache_dir=".tydi-cache")
+    ws.add_design("my_design", {"top.td": source_text})
+    print(ws.ir("my_design"))          # lazy, memoised query
+    ws.update_file("my_design", "top.td", edited_text)
+    print(ws.ir("my_design"))          # recompiles only what changed
 """
 
-from repro.lang.compile import CompilationResult, compile_project, compile_sources
+from repro.lang.compile import (
+    CompilationResult,
+    CompileOptions,
+    compile_project,
+    compile_sources,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompilationResult",
+    "CompileOptions",
+    "Workspace",
     "compile_project",
     "compile_sources",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: ``repro.Workspace`` pulls in the pipeline + backends packages,
+    # which plain ``import repro`` users should not pay for.
+    if name == "Workspace":
+        from repro.workspace import Workspace
+
+        return Workspace
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

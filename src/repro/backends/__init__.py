@@ -25,6 +25,11 @@ See ``docs/backends.md``.
 """
 
 from repro.backends.base import Backend, BackendOptions, implementation_fingerprint
+from repro.backends.options import (
+    coerce_option_value,
+    options_for_backend,
+    parse_backend_opt_specs,
+)
 from repro.backends.registry import (
     ENTRY_POINT_GROUP,
     available_backends,
@@ -52,9 +57,12 @@ __all__ = [
     "VhdlFilesBackend",
     "available_backends",
     "backend_class",
+    "coerce_option_value",
     "get_backend",
     "implementation_fingerprint",
     "iter_backends",
+    "options_for_backend",
+    "parse_backend_opt_specs",
     "register_backend",
     "unregister_backend",
 ]

@@ -1,0 +1,128 @@
+"""Building backend options dataclasses from untyped key/value input.
+
+Backends declare their knobs as frozen dataclasses
+(:class:`~repro.backends.base.BackendOptions` subclasses), but two callers
+hold only strings or loose mappings:
+
+* the CLI's repeatable ``--backend-opt name.key=value`` flag
+  (:func:`parse_backend_opt_specs` turns the specs into a nested mapping),
+* :class:`repro.lang.compile.CompileOptions`, whose ``backend_options``
+  field accepts plain ``{"dot": {"rankdir": "TB"}}`` mappings
+  (:func:`options_for_backend` turns one of them into the backend's real
+  options instance).
+
+Both reject unknown keys with a did-you-mean suggestion
+(:class:`~repro.errors.TydiBackendError`) instead of failing later with an
+opaque ``TypeError`` from the dataclass constructor, and string values are
+coerced to the declared field's type (``bool``/``int``/``float``/tuple),
+so ``--backend-opt dot.show_types=false`` does what it says.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.errors import TydiBackendError, did_you_mean
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _coerce_scalar(raw: str, template: object, *, context: str):
+    """Coerce one string to the type of ``template`` (a field default)."""
+    if isinstance(template, bool):
+        word = raw.strip().lower()
+        if word in _TRUE_WORDS:
+            return True
+        if word in _FALSE_WORDS:
+            return False
+        raise TydiBackendError(f"{context}: expected a boolean, got {raw!r}")
+    if isinstance(template, int):
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise TydiBackendError(f"{context}: expected an integer, got {raw!r}") from exc
+    if isinstance(template, float):
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise TydiBackendError(f"{context}: expected a number, got {raw!r}") from exc
+    return raw
+
+
+def coerce_option_value(raw: object, field: dataclasses.Field, *, context: str):
+    """Coerce a raw (usually string) value to the type of one options field.
+
+    Non-string values pass through untouched -- programmatic callers already
+    hold typed values and the dataclass constructor is the authority.  For
+    strings the field's *default value* supplies the target type (backend
+    options are all-defaults dataclasses by design): booleans accept
+    ``true/false/1/0/yes/no/on/off``, tuples split on commas (the empty
+    string is the empty tuple) with elements coerced to the type of the
+    default's first element.
+    """
+    if not isinstance(raw, str):
+        return raw
+    if field.default is dataclasses.MISSING and field.default_factory is dataclasses.MISSING:
+        return raw
+    default = (
+        field.default
+        if field.default is not dataclasses.MISSING
+        else field.default_factory()  # type: ignore[misc]
+    )
+    if isinstance(default, tuple):
+        if not raw:
+            return ()
+        element_template = default[0] if default else ""
+        return tuple(
+            _coerce_scalar(part.strip(), element_template, context=context)
+            for part in raw.split(",")
+        )
+    return _coerce_scalar(raw, default, context=context)
+
+
+def options_for_backend(backend_cls, values: Mapping[str, object]):
+    """Build ``backend_cls.options_type`` from a loose ``{key: value}`` map.
+
+    Unknown keys raise :class:`~repro.errors.TydiBackendError` naming the
+    backend, the valid keys and a did-you-mean suggestion; string values are
+    coerced via :func:`coerce_option_value`.
+    """
+    options_type = backend_cls.options_type
+    fields = {field.name: field for field in dataclasses.fields(options_type)}
+    resolved: dict[str, object] = {}
+    for key, value in values.items():
+        field = fields.get(key)
+        if field is None:
+            known = ", ".join(sorted(fields)) or "none"
+            raise TydiBackendError(
+                f"backend {backend_cls.name!r} has no option {key!r}"
+                f"{did_you_mean(key, list(fields))} (valid options: {known})"
+            )
+        context = f"backend option {backend_cls.name}.{key}"
+        resolved[key] = coerce_option_value(value, field, context=context)
+    return options_type(**resolved)
+
+
+def parse_backend_opt_specs(specs: Sequence[str]) -> dict[str, dict[str, str]]:
+    """Parse repeatable ``name.key=value`` specs into ``{name: {key: value}}``.
+
+    The CLI's ``--backend-opt`` grammar: everything before the first ``.`` is
+    the backend name, everything between it and the first ``=`` is the option
+    key, the rest is the raw value (which may itself contain ``=`` or ``.``).
+    A repeated ``name.key`` keeps the last value, matching the usual
+    last-flag-wins CLI convention.  Backend names and keys are validated by
+    the caller (:func:`options_for_backend`), not here.
+    """
+    parsed: dict[str, dict[str, str]] = {}
+    for spec in specs:
+        head, eq, value = spec.partition("=")
+        name, dot, key = head.partition(".")
+        if not eq or not dot or not name or not key:
+            raise TydiBackendError(
+                f"malformed backend option {spec!r}: expected name.key=value "
+                f"(e.g. dot.rankdir=TB)"
+            )
+        parsed.setdefault(name, {})[key] = value
+    return parsed

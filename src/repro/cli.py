@@ -17,13 +17,19 @@ parallel and against a content-addressed cache:
     $ tydi-compile --batch --jobs 4 --cache-dir .tydi-cache --json designs/*.td
 
 Output backends are pluggable (:mod:`repro.backends`): ``--target`` selects
-one or more registered emitters (``--list-backends`` enumerates them), and a
-single design's outputs stream to stdout when no ``--out-dir`` is given:
+one or more registered emitters (``--list-backends`` enumerates them),
+``--backend-opt name.key=value`` sets their options, and a single design's
+outputs stream to stdout when no ``--out-dir`` is given:
 
 .. code-block:: console
 
     $ tydi-compile --target dot design.td | dot -Tsvg > design.svg
+    $ tydi-compile --target dot --backend-opt dot.rankdir=TB design.td
     $ tydi-compile --target vhdl --target ir --target dot --out-dir out/ design.td
+
+Both modes run through one :class:`repro.workspace.Workspace` session, so a
+future ``--watch`` loop only needs to ``update_file`` edited sources and
+re-run the same queries.
 """
 
 from __future__ import annotations
@@ -67,6 +73,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write --target outputs under DIR/<target>/ "
         "(DIR/<design>/<target>/ in --batch mode); without it a single "
         "design's outputs stream to stdout, pipeable into e.g. dot -Tsvg",
+    )
+    backends.add_argument(
+        "--backend-opt",
+        action="append",
+        dest="backend_opts",
+        default=None,
+        metavar="NAME.KEY=VALUE",
+        help="set one option of a registered backend (e.g. dot.rankdir=TB); "
+        "repeatable, values are coerced to the option's declared type",
     )
     backends.add_argument(
         "--list-backends",
@@ -183,14 +198,34 @@ def _build_cache(args: argparse.Namespace):
     return CompilationCache(cache_dir=args.cache_dir, max_disk_bytes=max_disk_bytes)
 
 
+def _design_options(args: argparse.Namespace, name: str, targets, backend_opts):
+    """The :class:`~repro.lang.compile.CompileOptions` the CLI flags describe."""
+    from repro.lang.compile import CompileOptions
+
+    return CompileOptions(
+        top=args.top,
+        include_stdlib=not args.no_stdlib,
+        sugaring=not args.no_sugaring,
+        project_name=name,
+        targets=targets,
+        backend_options=backend_opts,
+    )
+
+
 def _run_batch(args: argparse.Namespace) -> int:
-    from repro.pipeline import BatchCompiler, CompilationCache, CompileJob, JobResult
+    from repro.pipeline import CompileJob, JobResult
+    from repro.workspace import Workspace
 
     targets = _resolve_targets(args)
+    backend_opts = _resolve_backend_options(args)
+
+    # One workspace session per invocation; a future --watch loop would
+    # keep it alive, update_file the edited sources and re-run compile_all.
+    workspace = Workspace(cache=_build_cache(args))
+    cache = workspace.cache
 
     # An unreadable file is one failed *design*, not a reason to abort the
-    # batch -- mirroring the driver's per-design compile-error isolation.
-    jobs = []
+    # batch -- mirroring the engine's per-design compile-error isolation.
     unreadable: dict[int, JobResult] = {}
     taken: set[str] = set()
     for position, path_text in enumerate(args.sources):
@@ -208,20 +243,13 @@ def _run_batch(args: argparse.Namespace) -> int:
                 error_type=type(exc.__cause__).__name__ if exc.__cause__ else "OSError",
             )
             continue
-        jobs.append(
-            CompileJob(
-                name=name,
-                sources=((text, str(path)),),
-                top=args.top,
-                include_stdlib=not args.no_stdlib,
-                sugaring=not args.no_sugaring,
-                targets=targets,
-            )
+        workspace.add_design(
+            name,
+            ((text, str(path)),),
+            _design_options(args, name, targets, backend_opts),
         )
 
-    cache = _build_cache(args)
-    compiler = BatchCompiler(cache=cache, executor=args.executor, max_workers=args.jobs)
-    outcome = compiler.compile_batch(jobs)
+    outcome = workspace.compile_all(executor=args.executor, jobs=args.jobs).batch
 
     # Splice the read failures back in at their input positions.
     for position in sorted(unreadable):
@@ -333,6 +361,25 @@ def _resolve_targets(args: argparse.Namespace) -> tuple[str, ...]:
     return targets
 
 
+def _resolve_backend_options(args: argparse.Namespace) -> tuple[tuple[str, object], ...]:
+    """Parse and validate every --backend-opt into backend options instances.
+
+    Unknown backends, unknown option keys (with a did-you-mean suggestion)
+    and un-coercible values all fail here with a clean one-line error, not
+    deep inside the emit stage.
+    """
+    from repro.backends import parse_backend_opt_specs
+    from repro.errors import TydiError
+    from repro.lang.compile import normalize_backend_options
+
+    if not args.backend_opts:
+        return ()
+    try:
+        return normalize_backend_options(parse_backend_opt_specs(args.backend_opts))
+    except TydiError as exc:
+        raise _CliInputError(str(exc)) from exc
+
+
 def _write_outputs(base_dir: pathlib.Path, outputs: dict[str, dict[str, str]]) -> int:
     """Write every target's files under ``base_dir/<target>/``."""
     written = 0
@@ -363,12 +410,15 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run_single(args: argparse.Namespace) -> int:
-    from repro.lang import compile_sources
     from repro.errors import TydiError
+    from repro.workspace import Workspace
 
     sources = _load_sources(args.sources)
     targets = _resolve_targets(args)
-    cache = _build_cache(args)
+    backend_opts = _resolve_backend_options(args)
+
+    workspace = Workspace(cache=_build_cache(args))
+    cache = workspace.cache
 
     # When target outputs stream to stdout (no --out-dir), the stage log
     # moves to stderr so e.g. `tydi-compile --target dot x.td | dot -Tsvg`
@@ -377,14 +427,10 @@ def _run_single(args: argparse.Namespace) -> int:
     log_stream = sys.stderr if emit_to_stdout else sys.stdout
 
     try:
-        result = compile_sources(
-            sources,
-            top=args.top,
-            include_stdlib=not args.no_stdlib,
-            sugaring=not args.no_sugaring,
-            targets=targets,
-            cache=cache,
+        workspace.add_design(
+            "design", sources, _design_options(args, "design", targets, backend_opts)
         )
+        result = workspace.result("design")
     except TydiError as exc:
         print(f"error ({exc.stage}): {exc.render()}", file=sys.stderr)
         return 1

@@ -4,6 +4,10 @@ Every user-facing failure in the toolchain is reported through one of the
 exception classes defined here so that callers (CLI, tests, benchmark harness)
 can distinguish *which stage* of the pipeline rejected the input:
 
+* :class:`TydiInputError` -- malformed compile inputs (source lists, option
+  mappings) rejected before any stage runs.
+* :class:`TydiWorkspaceError` -- session misuse of :class:`repro.workspace.
+  Workspace` (unknown design/file names, duplicates).
 * :class:`TydiSyntaxError` -- lexer / parser failures.
 * :class:`TydiNameError` -- unresolved identifiers during evaluation.
 * :class:`TydiTypeError` -- logical-type construction or expression typing
@@ -21,8 +25,20 @@ messages can point at the offending location in the Tydi-lang source text.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+
+def did_you_mean(name: str, known: Sequence[str]) -> str:
+    """A `` (did you mean 'x'?)`` tail for an unknown-name error message.
+
+    Returns the empty string when nothing is close -- the one suggestion
+    format shared by option validation across the toolchain (compile
+    options, backend options).
+    """
+    close = difflib.get_close_matches(name, list(known), n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
 
 
 class TydiError(Exception):
@@ -41,6 +57,23 @@ class TydiError(Exception):
         if self.span is not None:
             return f"{self.span}: {self.message}"
         return self.message
+
+
+class TydiInputError(TydiError):
+    """Raised when compile *inputs* (source lists, option mappings) are
+    malformed before any stage runs -- e.g. a ``sources`` entry that is not a
+    ``(source_text, filename)`` pair.  The message always names the offending
+    index or key, so callers fail at the call site instead of deep inside a
+    later stage with an opaque unpack error."""
+
+    stage = "input"
+
+
+class TydiWorkspaceError(TydiError):
+    """Raised by :class:`repro.workspace.Workspace` for session misuse:
+    unknown design or file names, duplicate designs, invalid cache wiring."""
+
+    stage = "workspace"
 
 
 class TydiSyntaxError(TydiError):

@@ -10,12 +10,18 @@ runs the full frontend pipeline of Figure 3 in the paper:
         -> Tydi-IR (:class:`repro.ir.Project`)
 """
 
-from repro.lang.compile import CompilationResult, compile_project, compile_sources
+from repro.lang.compile import (
+    CompilationResult,
+    CompileOptions,
+    compile_project,
+    compile_sources,
+)
 from repro.lang.parser import parse_source
 from repro.lang.lexer import tokenize
 
 __all__ = [
     "CompilationResult",
+    "CompileOptions",
     "compile_project",
     "compile_sources",
     "parse_source",

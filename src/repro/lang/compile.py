@@ -1,6 +1,14 @@
 """Compile driver: the full Tydi-lang frontend pipeline of Figure 3.
 
-``compile_sources`` runs:
+This module owns the *definitions* the whole toolchain shares: the stage
+functions, :func:`normalize_sources` (strictly-validated input normal
+form), and :class:`CompileOptions` -- the one frozen dataclass every layer
+(one-shot compiles, :class:`repro.workspace.Workspace` designs,
+:class:`repro.pipeline.batch.CompileJob`, the CLI) uses to describe a
+compilation, with one ``fingerprint()`` recipe behind every cache key.
+
+``compile_sources`` -- now a one-shot shim over a throwaway
+:class:`repro.workspace.Workspace` session -- runs:
 
 1. **parse** every source file into an AST (:mod:`repro.lang.parser`),
 2. **evaluate / expand** templates and generative syntax into a flat design
@@ -27,11 +35,12 @@ regenerates.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Optional, Protocol, Sequence
+from typing import Callable, Mapping, Optional, Protocol, Sequence
 
-from repro.errors import DiagnosticSink
+from repro.errors import DiagnosticSink, TydiInputError, did_you_mean
 from repro.ir.emit import emit_project
 from repro.ir.model import Project
 from repro.lang.ast import SourceUnit
@@ -43,20 +52,64 @@ from repro.stdlib.source import STDLIB_SOURCE
 
 
 def normalize_sources(
-    sources: Sequence[tuple[str, str]] | Sequence[str],
+    sources: Sequence[tuple[str, str]] | Sequence[str] | Mapping[str, str],
 ) -> tuple[tuple[str, str], ...]:
     """Normalise compile inputs to ``(source_text, filename)`` pairs.
 
-    The single definition shared by :func:`compile_sources` and the pipeline
-    cache's fingerprinting (:func:`repro.pipeline.cache.fingerprint_sources`),
-    so content addresses can never drift from what actually gets compiled.
+    The single definition shared by :func:`compile_sources`, the
+    :class:`repro.workspace.Workspace` design store and the pipeline cache's
+    fingerprinting (:func:`repro.pipeline.cache.fingerprint_sources`), so
+    content addresses can never drift from what actually gets compiled.
+
+    Accepted entry shapes: a bare source string (named ``source_<i>.td``),
+    a ``(source_text, filename)`` pair (tuple or list), or -- for the whole
+    argument -- a ``{filename: source_text}`` mapping.  Anything else is
+    rejected up front with a :class:`~repro.errors.TydiInputError` naming
+    the offending index, instead of failing later inside a stage with an
+    opaque unpack or attribute error.  Duplicate filenames are rejected for
+    the same reason: the second entry would silently shadow the first in
+    every file-keyed tier (stage cache, workspace, diagnostics).
     """
+    if isinstance(sources, Mapping):
+        entries: Sequence[object] = [(text, filename) for filename, text in sources.items()]
+    elif isinstance(sources, (str, bytes)):
+        raise TydiInputError(
+            "sources must be a sequence of source entries, not a single string "
+            "(wrap it in a list, or use compile_project)"
+        )
+    else:
+        entries = list(sources)
     normalized: list[tuple[str, str]] = []
-    for index, entry in enumerate(sources):
-        if isinstance(entry, tuple):
-            normalized.append(entry)
+    seen: dict[str, int] = {}
+    for index, entry in enumerate(entries):
+        if isinstance(entry, str):
+            pair = (entry, f"source_{index}.td")
+        elif isinstance(entry, (tuple, list)):
+            if len(entry) != 2:
+                raise TydiInputError(
+                    f"sources[{index}]: expected a (source_text, filename) pair, "
+                    f"got a {len(entry)}-element {type(entry).__name__}"
+                )
+            text, filename = entry
+            if not isinstance(text, str) or not isinstance(filename, str):
+                raise TydiInputError(
+                    f"sources[{index}]: expected (source_text, filename) strings, "
+                    f"got ({type(text).__name__}, {type(filename).__name__})"
+                )
+            pair = (text, filename)
         else:
-            normalized.append((entry, f"source_{index}.td"))
+            raise TydiInputError(
+                f"sources[{index}]: expected a source string or a "
+                f"(source_text, filename) pair, got {type(entry).__name__}"
+            )
+        previous = seen.get(pair[1])
+        if previous is not None:
+            raise TydiInputError(
+                f"sources[{index}]: duplicate filename {pair[1]!r} "
+                f"(already used by sources[{previous}])"
+            )
+        seen[pair[1]] = index
+        normalized.append(pair)
     return tuple(normalized)
 
 
@@ -69,6 +122,175 @@ def normalize_targets(targets: Sequence[str] | None) -> tuple[str, ...]:
     address.
     """
     return tuple(dict.fromkeys(targets or ()))
+
+
+def normalize_backend_options(value) -> tuple[tuple[str, object], ...]:
+    """Normalise per-backend options to a sorted ``((name, options), ...)``.
+
+    Accepts ``None``/``()``, a mapping ``{backend_name: options}`` or an
+    iterable of ``(backend_name, options)`` pairs, where each ``options``
+    is either the backend's frozen options dataclass instance or a loose
+    ``{key: value}`` mapping (coerced through
+    :func:`repro.backends.options.options_for_backend`, with did-you-mean
+    errors for unknown keys).  Backend names are validated against the
+    registry immediately -- an unknown name fails here, at option-building
+    time, not later inside the emit stage.
+    """
+    if not value:
+        return ()
+    from repro.backends import backend_class
+    from repro.backends.options import options_for_backend
+
+    if isinstance(value, Mapping):
+        items = list(value.items())
+    else:
+        items = list(value)
+    resolved: dict[str, object] = {}
+    for index, entry in enumerate(items):
+        if not isinstance(entry, (tuple, list)) or len(entry) != 2:
+            raise TydiInputError(
+                f"backend_options[{index}]: expected a (backend_name, options) "
+                f"pair, got {type(entry).__name__}"
+            )
+        name, options = entry
+        if not isinstance(name, str):
+            raise TydiInputError(
+                f"backend_options[{index}]: backend name must be a string, "
+                f"got {type(name).__name__}"
+            )
+        cls = backend_class(name)
+        if isinstance(options, Mapping):
+            options = options_for_backend(cls, options)
+        elif not isinstance(options, cls.options_type):
+            raise TydiInputError(
+                f"backend_options[{index}]: backend {name!r} expects "
+                f"{cls.options_type.__name__} (or a key/value mapping), "
+                f"got {type(options).__name__}"
+            )
+        resolved[name] = options
+    return tuple(sorted(resolved.items()))
+
+
+#: The legacy keyword names of :func:`compile_sources`, in the (stable)
+#: order the options dict is built in -- the one definition
+#: :meth:`CompileOptions.as_dict` and :meth:`CompileOptions.from_kwargs`
+#: share with the cache fingerprints.
+OPTION_FIELD_NAMES = (
+    "top",
+    "top_args",
+    "include_stdlib",
+    "sugaring",
+    "run_drc",
+    "strict_drc",
+    "project_name",
+    "targets",
+    "backend_options",
+)
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Every knob of one frontend compilation, as one frozen value.
+
+    This is the single definition of "compile options" across the
+    toolchain: :func:`compile_sources` keyword arguments build one,
+    :class:`repro.workspace.Workspace` designs carry one,
+    :meth:`repro.pipeline.batch.CompileJob.options` derives its legacy
+    dict from one, and the cache layers key artefacts by
+    :meth:`fingerprint`.  Being frozen (and normalised on construction:
+    ``top_args``/``targets`` become tuples, duplicate targets collapse,
+    ``backend_options`` sort by backend name) makes an instance safe to
+    share across threads and to use as part of a cache identity.
+
+    ``backend_options`` carries per-backend emission options -- see
+    :func:`normalize_backend_options` for the accepted shapes; loose
+    mappings like ``{"dot": {"rankdir": "TB"}}`` are coerced to the
+    backend's frozen options dataclass with did-you-mean validation.
+    """
+
+    top: Optional[str] = None
+    top_args: tuple[object, ...] = ()
+    include_stdlib: bool = True
+    sugaring: bool = True
+    run_drc: bool = True
+    strict_drc: bool = True
+    project_name: str = "design"
+    targets: tuple[str, ...] = ()
+    backend_options: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "top_args", tuple(self.top_args))
+        object.__setattr__(self, "targets", normalize_targets(self.targets))
+        object.__setattr__(
+            self, "backend_options", normalize_backend_options(self.backend_options)
+        )
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: object) -> "CompileOptions":
+        """Build options from keyword arguments, rejecting unknown names.
+
+        Unlike the raw constructor's ``TypeError``, the error is a
+        :class:`~repro.errors.TydiInputError` naming the bad key with a
+        did-you-mean suggestion -- the validation layer behind
+        ``Workspace.add_design(options={...})`` and the CLI.
+        """
+        for key in kwargs:
+            if key not in OPTION_FIELD_NAMES:
+                raise TydiInputError(
+                    f"unknown compile option {key!r}"
+                    f"{did_you_mean(key, OPTION_FIELD_NAMES)} "
+                    f"(valid options: {', '.join(OPTION_FIELD_NAMES)})"
+                )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def coerce(cls, value: "CompileOptions | Mapping[str, object] | None") -> "CompileOptions":
+        """Normalise ``None`` / a mapping / an instance to an instance."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_kwargs(**value)
+        raise TydiInputError(
+            f"options must be a CompileOptions, a mapping or None, "
+            f"got {type(value).__name__}"
+        )
+
+    def replace(self, **changes: object) -> "CompileOptions":
+        """A copy with some fields replaced (unknown names rejected)."""
+        for key in changes:
+            if key not in OPTION_FIELD_NAMES:
+                return self.from_kwargs(**changes)  # raises with did-you-mean
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def as_dict(self) -> dict[str, object]:
+        """The legacy ``compile_sources`` options dict (the fingerprint form).
+
+        The returned dict is fresh and mutable; its key set and value
+        normal forms are what every cache fingerprint hashes, so two paths
+        that agree on an instance agree on every content address.
+        """
+        return {name: getattr(self, name) for name in OPTION_FIELD_NAMES}
+
+    def backend_options_for(self, name: str):
+        """The options instance configured for backend ``name`` (or None)."""
+        for backend_name, options in self.backend_options:
+            if backend_name == name:
+                return options
+        return None
+
+    def fingerprint(self, sources: Sequence[tuple[str, str]] | Sequence[str]) -> str:
+        """Content address of one compilation: these options over ``sources``.
+
+        The one fingerprint definition shared by ``compile_sources``' cache
+        hook, :meth:`repro.pipeline.batch.CompileJob.fingerprint`,
+        :class:`repro.workspace.Workspace` invalidation and the CLI
+        (delegates to :func:`repro.pipeline.cache.fingerprint_sources`).
+        """
+        from repro.pipeline.cache import fingerprint_sources
+
+        return fingerprint_sources(sources, self.as_dict())
 
 
 class ResultCache(Protocol):
@@ -224,16 +446,19 @@ def backend_stage(
     project: Project,
     targets: Sequence[str],
     *,
+    backend_options: Sequence[tuple[str, object]] = (),
     stage_cache=None,
 ) -> tuple[dict[str, dict[str, str]], list[CompilationStage]]:
     """Stage 6: run every requested backend over the compiled project.
 
-    ``stage_cache`` (a :class:`repro.pipeline.stages.StageCache`, duck-typed
-    so the lang layer never imports the pipeline) serves memoised
-    per-implementation unit outputs; without one every backend emits from
-    scratch.  Both paths produce identical outputs *and* identical stage-log
-    entries -- the differential harness asserts it -- so the log detail
-    deliberately carries no hit/miss counts.
+    ``backend_options`` is the normalised per-backend options of
+    :attr:`CompileOptions.backend_options`; a backend without an entry runs
+    with its defaults.  ``stage_cache`` (a :class:`repro.pipeline.stages.
+    StageCache`, duck-typed so the lang layer never imports the pipeline)
+    serves memoised per-implementation unit outputs; without one every
+    backend emits from scratch.  Both paths produce identical outputs *and*
+    identical stage-log entries -- the differential harness asserts it --
+    so the log detail deliberately carries no hit/miss counts.
     """
     outputs: dict[str, dict[str, str]] = {}
     entries: list[CompilationStage] = []
@@ -241,8 +466,9 @@ def backend_stage(
         return outputs, entries
     from repro.backends import get_backend
 
+    options_by_name = dict(backend_options or ())
     for target in normalize_targets(targets):
-        backend = get_backend(target)
+        backend = get_backend(target, options_by_name.get(target))
         if stage_cache is not None:
             files = stage_cache.emit_backend(project, backend)
         else:
@@ -254,9 +480,74 @@ def backend_stage(
     return outputs, entries
 
 
+def run_pipeline(
+    normalized: Sequence[tuple[str, str]],
+    options: CompileOptions,
+) -> CompilationResult:
+    """The monolithic Figure-3 pipeline: every stage from scratch, no caches.
+
+    This is the reference composition of the stage functions above; the
+    staged pipeline (:meth:`repro.pipeline.stages.StageCache.compile`)
+    composes the *same* functions with memoised artefacts and is
+    differential-tested byte-identical against this one.  Callers that want
+    caching or session state go through :class:`repro.workspace.Workspace`
+    (or its :func:`compile_sources` shim) instead of calling this directly.
+    """
+    diagnostics = DiagnosticSink()
+    stages: list[CompilationStage] = []
+
+    # Stage 1: parse (the stdlib AST is parsed once and shared, see
+    # :func:`_parsed_stdlib`).
+    units, parse_entry = parse_stage(normalized, include_stdlib=options.include_stdlib)
+    stages.append(parse_entry)
+
+    # Stage 2: evaluation / expansion ("code expansion & evaluation").
+    project, evaluate_entry = evaluate_stage(
+        units,
+        diagnostics,
+        top=options.top,
+        top_args=options.top_args,
+        project_name=options.project_name,
+    )
+    stages.append(evaluate_entry)
+
+    # Stage 3: sugaring ("desugaring" box of Figure 3).
+    sugaring_report: Optional[SugaringReport] = None
+    if options.sugaring:
+        sugaring_report, sugar_entry = sugar_stage(project, diagnostics)
+        stages.append(sugar_entry)
+
+    # Stage 4: design rule check.
+    drc_report: Optional[DRCReport] = None
+    if options.run_drc:
+        drc_report, drc_entry = drc_stage(project, diagnostics, strict=options.strict_drc)
+        stages.append(drc_entry)
+
+    # Stage 5: Tydi-IR generation is on-demand via CompilationResult.ir_text().
+    stages.append(CompilationStage("ir", IR_STAGE_DETAIL))
+
+    # Stage 6: requested output backends (uncached on the monolithic path;
+    # the staged pipeline memoises per-implementation unit outputs).
+    outputs, backend_entries = backend_stage(
+        project, options.targets, backend_options=options.backend_options
+    )
+    stages.extend(backend_entries)
+
+    return CompilationResult(
+        project=project,
+        diagnostics=diagnostics,
+        stages=stages,
+        sugaring=sugaring_report,
+        drc=drc_report,
+        units=units,
+        outputs=outputs,
+    )
+
+
 def compile_sources(
-    sources: Sequence[tuple[str, str]] | Sequence[str],
+    sources: Sequence[tuple[str, str]] | Sequence[str] | Mapping[str, str],
     *,
+    options: CompileOptions | Mapping[str, object] | None = None,
     top: Optional[str] = None,
     top_args: tuple[object, ...] = (),
     include_stdlib: bool = True,
@@ -265,14 +556,30 @@ def compile_sources(
     strict_drc: bool = True,
     project_name: str = "design",
     targets: Sequence[str] = (),
+    backend_options: Sequence[tuple[str, object]] | Mapping[str, object] = (),
     cache: Optional[ResultCache] = None,
 ) -> CompilationResult:
     """Compile one or more Tydi-lang sources to Tydi-IR.
 
+    This is the one-shot entry point: it builds a throwaway
+    :class:`repro.workspace.Workspace` session around the given ``cache``
+    (or no cache at all), registers the sources as a single design, and
+    returns the session's ``result`` query.  Long-lived callers -- editors,
+    services, anything that compiles the same design more than once --
+    should hold a ``Workspace`` of their own instead; see
+    ``docs/workspace.md``.
+
     Parameters
     ----------
     sources:
-        Either plain source strings or ``(source_text, filename)`` pairs.
+        Plain source strings, ``(source_text, filename)`` pairs, or a
+        ``{filename: source_text}`` mapping (see :func:`normalize_sources`;
+        malformed entries raise :class:`~repro.errors.TydiInputError`).
+    options:
+        A :class:`CompileOptions` (or ``{option: value}`` mapping) carrying
+        every compile option as one value.  When given, the individual
+        option keywords below must be left at their defaults -- mixing the
+        two forms raises :class:`~repro.errors.TydiInputError`.
     top:
         Name of the top-level implementation to instantiate.  When omitted,
         an in-source ``top name;`` declaration is honoured, and failing that
@@ -290,6 +597,9 @@ def compile_sources(
         e.g. ``("vhdl", "dot")``) to run after the frontend; their files
         land on :attr:`CompilationResult.outputs`.  Duplicates are dropped,
         order is preserved.
+    backend_options:
+        Per-backend emission options, e.g. ``{"dot": {"rankdir": "TB"}}``
+        (see :attr:`CompileOptions.backend_options`).
     cache:
         Optional content-addressed result cache (see
         :class:`repro.pipeline.CompilationCache`).  On a hit the stored
@@ -300,77 +610,48 @@ def compile_sources(
         misses compile through the staged pipeline, reusing cached per-file
         ASTs and evaluate snapshots.
     """
-    normalized = normalize_sources(sources)
-    targets = normalize_targets(targets)
-    options = {
-        "top": top,
-        "top_args": top_args,
-        "include_stdlib": include_stdlib,
-        "sugaring": sugaring,
-        "run_drc": run_drc,
-        "strict_drc": strict_drc,
-        "project_name": project_name,
-        "targets": targets,
-    }
-
-    cache_key: Optional[str] = None
-    if cache is not None:
-        cache_key = cache.key_for(normalized, options)
-        cached = cache.get(cache_key)
-        if cached is not None:
-            return cached
-        stage_cache = getattr(cache, "stages", None)
-        if stage_cache is not None:
-            result = stage_cache.compile(normalized, options)
-            cache.put(cache_key, result)
-            return result
-
-    diagnostics = DiagnosticSink()
-    stages: list[CompilationStage] = []
-
-    # Stage 1: parse (the stdlib AST is parsed once and shared, see
-    # :func:`_parsed_stdlib`).
-    units, parse_entry = parse_stage(normalized, include_stdlib=include_stdlib)
-    stages.append(parse_entry)
-
-    # Stage 2: evaluation / expansion ("code expansion & evaluation").
-    project, evaluate_entry = evaluate_stage(
-        units, diagnostics, top=top, top_args=top_args, project_name=project_name
+    from_keywords = CompileOptions(
+        top=top,
+        top_args=top_args,
+        include_stdlib=include_stdlib,
+        sugaring=sugaring,
+        run_drc=run_drc,
+        strict_drc=strict_drc,
+        project_name=project_name,
+        targets=tuple(targets or ()),
+        backend_options=tuple(
+            backend_options.items()
+            if isinstance(backend_options, Mapping)
+            else backend_options or ()
+        ),
     )
-    stages.append(evaluate_entry)
+    if options is not None:
+        # Keyword values are compared post-normalisation (tuple coercion,
+        # target dedup), so e.g. an explicit ``top_args=[]`` is still "the
+        # default" and only a *semantic* conflict with options= is rejected.
+        defaults = CompileOptions()
+        conflicting = sorted(
+            name
+            for name in OPTION_FIELD_NAMES
+            if getattr(from_keywords, name) != getattr(defaults, name)
+        )
+        if conflicting:
+            raise TydiInputError(
+                f"pass either options= or individual option keywords, not both "
+                f"(got options= plus {', '.join(conflicting)})"
+            )
+        resolved = CompileOptions.coerce(options)
+    else:
+        resolved = from_keywords
 
-    # Stage 3: sugaring ("desugaring" box of Figure 3).
-    sugaring_report: Optional[SugaringReport] = None
-    if sugaring:
-        sugaring_report, sugar_entry = sugar_stage(project, diagnostics)
-        stages.append(sugar_entry)
+    # One-shot shim over a throwaway session: the Workspace owns the cache
+    # interaction (result cache, staged sub-pipeline) and the query memo is
+    # simply discarded with the session.
+    from repro.workspace import Workspace
 
-    # Stage 4: design rule check.
-    drc_report: Optional[DRCReport] = None
-    if run_drc:
-        drc_report, drc_entry = drc_stage(project, diagnostics, strict=strict_drc)
-        stages.append(drc_entry)
-
-    # Stage 5: Tydi-IR generation is on-demand via CompilationResult.ir_text().
-    stages.append(CompilationStage("ir", IR_STAGE_DETAIL))
-
-    # Stage 6: requested output backends (uncached on the monolithic path;
-    # the staged pipeline memoises per-implementation unit outputs).
-    outputs, backend_entries = backend_stage(project, targets)
-    stages.extend(backend_entries)
-
-    result = CompilationResult(
-        project=project,
-        diagnostics=diagnostics,
-        stages=stages,
-        sugaring=sugaring_report,
-        drc=drc_report,
-        units=units,
-        outputs=outputs,
-    )
-    if cache is not None and cache_key is not None:
-        cache.put(cache_key, result)
-    return result
+    workspace = Workspace(cache=cache)
+    workspace.add_design(resolved.project_name or "design", sources, resolved)
+    return workspace.result(resolved.project_name or "design")
 
 
 def compile_project(

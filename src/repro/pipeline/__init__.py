@@ -11,14 +11,18 @@ pure function of its source texts and options.  This package exploits that:
   StageCache`, per-stage sub-caching (per-file parse ASTs + post-evaluate
   snapshots) so a one-file edit of an N-file design re-parses only that
   file and re-runs only evaluate -> sugar -> DRC.
-* :mod:`repro.pipeline.batch` -- :class:`~repro.pipeline.batch.
-  BatchCompiler`, which compiles many independent designs concurrently
-  (serial / thread / process executors) with per-design error isolation.
-* :mod:`repro.pipeline.incremental` -- :class:`~repro.pipeline.incremental.
-  IncrementalCompiler`, which diffs source fingerprints between rounds and
-  recompiles only what changed.
+* :mod:`repro.pipeline.batch` -- :func:`~repro.pipeline.batch.run_jobs`,
+  the concurrent job engine (serial / thread / process executors with
+  per-design error isolation) that :meth:`repro.workspace.Workspace.
+  compile_all` drives, plus the deprecated :class:`~repro.pipeline.batch.
+  BatchCompiler` facade.
+* :mod:`repro.pipeline.incremental` -- the deprecated
+  :class:`~repro.pipeline.incremental.IncrementalCompiler` facade; new
+  code holds a :class:`repro.workspace.Workspace` and mutates it at file
+  granularity instead.
 
-See ``docs/pipeline.md`` for the architecture and cache layout.
+See ``docs/pipeline.md`` for the architecture and cache layout, and
+``docs/workspace.md`` for the session API on top.
 """
 
 from repro.pipeline.batch import (
@@ -27,6 +31,7 @@ from repro.pipeline.batch import (
     BatchResult,
     CompileJob,
     JobResult,
+    run_jobs,
 )
 from repro.pipeline.cache import (
     CacheStats,
@@ -56,4 +61,5 @@ __all__ = [
     "file_fingerprint",
     "fingerprint_sources",
     "normalize_sources",
+    "run_jobs",
 ]

@@ -1,12 +1,16 @@
-"""Batch compilation driver: many independent designs, compiled concurrently.
+"""The concurrent compile-job engine (and its deprecated driver facade).
 
 A :class:`CompileJob` is a pure-data description of one frontend run (sources
-plus the :func:`repro.lang.compile.compile_sources` options), which makes it
-hashable into a content address and shippable to worker processes.
-:class:`BatchCompiler` fans a sequence of jobs out over a ``serial``,
-``thread`` or ``process`` executor with per-job error isolation: one design
-failing its parse or DRC records a :class:`JobResult` error entry instead of
-aborting the batch.
+plus a :class:`~repro.lang.compile.CompileOptions`), which makes it hashable
+into a content address and shippable to worker processes.  :func:`run_jobs`
+fans a sequence of jobs out over a ``serial``, ``thread`` or ``process``
+executor with per-job error isolation: one design failing its parse or DRC
+records a :class:`JobResult` error entry instead of aborting the batch.
+
+The engine is driven by :meth:`repro.workspace.Workspace.compile_all` --
+the session API that owns design state.  :class:`BatchCompiler`, the PR-1
+driver object, survives as a thin deprecation-warned adapter that runs its
+jobs through a throwaway workspace.
 
 Determinism: the frontend is pure, so batch output is byte-identical to
 compiling the same jobs serially (asserted by
@@ -14,7 +18,7 @@ compiling the same jobs serially (asserted by
 
 Cache interaction
 -----------------
-* ``serial`` / ``thread``: workers share the driver's
+* ``serial`` / ``thread``: workers share the caller's
   :class:`~repro.pipeline.cache.CompilationCache` instance directly --
   including its per-stage sub-cache (:class:`~repro.pipeline.stages.
   StageCache`), so whole-result misses still reuse unchanged files' parse
@@ -30,14 +34,15 @@ from __future__ import annotations
 import os
 import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.pipeline.cache import CompilationCache, fingerprint_sources
+from repro.pipeline.cache import CompilationCache
 
 if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.lang.compile import CompilationResult
+    from repro.lang.compile import CompilationResult, CompileOptions
 
 EXECUTORS = ("serial", "thread", "process")
 
@@ -59,25 +64,33 @@ class CompileJob:
     #: participates in the content address, so requesting a new target is a
     #: whole-result miss that still reuses every per-stage artefact.
     targets: tuple[str, ...] = ()
+    #: Per-backend emission options in the normal form of
+    #: :attr:`repro.lang.compile.CompileOptions.backend_options`.
+    backend_options: tuple[tuple[str, object], ...] = ()
+
+    def compile_options(self) -> "CompileOptions":
+        """This job's options as the canonical frozen dataclass."""
+        from repro.lang.compile import CompileOptions
+
+        return CompileOptions(
+            top=self.top,
+            top_args=self.top_args,
+            include_stdlib=self.include_stdlib,
+            sugaring=self.sugaring,
+            run_drc=self.run_drc,
+            strict_drc=self.strict_drc,
+            project_name=self.project_name or self.name,
+            targets=self.targets,
+            backend_options=self.backend_options,
+        )
 
     def options(self) -> dict[str, object]:
-        """The ``compile_sources`` keyword options this job carries."""
-        from repro.lang.compile import normalize_targets
-
-        return {
-            "top": self.top,
-            "top_args": self.top_args,
-            "include_stdlib": self.include_stdlib,
-            "sugaring": self.sugaring,
-            "run_drc": self.run_drc,
-            "strict_drc": self.strict_drc,
-            "project_name": self.project_name or self.name,
-            "targets": normalize_targets(self.targets),
-        }
+        """The legacy ``compile_sources`` keyword-options dict (mutable)."""
+        return self.compile_options().as_dict()
 
     def fingerprint(self) -> str:
         """Content address of this job (sources + options + stdlib)."""
-        return fingerprint_sources(self.sources, self.options())
+        return self.compile_options().fingerprint(self.sources)
 
     def with_options(self, **changes: object) -> "CompileJob":
         """A copy of this job with some option fields replaced."""
@@ -87,7 +100,9 @@ class CompileJob:
         """Compile this job directly (no executor, no error isolation)."""
         from repro.lang.compile import compile_sources
 
-        return compile_sources(list(self.sources), cache=cache, **self.options())
+        return compile_sources(
+            list(self.sources), options=self.compile_options(), cache=cache
+        )
 
 
 @dataclass
@@ -252,9 +267,24 @@ def _process_worker(
     return _execute_job(job, cache)
 
 
-@dataclass
-class BatchCompiler:
-    """Compile many independent designs, optionally concurrently.
+def _worker_count(executor: str, max_workers: Optional[int], num_jobs: int) -> int:
+    if executor == "serial" or num_jobs <= 1:
+        return 1
+    workers = max_workers or min(os.cpu_count() or 2, 8)
+    return max(1, min(workers, num_jobs))
+
+
+def run_jobs(
+    jobs: Sequence[CompileJob],
+    *,
+    cache: Optional[CompilationCache] = None,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+) -> BatchResult:
+    """Compile every job through one executor; failures are recorded per job.
+
+    The shared engine under :meth:`repro.workspace.Workspace.compile_all`
+    (and the deprecated :class:`BatchCompiler` facade).
 
     Parameters
     ----------
@@ -268,6 +298,98 @@ class BatchCompiler:
         Worker count for the concurrent executors (default: CPU count,
         capped at 8 for threads to match the GIL's useful parallelism).
     """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    jobs = list(jobs)
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate job name(s) in batch: {', '.join(dupes)}")
+
+    start = time.perf_counter()
+    workers = _worker_count(executor, max_workers, len(jobs))
+    if executor == "serial" or workers == 1:
+        results = [_execute_job(job, cache) for job in jobs]
+        executor_name = "serial"
+    elif executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(lambda job: _execute_job(job, cache), jobs))
+        executor_name = "thread"
+    else:
+        cache_dir = (
+            str(cache.cache_dir)
+            if cache is not None and getattr(cache, "cache_dir", None) is not None
+            else None
+        )
+        # Check the parent's in-memory tier before paying pool dispatch:
+        # workers can only see the disk tier, so without this a
+        # memory-only cache would never produce a warm process batch.
+        hits: dict[int, JobResult] = {}
+        pending: list[CompileJob] = []
+        if cache is not None:
+            for index, job in enumerate(jobs):
+                key = job.fingerprint()
+                hit = cache.get(key)
+                if hit is not None:
+                    hits[index] = JobResult(job=job, result=hit, from_cache=True, key=key)
+                else:
+                    pending.append(job)
+        else:
+            pending = jobs
+        max_disk_bytes = getattr(cache, "max_disk_bytes", None) if cache is not None else None
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            compiled = list(
+                pool.map(
+                    _process_worker,
+                    pending,
+                    [cache_dir] * len(pending),
+                    [max_disk_bytes] * len(pending),
+                )
+            )
+        compiled_iter = iter(compiled)
+        results = [hits.get(i) or next(compiled_iter) for i in range(len(jobs))]
+        # Fold worker output back into the parent's cache: results into
+        # the in-memory tier (the workers already wrote the disk
+        # artefacts, so skip re-pickling those), and the workers'
+        # hit/miss activity into the parent's stats so e.g.
+        # ``tydi-compile --json`` reports a warm process batch as warm.
+        # Parent-side hits above already counted themselves via get().
+        if cache is not None:
+            for entry in compiled:
+                if not entry.ok:
+                    continue
+                key = entry.key or entry.job.fingerprint()
+                if entry.from_cache:
+                    cache.absorb_hit(key, entry.result)
+                else:
+                    cache.put(key, entry.result, disk=cache_dir is None)
+            # The disk-skipping fold above bypasses the per-store budget
+            # check, so settle the batch's disk growth in one pass here.
+            cache.enforce_disk_budget()
+        executor_name = "process"
+    return BatchResult(
+        results=results,
+        wall_time=time.perf_counter() - start,
+        executor=executor_name,
+        workers=workers,
+    )
+
+
+@dataclass
+class BatchCompiler:
+    """Deprecated driver facade: compile many independent designs.
+
+    .. deprecated::
+        Hold a :class:`repro.workspace.Workspace` instead -- add each design
+        with :meth:`~repro.workspace.Workspace.add_design` (or
+        :meth:`~repro.workspace.Workspace.add_job`) and call
+        :meth:`~repro.workspace.Workspace.compile_all`.  ``compile_batch``
+        now does exactly that through a throwaway workspace, so results stay
+        byte-identical; only the entry point is deprecated.
+
+    Parameters: see :func:`run_jobs` (``cache`` / ``executor`` /
+    ``max_workers`` pass straight through).
+    """
 
     cache: Optional[CompilationCache] = None
     executor: str = "thread"
@@ -276,85 +398,25 @@ class BatchCompiler:
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {self.executor!r}")
-
-    def _worker_count(self, num_jobs: int) -> int:
-        if self.executor == "serial" or num_jobs <= 1:
-            return 1
-        workers = self.max_workers or min(os.cpu_count() or 2, 8)
-        return max(1, min(workers, num_jobs))
+        warnings.warn(
+            "BatchCompiler is deprecated; use repro.workspace.Workspace "
+            "(ws.add_design(...) / ws.add_job(...), then ws.compile_all(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
     def compile_batch(self, jobs: Sequence[CompileJob]) -> BatchResult:
         """Compile every job; failures are recorded per job, never raised."""
+        from repro.workspace import Workspace
+
         jobs = list(jobs)
         names = [job.name for job in jobs]
         if len(set(names)) != len(names):
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise ValueError(f"duplicate job name(s) in batch: {', '.join(dupes)}")
-
-        start = time.perf_counter()
-        workers = self._worker_count(len(jobs))
-        if self.executor == "serial" or workers == 1:
-            results = [_execute_job(job, self.cache) for job in jobs]
-            executor_name = "serial"
-        elif self.executor == "thread":
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(lambda job: _execute_job(job, self.cache), jobs))
-            executor_name = "thread"
-        else:
-            cache_dir = (
-                str(self.cache.cache_dir)
-                if self.cache is not None and self.cache.cache_dir is not None
-                else None
-            )
-            # Check the parent's in-memory tier before paying pool dispatch:
-            # workers can only see the disk tier, so without this a
-            # memory-only cache would never produce a warm process batch.
-            hits: dict[int, JobResult] = {}
-            pending: list[CompileJob] = []
-            if self.cache is not None:
-                for index, job in enumerate(jobs):
-                    key = job.fingerprint()
-                    hit = self.cache.get(key)
-                    if hit is not None:
-                        hits[index] = JobResult(job=job, result=hit, from_cache=True, key=key)
-                    else:
-                        pending.append(job)
-            else:
-                pending = jobs
-            max_disk_bytes = self.cache.max_disk_bytes if self.cache is not None else None
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                compiled = list(
-                    pool.map(
-                        _process_worker,
-                        pending,
-                        [cache_dir] * len(pending),
-                        [max_disk_bytes] * len(pending),
-                    )
-                )
-            compiled_iter = iter(compiled)
-            results = [hits.get(i) or next(compiled_iter) for i in range(len(jobs))]
-            # Fold worker output back into the parent's cache: results into
-            # the in-memory tier (the workers already wrote the disk
-            # artefacts, so skip re-pickling those), and the workers'
-            # hit/miss activity into the parent's stats so e.g.
-            # ``tydi-compile --json`` reports a warm process batch as warm.
-            # Parent-side hits above already counted themselves via get().
-            if self.cache is not None:
-                for entry in compiled:
-                    if not entry.ok:
-                        continue
-                    key = entry.key or entry.job.fingerprint()
-                    if entry.from_cache:
-                        self.cache.absorb_hit(key, entry.result)
-                    else:
-                        self.cache.put(key, entry.result, disk=cache_dir is None)
-                # The disk-skipping fold above bypasses the per-store budget
-                # check, so settle the batch's disk growth in one pass here.
-                self.cache.enforce_disk_budget()
-            executor_name = "process"
-        return BatchResult(
-            results=results,
-            wall_time=time.perf_counter() - start,
-            executor=executor_name,
-            workers=workers,
-        )
+        workspace = Workspace(cache=self.cache)
+        for job in jobs:
+            workspace.add_job(job)
+        report = workspace.compile_all(executor=self.executor, jobs=self.max_workers)
+        assert report.batch is not None
+        return report.batch

@@ -52,7 +52,10 @@ CACHE_VERSION = 2
 #: cache) are never deserialised into the new layout: they simply miss.
 #: v2: ``CompilationResult`` gained the ``outputs`` field and the stage
 #: cache its backend-output tier.
-STAGE_SCHEMA_VERSION = 2
+#: v3: the options normal form gained the ``backend_options`` key
+#: (:class:`repro.lang.compile.CompileOptions`), so every pre-workspace
+#: fingerprint recipe is orphaned wholesale.
+STAGE_SCHEMA_VERSION = 3
 
 #: Default directory name for the on-disk store.
 DEFAULT_CACHE_DIR = ".tydi-cache"
@@ -60,16 +63,24 @@ DEFAULT_CACHE_DIR = ".tydi-cache"
 
 # The one normalisation shared with compile_sources, so fingerprints agree
 # no matter which layer computed them (the lang layer owns the definition).
-from repro.lang.compile import normalize_sources  # noqa: E402
+from repro.lang.compile import CompileOptions, normalize_sources  # noqa: E402
 
 
 def fingerprint_sources(
     sources: Sequence[tuple[str, str]] | Sequence[str],
-    options: Mapping[str, object] | None = None,
+    options: "Mapping[str, object] | CompileOptions | None" = None,
 ) -> str:
-    """Stable SHA-256 content hash of a compilation's inputs."""
+    """Stable SHA-256 content hash of a compilation's inputs.
+
+    ``options`` is either the canonical :class:`~repro.lang.compile.
+    CompileOptions` or a legacy options mapping; both hash through the same
+    ``{option: value}`` normal form (:meth:`CompileOptions.as_dict`), so
+    every layer computes identical content addresses.
+    """
     import repro
 
+    if isinstance(options, CompileOptions):
+        options = options.as_dict()
     options = dict(options or {})
     hasher = hashlib.sha256()
     # The cache-format salt, the per-stage schema version and the compiler's
@@ -258,7 +269,7 @@ class CompilationCache:
     def key_for(
         self,
         sources: Sequence[tuple[str, str]] | Sequence[str],
-        options: Mapping[str, object] | None = None,
+        options: "Mapping[str, object] | CompileOptions | None" = None,
     ) -> str:
         """Content-address of one compilation (see :func:`fingerprint_sources`)."""
         return fingerprint_sources(sources, options)

@@ -1,76 +1,56 @@
-"""Incremental recompilation: only rebuild the designs whose inputs changed.
+"""Deprecated incremental-recompilation facade over the workspace session.
 
-:class:`IncrementalCompiler` remembers, per design name, the content
-fingerprint of the last successful build.  On :meth:`~IncrementalCompiler.
-update` it diffs the incoming job set against that memory:
+:class:`IncrementalCompiler` predates :class:`repro.workspace.Workspace`;
+it survives as a thin adapter that syncs each :meth:`~IncrementalCompiler.
+update` round's job set into a persistent workspace and runs
+:meth:`~repro.workspace.Workspace.compile_all`.  The semantics are
+unchanged:
 
 * **unchanged** fingerprints reuse the previous result without touching the
-  compiler (or even the cache),
-* **changed or new** fingerprints are recompiled through a
-  :class:`~repro.pipeline.batch.BatchCompiler` (so they still enjoy cache
-  hits and concurrency),
-* names that disappeared from the job set are **removed**.
+  compiler (or even the cache) -- the workspace's per-design query memo,
+* **changed or new** fingerprints are recompiled through the shared job
+  engine (so they still enjoy cache hits and concurrency),
+* names that disappeared from the job set are **removed**,
+* a design that fails to compile loses its previous fingerprint *and*
+  result, so the next ``update`` retries it instead of treating the failure
+  as up-to-date, and :meth:`~IncrementalCompiler.result_for` never serves
+  an artefact that no longer matches the sources.
 
-Invalidation is additionally tracked at *file* granularity: each design's
-per-file fingerprints (:func:`repro.pipeline.stages.file_fingerprint` --
-the same keys the per-stage cache uses) are remembered, and a dirty
-design's report records exactly which files changed.  When the batch's
-cache carries a :class:`~repro.pipeline.stages.StageCache` (the default),
-the recompile then re-parses *only* those changed files.
+Invalidation is additionally tracked at *file* granularity: a dirty
+design's report records exactly which files changed since the last
+successful build, and when the cache carries a
+:class:`~repro.pipeline.stages.StageCache` (the default) the recompile
+re-parses *only* those files.
 
-A design that fails to compile loses its previous fingerprint *and* result,
-so the next ``update`` retries it instead of treating the failure as
-up-to-date, and :meth:`~IncrementalCompiler.result_for` never serves an
-artefact that no longer matches the sources.
+New code should hold a :class:`~repro.workspace.Workspace` directly --
+``ws.add_design`` / ``ws.update_file`` express edits at file granularity
+instead of re-submitting whole job sets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.pipeline.batch import BatchCompiler, CompileJob
+from repro.pipeline.batch import CompileJob
 from repro.pipeline.cache import CompilationCache
-from repro.pipeline.stages import file_fingerprint
+from repro.workspace import BuildReport, Workspace
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.lang.compile import CompilationResult
 
-
-@dataclass
-class IncrementalReport:
-    """What one :meth:`IncrementalCompiler.update` round did."""
-
-    compiled: list[str] = field(default_factory=list)
-    reused: list[str] = field(default_factory=list)
-    removed: list[str] = field(default_factory=list)
-    failed: dict[str, str] = field(default_factory=dict)
-    results: dict[str, "CompilationResult"] = field(default_factory=dict)
-    #: Per recompiled design: the filenames whose content fingerprints
-    #: differ from the previous round (new designs list every file).
-    changed_files: dict[str, list[str]] = field(default_factory=dict)
-    #: Per recompiled design: the filenames carried over unchanged (their
-    #: parse artefacts are served from the stage cache, not re-parsed).
-    unchanged_files: dict[str, list[str]] = field(default_factory=dict)
-
-    @property
-    def ok(self) -> bool:
-        return not self.failed
-
-    def summary(self) -> str:
-        return (
-            f"{len(self.compiled)} recompiled, {len(self.reused)} reused, "
-            f"{len(self.removed)} removed, {len(self.failed)} failed"
-        )
-
-    def file_summary(self) -> str:
-        changed = sum(len(v) for v in self.changed_files.values())
-        unchanged = sum(len(v) for v in self.unchanged_files.values())
-        return f"{changed} file(s) re-parsed, {unchanged} file(s) reused"
+#: The report type of one update round -- the workspace's build report
+#: under its historical name (same fields, same summaries).
+IncrementalReport = BuildReport
 
 
 class IncrementalCompiler:
-    """Stateful driver that recompiles only fingerprint-dirty designs."""
+    """Deprecated stateful driver that recompiles only fingerprint-dirty designs.
+
+    .. deprecated::
+        Hold a :class:`repro.workspace.Workspace` instead; this class is a
+        thin adapter over one (kept working for existing callers).
+    """
 
     def __init__(
         self,
@@ -79,22 +59,25 @@ class IncrementalCompiler:
         executor: str = "serial",
         max_workers: Optional[int] = None,
     ) -> None:
-        self.batch = BatchCompiler(cache=cache, executor=executor, max_workers=max_workers)
-        self._fingerprints: dict[str, str] = {}
-        self._file_keys: dict[str, dict[str, str]] = {}
-        self._results: dict[str, "CompilationResult"] = {}
-
-    @staticmethod
-    def _job_file_keys(job: CompileJob) -> dict[str, str]:
-        """Per-file fingerprints of one job (filename -> content address)."""
-        return {filename: file_fingerprint(text, filename) for text, filename in job.sources}
+        warnings.warn(
+            "IncrementalCompiler is deprecated; use repro.workspace.Workspace "
+            "(ws.add_design / ws.update_file, then ws.compile_all or ws.result)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.workspace = Workspace(cache=cache, executor=executor, jobs=max_workers)
 
     @property
     def known_designs(self) -> list[str]:
-        return sorted(self._results)
+        """Sorted names of the designs holding a current successful build."""
+        return sorted(
+            name
+            for name in self.workspace.design_names
+            if self.workspace.cached_result(name) is not None
+        )
 
     def result_for(self, name: str) -> Optional["CompilationResult"]:
-        return self._results.get(name)
+        return self.workspace.cached_result(name)
 
     def outputs_for(self, name: str, target: str) -> Optional[dict[str, str]]:
         """One design's emitted files for one backend target, if built.
@@ -104,63 +87,24 @@ class IncrementalCompiler:
         :meth:`update` re-emits it (through the per-implementation
         backend-output cache when the batch carries one).
         """
-        result = self._results.get(name)
+        result = self.workspace.cached_result(name)
         if result is None:
             return None
         return result.outputs.get(target)
 
     def update(self, jobs: Sequence[CompileJob]) -> IncrementalReport:
         """Bring the build state in line with ``jobs`` and report the diff."""
-        report = IncrementalReport()
         jobs = list(jobs)
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate job name(s) in batch: {', '.join(dupes)}")
         wanted = {job.name for job in jobs}
-
-        for name in sorted(set(self._fingerprints) - wanted):
-            del self._fingerprints[name]
-            self._file_keys.pop(name, None)
-            self._results.pop(name, None)
-            report.removed.append(name)
-
-        dirty: list[tuple[CompileJob, str]] = []
+        removed = sorted(set(self.workspace.design_names) - wanted)
+        for name in removed:
+            self.workspace.remove_design(name)
         for job in jobs:
-            key = job.fingerprint()
-            if self._fingerprints.get(job.name) == key and job.name in self._results:
-                report.reused.append(job.name)
-                report.results[job.name] = self._results[job.name]
-            else:
-                dirty.append((job, key))
-                # File-granularity diff: which of this design's files
-                # actually changed since the last successful build?  (An
-                # option-only change legitimately shows zero changed files.)
-                file_keys = self._job_file_keys(job)
-                previous = self._file_keys.get(job.name, {})
-                report.changed_files[job.name] = [
-                    filename
-                    for filename, fkey in file_keys.items()
-                    if previous.get(filename) != fkey
-                ]
-                report.unchanged_files[job.name] = [
-                    filename
-                    for filename, fkey in file_keys.items()
-                    if previous.get(filename) == fkey
-                ]
-
-        if dirty:
-            batch = self.batch.compile_batch([job for job, _ in dirty])
-            for (job, key), entry in zip(dirty, batch.results):
-                if entry.ok:
-                    self._fingerprints[job.name] = key
-                    self._file_keys[job.name] = self._job_file_keys(job)
-                    self._results[job.name] = entry.result
-                    report.compiled.append(job.name)
-                    report.results[job.name] = entry.result
-                else:
-                    # A failed design has no usable result: drop any previous
-                    # build so result_for() can't serve an artefact that no
-                    # longer matches the sources.  The stale fingerprint goes
-                    # too, so the next update always retries.
-                    self._fingerprints.pop(job.name, None)
-                    self._file_keys.pop(job.name, None)
-                    self._results.pop(job.name, None)
-                    report.failed[job.name] = entry.error or "unknown error"
+            self.workspace.add_job(job, replace=True)
+        report = self.workspace.compile_all()
+        report.removed.extend(removed)
         return report

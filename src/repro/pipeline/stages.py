@@ -65,6 +65,7 @@ from repro.lang.compile import (
     IR_STAGE_DETAIL,
     CompilationResult,
     CompilationStage,
+    CompileOptions,
     backend_stage,
     drc_stage,
     evaluate_stage,
@@ -202,9 +203,11 @@ class StageCache:
     def evaluate_key(
         self,
         sources: Sequence[tuple[str, str]] | Sequence[str],
-        options: Mapping[str, object] | None = None,
+        options: "Mapping[str, object] | CompileOptions | None" = None,
     ) -> str:
         """Snapshot key: ordered file fingerprints + evaluate options."""
+        if isinstance(options, CompileOptions):
+            options = options.as_dict()
         options = dict(options or {})
         hasher = hashlib.sha256()
         hasher.update(_stage_salt().encode())
@@ -326,17 +329,21 @@ class StageCache:
     def compile(
         self,
         sources: Sequence[tuple[str, str]] | Sequence[str],
-        options: Mapping[str, object] | None = None,
+        options: "Mapping[str, object] | CompileOptions | None" = None,
     ) -> CompilationResult:
         """Run the staged pipeline: cached parse/evaluate, then sugar + DRC.
 
-        Produces a :class:`~repro.lang.compile.CompilationResult` that is
+        ``options`` is a :class:`~repro.lang.compile.CompileOptions` or the
+        legacy (possibly partial) options mapping.  Produces a
+        :class:`~repro.lang.compile.CompilationResult` that is
         byte-identical (IR text, diagnostics, stage log) to what a cold
         monolithic ``compile_sources`` call with the same inputs produces,
         including raising the same exceptions on parse / evaluate / strict
         DRC failures.
         """
         normalized = normalize_sources(sources)
+        if isinstance(options, CompileOptions):
+            options = options.as_dict()
         options = dict(options or {})
         include_stdlib = options.get("include_stdlib", True)
 
@@ -389,7 +396,10 @@ class StageCache:
         # The backend stage, with per-implementation unit outputs served by
         # this cache (the monolithic path emits the same bytes uncached).
         outputs, backend_entries = backend_stage(
-            project, normalize_targets(options.get("targets", ())), stage_cache=self
+            project,
+            normalize_targets(options.get("targets", ())),
+            backend_options=options.get("backend_options", ()),
+            stage_cache=self,
         )
         stages.extend(backend_entries)
         # One budget pass per compile (stores above defer theirs): a full

@@ -46,7 +46,7 @@ def compile_all(
     max_workers=None,
     strict: bool = True,
 ):
-    """Compile the TPC-H suite through the batch pipeline driver.
+    """Compile the TPC-H suite through a throwaway workspace session.
 
     Returns ``{query_name: CompilationResult}`` in suite order and memoises
     each result on its :class:`TpchQuery` (so later ``query.compile()`` /
@@ -55,11 +55,13 @@ def compile_all(
     BatchCompilationError`; otherwise failures are silently absent from the
     returned mapping.
     """
-    from repro.pipeline import BatchCompiler
+    from repro.workspace import Workspace
 
     queries = list(ALL_QUERIES if queries is None else queries)
-    batch = BatchCompiler(cache=cache, executor=executor, max_workers=max_workers)
-    outcome = batch.compile_batch([query.compile_job() for query in queries])
+    workspace = Workspace(cache=cache)
+    for query in queries:
+        workspace.add_job(query.compile_job())
+    outcome = workspace.compile_all(executor=executor, jobs=max_workers).batch
     if strict:
         outcome.raise_if_failed()
     results = outcome.result_map()

@@ -347,3 +347,85 @@ class TestCliBackends:
         assert "wrote" not in captured.out
         assert "wrote Tydi-IR" in captured.err
         assert ir_path.exists()
+
+
+class TestCliBackendOpts:
+    def test_backend_opt_changes_dot_output(self, design_file, capsys):
+        assert main([str(design_file), "--target", "dot"]) == 0
+        assert 'rankdir="LR"' in capsys.readouterr().out
+        assert main([str(design_file), "--target", "dot", "--backend-opt", "dot.rankdir=TB"]) == 0
+        assert 'rankdir="TB"' in capsys.readouterr().out
+
+    def test_backend_opt_boolean_coercion(self, design_file, capsys):
+        assert main([
+            str(design_file), "--target", "dot", "--backend-opt", "dot.show_types=false",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_backend_opt_repeatable_across_backends(self, design_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        argv = [
+            str(design_file),
+            "--target", "dot", "--target", "ir",
+            "--backend-opt", "dot.rankdir=TB",
+            "--backend-opt", "dot.highlight=echo",
+            "--out-dir", str(out_dir),
+        ]
+        assert main(argv) == 0
+        dot_text = (out_dir / "dot" / "design.dot").read_text()
+        assert 'rankdir="TB"' in dot_text
+
+    def test_backend_opt_unknown_key_did_you_mean(self, design_file, capsys):
+        assert main([
+            str(design_file), "--target", "dot", "--backend-opt", "dot.rankdirr=TB",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "did you mean 'rankdir'" in err
+
+    def test_backend_opt_unknown_backend_clean_error(self, design_file, capsys):
+        assert main([
+            str(design_file), "--target", "dot", "--backend-opt", "verilog.x=1",
+        ]) == 1
+        assert "unknown backend 'verilog'" in capsys.readouterr().err
+
+    def test_backend_opt_malformed_spec_clean_error(self, design_file, capsys):
+        assert main([str(design_file), "--backend-opt", "rankdir=TB"]) == 1
+        assert "name.key=value" in capsys.readouterr().err
+
+    def test_backend_opt_bad_value_clean_error(self, design_file, capsys):
+        assert main([
+            str(design_file), "--target", "dot", "--backend-opt", "dot.show_types=maybe",
+        ]) == 1
+        assert "expected a boolean" in capsys.readouterr().err
+
+    def test_backend_opt_in_batch_mode(self, tmp_path, capsys):
+        (tmp_path / "d.td").write_text(
+            "type t = Stream(Bit(8), d=1);\n"
+            "streamlet s { i: t in, o: t out, }\n"
+            "impl im of s { i => o, }\n"
+            "top im;\n"
+        )
+        out_dir = tmp_path / "out"
+        argv = [
+            "--batch", "--target", "dot",
+            "--backend-opt", "dot.rankdir=TB",
+            "--out-dir", str(out_dir),
+            str(tmp_path / "d.td"),
+        ]
+        assert main(argv) == 0
+        dot_text = (out_dir / "d" / "dot" / "d.dot").read_text()
+        assert 'rankdir="TB"' in dot_text
+
+    def test_backend_opt_splits_the_cache_address(self, design_file, tmp_path, capsys):
+        """Different backend options are different artefacts: no false hit."""
+        cache_dir = tmp_path / ".tydi-cache"
+        base = [str(design_file), "--target", "dot", "--cache-dir", str(cache_dir), "--json"]
+        assert main(base + ["--backend-opt", "dot.rankdir=TB"]) == 0
+        json.loads(capsys.readouterr().out)
+        assert main(base + ["--backend-opt", "dot.rankdir=LR"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hits"] == 0  # a different content address
+        assert main(base + ["--backend-opt", "dot.rankdir=LR"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hits"] == 1  # same options, warm

@@ -1,6 +1,15 @@
-"""Tests for incremental recompilation (fingerprint diffing)."""
+"""Tests for incremental recompilation (fingerprint diffing).
+
+``IncrementalCompiler`` is the deprecated facade over a persistent
+``repro.workspace.Workspace``; this suite keeps exercising it on purpose,
+so its deprecation warning is filtered here (see the CI
+``-W error::DeprecationWarning`` job)."""
+
+import pytest
 
 from repro.pipeline import CompilationCache, CompileJob, IncrementalCompiler
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def job(name: str, width: int, **options) -> CompileJob:
@@ -186,3 +195,14 @@ class TestBackendTargets:
         third = compiler.update([job("a", 8, targets=("vhdl",))])
         assert third.reused == ["a"]
         assert compiler.outputs_for("a", "vhdl") == vhdl
+
+
+def test_duplicate_job_names_rejected():
+    """Same contract as the batch driver: a name collision is an error,
+    never a silent last-job-wins replace."""
+    inc = IncrementalCompiler()
+    twin = [job("a", 8), job("a", 16)]
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError, match="duplicate"):
+        inc.update(twin)

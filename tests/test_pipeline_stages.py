@@ -24,6 +24,10 @@ from repro.pipeline import (
 from repro.pipeline.stages import STAGE_DIR_NAME
 from repro.testing import build_chain_design, build_random_design, mutate_design
 
+# A few cases drive the cache through the deprecated BatchCompiler facade
+# on purpose (its stage-cache interaction must stay identical).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 TYPES = ("type byte_t = Stream(Bit(8), d=1);", "types.td")
 DESIGN = (
     "streamlet echo_s { i: byte_t in, o: byte_t out, }\n"

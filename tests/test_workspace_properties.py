@@ -1,0 +1,177 @@
+"""Hypothesis property suite: the workspace session differential.
+
+The property: a :class:`repro.workspace.Workspace` design reached through a
+*random sequence* of session operations -- ``add_design`` / ``update_file``
+/ ``remove_file`` / ``set_options`` / interleaved queries -- ending at
+state S yields byte-identical artefacts (textual IR, diagnostics, stage
+log, backend outputs) to a fresh one-shot ``compile_sources`` of S, and
+raises the *same* error (type and message) when S does not compile.  In
+other words: session memoisation, fingerprint invalidation and the warm
+stage cache are observationally invisible.
+
+The file substrate is the chain-design family of :mod:`repro.testing` (the
+same generators behind the staged-vs-monolithic differential harness),
+mutated with validity-agnostic edits -- removing a chain file is allowed
+precisely so the error path is differentials too.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TydiError
+from repro.lang.compile import CompileOptions, compile_sources
+from repro.testing import build_chain_design, mutate_design
+from repro.workspace import Workspace
+
+#: Designs stay small so each example compiles in milliseconds.
+DESIGN_NAMES = ("alpha", "beta", "gamma")
+
+#: The stdlib adds ~200 lines of parse work per compile and none of the
+#: chain designs use it; leaving it out keeps examples fast while the
+#: option still varies per design below.
+BASE_OPTIONS = CompileOptions(include_stdlib=False)
+
+
+def outcome(thunk):
+    """Either the comparable artefact tuple or the (type, message) of the error."""
+    try:
+        result = thunk()
+    except TydiError as exc:
+        return ("error", type(exc).__name__, str(exc))
+    return (
+        result.ir_text(),
+        [str(diagnostic) for diagnostic in result.diagnostics],
+        [str(stage) for stage in result.stages],
+        result.outputs,
+    )
+
+
+@st.composite
+def session_scripts(draw):
+    """A seed plus an op script over a bounded design-name pool."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["add", "update", "remove_file", "remove_design", "options", "query"]
+                ),
+                st.integers(min_value=0, max_value=2**16),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return seed, ops
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(session_scripts())
+def test_session_differential(script):
+    seed, ops = script
+    rng = random.Random(seed)
+    workspace = Workspace(options=BASE_OPTIONS)
+    #: The model: plain python state the workspace must agree with.
+    model: dict[str, dict] = {}
+
+    for op, salt in ops:
+        op_rng = random.Random((seed, salt, op).__repr__())
+        if op == "add" or not model:
+            name = op_rng.choice(DESIGN_NAMES)
+            sources = build_chain_design(op_rng.randint(1, 3))
+            options = BASE_OPTIONS.replace(
+                targets=("ir",) if op_rng.random() < 0.5 else ()
+            )
+            workspace.add_design(name, sources, options, replace=name in model)
+            model[name] = {"files": dict((fn, text) for text, fn in sources), "options": options}
+            continue
+        name = op_rng.choice(sorted(model))
+        state = model[name]
+        if op == "update":
+            pairs = [(text, fn) for fn, text in state["files"].items()]
+            edited, index = mutate_design(op_rng, pairs)
+            text, filename = edited[index]
+            workspace.update_file(name, filename, text)
+            state["files"][filename] = text
+        elif op == "remove_file":
+            if len(state["files"]) <= 1:
+                continue  # keep at least one file per design
+            filename = op_rng.choice(sorted(state["files"]))
+            workspace.remove_file(name, filename)
+            del state["files"][filename]
+        elif op == "remove_design":
+            workspace.remove_design(name)
+            del model[name]
+        elif op == "options":
+            options = state["options"].replace(
+                sugaring=op_rng.random() < 0.8,
+                targets=("ir", "dot") if op_rng.random() < 0.3 else state["options"].targets,
+            )
+            workspace.set_options(name, options)
+            state["options"] = options
+        elif op == "query":
+            # Interleaved queries must not disturb the final differential
+            # (they are what seeds the memo and the stage cache).
+            outcome(lambda: workspace.result(name))
+
+    assert sorted(workspace.design_names) == sorted(model)
+    for name, state in model.items():
+        pairs = [(text, fn) for fn, text in state["files"].items()]
+        session = outcome(lambda: workspace.result(name))
+        fresh = outcome(
+            lambda: compile_sources(pairs, options=state["options"], cache=None)
+        )
+        assert session == fresh, f"design {name!r} diverged from one-shot compile"
+        # Query idempotence: asking again changes nothing.
+        assert outcome(lambda: workspace.result(name)) == session
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=1, max_value=4),
+)
+def test_edit_sequences_converge_to_fresh_compile(seed, steps):
+    """A linear history of single-file edits on one design: after every
+    edit the session query equals the one-shot compile of the same state."""
+    rng = random.Random(seed)
+    sources = build_chain_design(rng.randint(2, 4))
+    workspace = Workspace(options=BASE_OPTIONS)
+    workspace.add_design("chain", sources, BASE_OPTIONS)
+    current = list(sources)
+    for _ in range(steps):
+        current, index = mutate_design(rng, current)
+        text, filename = current[index]
+        workspace.update_file("chain", filename, text)
+        session = outcome(lambda: workspace.result("chain"))
+        fresh = outcome(lambda: compile_sources(current, options=BASE_OPTIONS, cache=None))
+        assert session == fresh
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_lazy_outputs_match_direct_emission(seed):
+    """ws.outputs(name, target) for a target outside options.targets equals
+    the backend run directly over the one-shot project."""
+    from repro.backends import get_backend
+
+    rng = random.Random(seed)
+    sources = build_chain_design(rng.randint(1, 3))
+    workspace = Workspace(options=BASE_OPTIONS)
+    workspace.add_design("chain", sources)
+    session_dot = workspace.outputs("chain", "dot")
+    fresh = compile_sources(sources, options=BASE_OPTIONS, cache=None)
+    assert session_dot == get_backend("dot").emit(fresh.project)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])
