@@ -1,0 +1,124 @@
+"""Benchmark: served warm requests vs cold one-shot compilation.
+
+Not a paper artefact but the acceptance benchmark of the compile service
+(:mod:`repro.server`): it models the daemon's reason to exist -- many
+small edit/re-query requests against one long-lived shared workspace --
+and asserts the property the service promises:
+
+* **warm served >= 3x cold** -- an ``update_file`` + ``get_ir`` round
+  trip through a real TCP connection (client serialisation, server
+  dispatch, compile-pool hop and all) is at least three times faster than
+  a fresh one-shot ``compile_sources`` of the same design, because the
+  served session re-parses only the edited file through the warm stage
+  cache.  This is the served sibling of the PR-4 edit-loop benchmark
+  (``test_workspace_editloop.py``), with the transport on the measured
+  path.
+* **served == one-shot** -- the final served IR is byte-identical to a
+  fresh compile of the final sources (the full property lives in
+  ``tests/test_server_stress.py``).
+
+The run writes ``benchmark-artifacts/server-throughput.json`` (cold/warm
+timings, speedup, per-request stats) which CI uploads, so served-request
+latency is tracked per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import run_once
+
+from repro.lang.compile import compile_sources
+from repro.server import CompileClient, CompileService, ServerThread
+from repro.testing import build_chain_design
+
+#: Where the JSON artifact lands (CI uploads this directory).
+ARTIFACT_DIR = pathlib.Path(os.environ.get("TYDI_BENCH_ARTIFACTS", "benchmark-artifacts"))
+
+
+def _edit_workload(num_files: int = 16, decls_per_file: int = 100):
+    """The PR-4 edit-loop workload: an N-file design where parsing dominates."""
+    sources = build_chain_design(num_files - 1)
+    padded = []
+    for file_index, (text, name) in enumerate(sources):
+        pad = "\n".join(
+            f"const pad_{file_index}_{i} = {i} * 3 + 1;" for i in range(decls_per_file)
+        )
+        padded.append((text + pad + "\n", name))
+    return padded
+
+
+def test_served_requests_beat_cold_oneshot(benchmark):
+    sources = _edit_workload()
+    options = {"include_stdlib": False}
+
+    # Cold reference: a fresh one-shot compile, no cache of any kind
+    # (best of 3, timing noise guard).
+    def cold_compile():
+        return compile_sources(sources, cache=None, **options)
+
+    cold_result = run_once(benchmark, cold_compile)
+    cold_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        compile_sources(sources, cache=None, **options)
+        cold_times.append(time.perf_counter() - start)
+    cold_time = min(cold_times)
+
+    with ServerThread(CompileService(jobs=2)) as server:
+        with CompileClient(*server.address) as client:
+            client.open_design(
+                "chain",
+                files={filename: text for text, filename in sources},
+                options=options,
+            )
+            client.get_ir("chain")  # warm the memo and the stage cache
+
+            # The served edit loop: distinct one-file edits, each a full
+            # update_file + get_ir round trip over the socket.
+            warm_times = []
+            final_sources = list(sources)
+            for round_index in range(3):
+                text, filename = sources[round_index]
+                edited_text = text + f"const edit_{round_index} = {round_index};\n"
+                final_sources[round_index] = (edited_text, filename)
+                start = time.perf_counter()
+                client.update_file("chain", filename, edited_text)
+                served_ir = client.get_ir("chain")
+                warm_times.append(time.perf_counter() - start)
+            warm_time = min(warm_times)
+
+            stats = client.stats()
+            client.shutdown()
+
+    # The served answer is byte-identical to a fresh one-shot compile of
+    # the fully-edited state.
+    reference = compile_sources(final_sources, cache=None, **options)
+    assert served_ir == reference.ir_text()
+
+    speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    payload = {
+        "design_files": len(sources),
+        "cold_oneshot_ms": round(cold_time * 1000, 3),
+        "warm_served_ms": round(warm_time * 1000, 3),
+        "speedup": round(speedup, 2),
+        "server": stats["server"],
+        "stage_cache": stats["workspace"]["stage_cache"],
+    }
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    (ARTIFACT_DIR / "server-throughput.json").write_text(json.dumps(payload, indent=2))
+
+    print("\nServed requests (update_file + get_ir over TCP) vs fresh compile")
+    print(f"  design:            {len(sources)} files")
+    print(f"  cold one-shot:     {cold_time * 1000:8.1f} ms")
+    print(f"  warm served:       {warm_time * 1000:8.1f} ms")
+    print(f"  speedup:           {speedup:8.1f}x")
+    print(f"  server requests:   {stats['server']['requests']}")
+    assert cold_result.project is not None
+
+    # Acceptance criterion: a warm served request beats a cold one-shot
+    # compile by >= 3x even with the transport on the measured path.
+    assert speedup >= 3.0, f"served requests only {speedup:.1f}x faster than one-shot"

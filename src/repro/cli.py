@@ -27,9 +27,20 @@ outputs stream to stdout when no ``--out-dir`` is given:
     $ tydi-compile --target dot --backend-opt dot.rankdir=TB design.td
     $ tydi-compile --target vhdl --target ir --target dot --out-dir out/ design.td
 
-Both modes run through one :class:`repro.workspace.Workspace` session, so a
-future ``--watch`` loop only needs to ``update_file`` edited sources and
-re-run the same queries.
+Both modes run through one :class:`repro.workspace.Workspace` session, and
+``--watch`` keeps that session alive: the loop polls the source files
+(``--watch-interval`` seconds), feeds real changes through
+``Workspace.update_file`` (fingerprint-keyed, so an unchanged save is a
+no-op) and recompiles only the designs that became stale, re-writing the
+requested outputs:
+
+.. code-block:: console
+
+    $ tydi-compile --watch --ir-out out.tir design.td
+    $ tydi-compile --batch --watch --cache-dir .tydi-cache designs/*.td
+
+For a *shared* long-lived session serving many clients, see ``tydi-serve``
+(:mod:`repro.server`).
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -126,6 +138,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="json_output",
         help="print per-design and cache statistics as JSON",
+    )
+    watch = parser.add_argument_group("watch mode")
+    watch.add_argument(
+        "--watch",
+        action="store_true",
+        help="after the first compile, keep the session alive: poll the "
+        "source files, feed edits into the workspace and recompile (with "
+        "outputs re-written) whenever a file really changed; Ctrl-C exits",
+    )
+    watch.add_argument(
+        "--watch-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="polling interval for --watch (default: 1.0)",
     )
     return parser
 
@@ -219,8 +246,8 @@ def _run_batch(args: argparse.Namespace) -> int:
     targets = _resolve_targets(args)
     backend_opts = _resolve_backend_options(args)
 
-    # One workspace session per invocation; a future --watch loop would
-    # keep it alive, update_file the edited sources and re-run compile_all.
+    # One workspace session per invocation; --watch keeps it alive below,
+    # feeding edited sources through update_file and re-querying.
     workspace = Workspace(cache=_build_cache(args))
     cache = workspace.cache
 
@@ -228,10 +255,12 @@ def _run_batch(args: argparse.Namespace) -> int:
     # batch -- mirroring the engine's per-design compile-error isolation.
     unreadable: dict[int, JobResult] = {}
     taken: set[str] = set()
+    design_paths: dict[str, pathlib.Path] = {}
     for position, path_text in enumerate(args.sources):
         path = pathlib.Path(path_text)
         name = _design_name(path_text, taken)
         taken.add(name)
+        design_paths[name] = path
         try:
             text = _read_or_exit(path)
         except _CliInputError as exc:
@@ -259,8 +288,8 @@ def _run_batch(args: argparse.Namespace) -> int:
         payload = {
             "designs": [entry.as_dict() for entry in outcome.results],
             "batch": outcome.stats(),
-            "cache": cache.stats.as_dict() if cache is not None else None,
-            "stage_cache": cache.stages.stats.as_dict()
+            "cache": cache.stats_snapshot() if cache is not None else None,
+            "stage_cache": cache.stages.stats_snapshot()
             if cache is not None and cache.stages is not None
             else None,
         }
@@ -333,7 +362,49 @@ def _run_batch(args: argparse.Namespace) -> int:
                 f"pass --out-dir to write them"
             )
 
-    return 0 if outcome.ok else 1
+    if not args.watch:
+        return 0 if outcome.ok else 1
+
+    from repro.errors import TydiError
+
+    # Watch every input path -- including files that were unreadable at
+    # startup: they get an empty placeholder design now, and the loop adds
+    # their content via update_file the moment they become readable.
+    for name, path in design_paths.items():
+        if name not in workspace:
+            workspace.add_design(
+                name, (), _design_options(args, name, targets, backend_opts)
+            )
+    watched = {
+        name: {str(path): path} for name, path in design_paths.items()
+    }
+
+    def refresh(name: str, changed: list[str]) -> None:
+        try:
+            result = workspace.result(name)
+        except TydiError as exc:
+            print(f"[watch] {name}: error ({exc.stage}): {exc.render()}", file=sys.stderr)
+            return
+        print(f"[watch] recompiled {name} ({', '.join(changed)})")
+        if args.ir_out:
+            out_dir = _make_dir(pathlib.Path(args.ir_out))
+            _write_file(out_dir / f"{name}.tir", result.ir_text())
+        if args.vhdl_dir:
+            from repro.vhdl import generate_vhdl
+
+            design_dir = _make_dir(pathlib.Path(args.vhdl_dir) / name)
+            for filename, text in generate_vhdl(result.project).items():
+                _write_file(design_dir / filename, text)
+        if targets and args.out_dir:
+            _write_outputs(pathlib.Path(args.out_dir) / name, result.outputs)
+
+    watched_files = sum(len(files) for files in watched.values())
+    print(
+        f"[watch] watching {watched_files} file(s) across {len(watched)} design(s) "
+        f"every {args.watch_interval}s (Ctrl-C to stop)"
+    )
+    run_watch_loop(workspace, watched, refresh, interval=args.watch_interval)
+    return 0
 
 
 def _list_backends() -> int:
@@ -380,6 +451,81 @@ def _resolve_backend_options(args: argparse.Namespace) -> tuple[tuple[str, objec
         raise _CliInputError(str(exc)) from exc
 
 
+#: The watch loop's clock (``time.sleep``); module-level so tests can drive
+#: the loop with a fake clock that edits files between rounds.
+_watch_sleep = time.sleep
+
+
+def _stat_signature(path: pathlib.Path):
+    """A cheap change signature of one file (``None``: currently unreadable)."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def run_watch_loop(
+    workspace,
+    watched: dict[str, dict[str, pathlib.Path]],
+    refresh,
+    *,
+    interval: float,
+    sleep=None,
+    max_rounds: int | None = None,
+    err_stream=None,
+) -> int:
+    """The ``--watch`` polling loop: stat, diff, ``update_file``, re-query.
+
+    ``watched`` maps each design to its ``{diagnostic filename: path}``
+    files.  Every round sleeps ``interval`` seconds, then re-stats every
+    watched path; files whose mtime/size signature moved are re-read and
+    fed through :meth:`~repro.workspace.Workspace.update_file` -- which is
+    fingerprint-keyed, so a save that didn't change the bytes invalidates
+    nothing.  ``refresh(design, changed_files)`` runs for each design that
+    became genuinely stale (the re-query + output rewriting of the calling
+    mode).  ``sleep`` is injectable (tests drive the loop with a fake clock
+    that edits files and finally raises ``KeyboardInterrupt``);
+    ``max_rounds`` bounds the loop (``None``: until interrupted).  Returns
+    the number of completed rounds.
+    """
+    sleep = _watch_sleep if sleep is None else sleep
+    err_stream = err_stream if err_stream is not None else sys.stderr
+    signatures = {
+        design: {filename: _stat_signature(path) for filename, path in files.items()}
+        for design, files in watched.items()
+    }
+    rounds = 0
+    while max_rounds is None or rounds < max_rounds:
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:
+            break
+        rounds += 1
+        for design, files in watched.items():
+            changed: list[str] = []
+            for filename, path in files.items():
+                signature = _stat_signature(path)
+                if signature is None or signature == signatures[design][filename]:
+                    continue
+                try:
+                    text = path.read_text()
+                except OSError as exc:
+                    # Keep the old signature: the next round retries this
+                    # edit instead of silently losing it to a read flake.
+                    print(
+                        f"[watch] cannot re-read {path}: {exc.strerror or exc}",
+                        file=err_stream,
+                    )
+                    continue
+                signatures[design][filename] = signature
+                workspace.update_file(design, filename, text)
+                changed.append(filename)
+            if changed and not workspace.is_fresh(design):
+                refresh(design, changed)
+    return rounds
+
+
 def _write_outputs(base_dir: pathlib.Path, outputs: dict[str, dict[str, str]]) -> int:
     """Write every target's files under ``base_dir/<target>/``."""
     written = 0
@@ -401,6 +547,8 @@ def main(argv: list[str] | None = None) -> int:
             return _list_backends()
         if not args.sources:
             build_arg_parser().error("at least one source file is required")
+        if args.watch and args.json_output:
+            raise _CliInputError("--watch cannot be combined with --json")
         if args.batch:
             return _run_batch(args)
         return _run_single(args)
@@ -418,7 +566,6 @@ def _run_single(args: argparse.Namespace) -> int:
     backend_opts = _resolve_backend_options(args)
 
     workspace = Workspace(cache=_build_cache(args))
-    cache = workspace.cache
 
     # When target outputs stream to stdout (no --out-dir), the stage log
     # moves to stderr so e.g. `tydi-compile --target dot x.td | dot -Tsvg`
@@ -430,6 +577,40 @@ def _run_single(args: argparse.Namespace) -> int:
         workspace.add_design(
             "design", sources, _design_options(args, "design", targets, backend_opts)
         )
+    except TydiError as exc:
+        print(f"error ({exc.stage}): {exc.render()}", file=sys.stderr)
+        return 1
+
+    status = _query_and_emit_single(args, workspace, targets, log_stream)
+    if not args.watch:
+        return status
+
+    watched = {"design": {filename: pathlib.Path(filename) for _, filename in sources}}
+
+    def refresh(design: str, changed: list[str]) -> None:
+        print(f"[watch] {', '.join(changed)} changed; recompiling", file=log_stream)
+        _query_and_emit_single(args, workspace, targets, log_stream)
+
+    print(
+        f"[watch] watching {len(sources)} file(s) every {args.watch_interval}s "
+        f"(Ctrl-C to stop)",
+        file=log_stream,
+    )
+    run_watch_loop(workspace, watched, refresh, interval=args.watch_interval)
+    return 0
+
+
+def _query_and_emit_single(args, workspace, targets, log_stream) -> int:
+    """Query the single-mode design and write every requested output.
+
+    The shared tail of the one-shot run and each ``--watch`` refresh; a
+    failing compile reports the stage error and returns 1 without raising,
+    so a watch session survives broken intermediate states.
+    """
+    from repro.errors import TydiError
+
+    cache = workspace.cache
+    try:
         result = workspace.result("design")
     except TydiError as exc:
         print(f"error ({exc.stage}): {exc.render()}", file=sys.stderr)
@@ -440,8 +621,8 @@ def _run_single(args: argparse.Namespace) -> int:
             "stages": [{"name": s.name, "detail": s.detail} for s in result.stages],
             "statistics": result.project.statistics(),
             "outputs": {target: sorted(files) for target, files in result.outputs.items()},
-            "cache": cache.stats.as_dict() if cache is not None else None,
-            "stage_cache": cache.stages.stats.as_dict()
+            "cache": cache.stats_snapshot() if cache is not None else None,
+            "stage_cache": cache.stages.stats_snapshot()
             if cache is not None and cache.stages is not None
             else None,
         }

@@ -18,6 +18,8 @@ can distinguish *which stage* of the pipeline rejected the input:
   connections, port usage counts, clock-domain mismatches).
 * :class:`TydiBackendError` -- Tydi-IR emission or VHDL generation problems.
 * :class:`TydiSimulationError` -- simulator configuration or runtime errors.
+* :class:`TydiServerError` -- compile-service protocol violations (malformed
+  request envelopes, unknown methods, transport failures).
 
 All of them carry an optional :class:`repro.utils.source.SourceSpan` so that
 messages can point at the offending location in the Tydi-lang source text.
@@ -122,6 +124,14 @@ class TydiSimulationError(TydiError):
     """Raised by the event-driven simulator."""
 
     stage = "simulate"
+
+
+class TydiServerError(TydiError):
+    """Raised by the compile service (:mod:`repro.server`) for protocol-level
+    problems: malformed request envelopes, unknown methods, missing or
+    mis-typed parameters, transport failures on the client side."""
+
+    stage = "server"
 
 
 @dataclass(frozen=True)

@@ -349,6 +349,19 @@ class CompilationCache:
         with self._lock:
             return len(self._entries)
 
+    def stats_snapshot(self) -> dict[str, int]:
+        """A consistent copy of the counters, taken under the cache lock.
+
+        :attr:`stats` is mutated under ``self._lock``; reading it lock-free
+        (as ``stats.as_dict()`` does) can observe a torn set of counters --
+        e.g. a ``hits`` that already includes a lookup whose ``disk_hits``
+        increment it misses.  Status endpoints (``Workspace.stats``, the
+        compile service's ``stats`` method, the CLI JSON payloads) read
+        through this snapshot instead.
+        """
+        with self._lock:
+            return self.stats.as_dict()
+
     # -- internals ------------------------------------------------------------
 
     def _insert(self, key: str, result: "CompilationResult") -> None:

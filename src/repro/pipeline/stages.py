@@ -566,3 +566,14 @@ class StageCache:
             with self._lock:
                 self.stats.disk_evictions += evicted
         return evicted
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """A consistent copy of the counters, taken under the cache lock.
+
+        The per-stage sibling of :meth:`repro.pipeline.cache.
+        CompilationCache.stats_snapshot`: the counters are mutated under
+        ``self._lock``, so status endpoints read them through this snapshot
+        instead of a lock-free ``stats.as_dict()`` that could tear.
+        """
+        with self._lock:
+            return self.stats.as_dict()

@@ -1,0 +1,30 @@
+"""``repro.server``: the async compile service over one shared Workspace.
+
+The long-lived daemon face of the toolchain: one
+:class:`~repro.server.service.CompileService` wraps one
+:class:`~repro.workspace.Workspace` (so every cache tier built by the
+pipeline -- whole-result, per-file parse, evaluate snapshots, per-backend
+units -- becomes shared warm memory serving many clients), an asyncio
+transport (:class:`~repro.server.transport.TydiServer`) speaks
+newline-delimited JSON over TCP plus a minimal HTTP/1.1 POST endpoint, and
+:class:`~repro.server.client.CompileClient` is the synchronous client the
+``tydi-serve request`` CLI and the test suites drive it with.
+
+See ``docs/server.md`` for the protocol reference.
+"""
+
+from repro.server.client import CompileClient, http_post
+from repro.server.protocol import PROTOCOL_VERSION, RemoteCompileError
+from repro.server.service import CompileService
+from repro.server.transport import ServerThread, TydiServer, serve
+
+__all__ = [
+    "CompileClient",
+    "CompileService",
+    "PROTOCOL_VERSION",
+    "RemoteCompileError",
+    "ServerThread",
+    "TydiServer",
+    "http_post",
+    "serve",
+]

@@ -1,0 +1,324 @@
+"""The transport-agnostic compile service: JSON requests onto one Workspace.
+
+:class:`CompileService` is the asyncio core of the compile daemon.  It owns
+exactly one :class:`~repro.workspace.Workspace` -- the shared warm memory
+every client benefits from: the whole-result cache, the per-stage parse /
+evaluate / backend tiers and the per-design memos all live in that single
+session, so a design one client compiled is a cache hit for every other
+client (and for the next `tydi-serve` run, when the workspace is built over
+a ``cache_dir``).
+
+Concurrency model
+-----------------
+
+Every workspace-touching request runs in a bounded
+:class:`~concurrent.futures.ThreadPoolExecutor` via
+``loop.run_in_executor`` -- the event loop itself never blocks, so slow
+compiles never stall connection handling or quick requests.  Inside the
+pool, the workspace's per-design locks do the scheduling: requests for
+*different* designs compile fully in parallel (up to ``jobs`` pool
+threads), while concurrent requests for the *same* design coalesce on its
+lock -- the first computes, the rest are served the memo the moment the
+lock frees.  ``jobs`` therefore bounds compile parallelism exactly like
+``tydi-compile --jobs`` bounds the batch driver.
+
+Requests and responses are plain dicts in the shape documented by
+:mod:`repro.server.protocol`; transports only frame and shuttle them.
+Failures never escape :meth:`handle` -- every exception becomes a
+structured error envelope carrying the :class:`~repro.errors.TydiError`
+stage and rendering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Mapping, Optional
+
+from repro.server import protocol
+from repro.workspace import Workspace
+
+
+def default_jobs() -> int:
+    """Default compile-pool width: the CPU count, bounded to stay polite."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class CompileService:
+    """Maps JSON requests onto one shared :class:`~repro.workspace.Workspace`.
+
+    Parameters
+    ----------
+    workspace:
+        The session to serve.  Omit it to have the service build one from
+        ``cache_dir`` / ``max_cache_mb`` / ``options`` (the same trio
+        ``tydi-compile`` exposes), so a served session and a CLI session
+        share on-disk artefacts.
+    jobs:
+        Width of the compile thread pool (default: CPU count, capped at 8).
+    """
+
+    def __init__(
+        self,
+        workspace: Optional[Workspace] = None,
+        *,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        max_cache_mb: Optional[float] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        if workspace is None:
+            workspace = Workspace(
+                cache_dir=cache_dir, max_cache_mb=max_cache_mb, options=options
+            )
+        elif cache_dir is not None or max_cache_mb is not None:
+            raise ValueError(
+                "pass either an existing workspace= or cache_dir=/max_cache_mb=, not both"
+            )
+        self.workspace = workspace
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="tydi-serve"
+        )
+        #: Set once a ``shutdown`` request was handled; transports watch it
+        #: (thread-safe: the CLI's signal handler may also set it).
+        self.shutdown_requested = threading.Event()
+        self._counters_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._in_flight = 0
+        self._max_in_flight = 0
+        self._method_counts: dict[str, int] = {}
+        self._closed = False
+
+    # -- the request entry point ----------------------------------------------
+
+    async def handle(self, message: Any) -> dict[str, Any]:
+        """One decoded request document in, one response envelope out.
+
+        Never raises: malformed envelopes, unknown methods, bad parameters
+        and compile failures all come back as error envelopes.
+        """
+        try:
+            request_id, method, params = protocol.parse_request(message)
+        except Exception as exc:
+            self._count(None, ok=False)
+            return protocol.error_envelope(protocol.recover_request_id(message), exc)
+        self._enter_request()
+        try:
+            handler = self._METHODS.get(method)
+            if handler is None:
+                raise protocol.unknown_method_error(method, self.methods())
+            spec_params, in_executor = self._SIGNATURES[method]
+            protocol.unknown_params_check(params, spec_params, method)
+            if in_executor:
+                loop = asyncio.get_running_loop()
+                result = await loop.run_in_executor(
+                    self._executor, lambda: handler(self, params)
+                )
+            else:
+                result = handler(self, params)
+        except Exception as exc:
+            self._count(method, ok=False)
+            return protocol.error_envelope(request_id, exc)
+        finally:
+            self._exit_request()
+        self._count(method, ok=True)
+        return protocol.success_envelope(request_id, result)
+
+    def handle_sync(self, message: Any) -> dict[str, Any]:
+        """Blocking :meth:`handle` for transports/tests without a loop."""
+        return asyncio.run(self.handle(message))
+
+    @classmethod
+    def methods(cls) -> list[str]:
+        """Every request method name, sorted (``ping`` reports these)."""
+        return sorted(cls._METHODS)
+
+    def close(self) -> None:
+        """Release the compile pool (idempotent; pending compiles finish)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+    # -- method handlers -------------------------------------------------------
+    # Each takes the validated params dict and returns the JSON-ready result
+    # payload; they run on compile-pool threads (except the pure ones) so
+    # they are free to block on workspace locks.
+
+    def _ping(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        import repro
+
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "version": repro.__version__,
+            "methods": self.methods(),
+            "jobs": self.jobs,
+        }
+
+    def _open_design(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        name = protocol.require_param(params, "design", str, "open_design")
+        files = params.get("files", {})
+        if not isinstance(files, (Mapping, list)):
+            from repro.errors import TydiServerError
+
+            raise TydiServerError(
+                f"open_design: 'files' must be a JSON object or array, "
+                f"got {type(files).__name__}"
+            )
+        options = protocol.coerce_options(params.get("options"), "open_design")
+        replace = bool(params.get("replace", True))
+        self.workspace.add_design(name, files, options, replace=replace)
+        return {
+            "design": name,
+            "files": sorted(self.workspace.files(name)),
+            "fingerprint": self.workspace.fingerprint(name),
+        }
+
+    def _update_file(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        design = protocol.require_param(params, "design", str, "update_file")
+        filename = protocol.require_param(params, "filename", str, "update_file")
+        text = protocol.require_param(params, "text", str, "update_file")
+        self.workspace.update_file(design, filename, text)
+        return {
+            "design": design,
+            "filename": filename,
+            "fingerprint": self.workspace.fingerprint(design),
+            "fresh": self.workspace.is_fresh(design),
+        }
+
+    def _remove_file(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        design = protocol.require_param(params, "design", str, "remove_file")
+        filename = protocol.require_param(params, "filename", str, "remove_file")
+        self.workspace.remove_file(design, filename)
+        return {
+            "design": design,
+            "filename": filename,
+            "fingerprint": self.workspace.fingerprint(design),
+        }
+
+    def _remove_design(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        design = protocol.require_param(params, "design", str, "remove_design")
+        self.workspace.remove_design(design)
+        return {"design": design, "removed": True}
+
+    def _get_ir(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        design = protocol.require_param(params, "design", str, "get_ir")
+        ir = self.workspace.ir(design)
+        return {
+            "design": design,
+            "ir": ir,
+            "fingerprint": self.workspace.fingerprint(design),
+        }
+
+    def _get_outputs(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        design = protocol.require_param(params, "design", str, "get_outputs")
+        target = protocol.require_param(params, "target", str, "get_outputs")
+        files = self.workspace.outputs(design, target)
+        return {"design": design, "target": target, "files": dict(files)}
+
+    def _get_diagnostics(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        design = protocol.require_param(params, "design", str, "get_diagnostics")
+        sink = self.workspace.diagnostics(design)
+        return {
+            "design": design,
+            "diagnostics": [
+                {
+                    "severity": diag.severity,
+                    "stage": diag.stage,
+                    "message": diag.message,
+                    "span": str(diag.span) if diag.span is not None else None,
+                }
+                for diag in sink
+            ],
+        }
+
+    def _get_report(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        return dict(self.workspace.report())
+
+    def _list_backends(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        from repro.backends import available_backends, backend_class
+
+        return {
+            "backends": [
+                {"name": name, "description": backend_class(name).description}
+                for name in available_backends()
+            ]
+        }
+
+    def _stats(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        with self._counters_lock:
+            server = {
+                "requests": self._requests,
+                "errors": self._errors,
+                "in_flight": self._in_flight,
+                "max_in_flight": self._max_in_flight,
+                "methods": dict(sorted(self._method_counts.items())),
+                "jobs": self.jobs,
+            }
+        return {"server": server, "workspace": self.workspace.stats()}
+
+    def _shutdown(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        self.shutdown_requested.set()
+        return {"stopping": True}
+
+    # -- accounting ------------------------------------------------------------
+
+    def _count(self, method: Optional[str], *, ok: bool) -> None:
+        with self._counters_lock:
+            self._requests += 1
+            if not ok:
+                self._errors += 1
+            if method is not None:
+                # Only known names get their own bucket: arbitrary strings
+                # from misbehaving peers must not grow the dict (or the
+                # stats payload) without bound in a long-lived daemon.
+                key = method if method in self._METHODS else "<unknown>"
+                self._method_counts[key] = self._method_counts.get(key, 0) + 1
+
+    def _enter_request(self) -> None:
+        with self._counters_lock:
+            self._in_flight += 1
+            self._max_in_flight = max(self._max_in_flight, self._in_flight)
+
+    def _exit_request(self) -> None:
+        with self._counters_lock:
+            self._in_flight -= 1
+
+    #: method name -> handler.  The parallel signature table records the
+    #: allowed parameter names and whether the handler must run on a
+    #: compile-pool thread (everything that can touch a workspace or design
+    #: lock does; the pure introspection methods answer inline).
+    _METHODS = {
+        "ping": _ping,
+        "open_design": _open_design,
+        "update_file": _update_file,
+        "remove_file": _remove_file,
+        "remove_design": _remove_design,
+        "get_ir": _get_ir,
+        "get_outputs": _get_outputs,
+        "get_diagnostics": _get_diagnostics,
+        "get_report": _get_report,
+        "list_backends": _list_backends,
+        "stats": _stats,
+        "shutdown": _shutdown,
+    }
+
+    _SIGNATURES: dict[str, tuple[tuple[str, ...], bool]] = {
+        "ping": ((), False),
+        "open_design": (("design", "files", "options", "replace"), True),
+        "update_file": (("design", "filename", "text"), True),
+        "remove_file": (("design", "filename"), True),
+        "remove_design": (("design",), True),
+        "get_ir": (("design",), True),
+        "get_outputs": (("design", "target"), True),
+        "get_diagnostics": (("design",), True),
+        "get_report": ((), True),
+        "list_backends": ((), False),
+        "stats": ((), True),
+        "shutdown": ((), False),
+    }

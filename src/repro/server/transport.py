@@ -1,0 +1,362 @@
+"""Asyncio transports of the compile service: NDJSON over TCP, plus HTTP.
+
+One listening socket speaks both protocols -- the first line of a
+connection decides:
+
+* **NDJSON** (the native protocol): every line is one JSON request, every
+  response one JSON line, many requests per connection, responses in
+  request order.  This is what :class:`repro.server.client.CompileClient`
+  speaks.
+* **HTTP/1.1** (the interop escape hatch): a ``POST`` whose body is the
+  same JSON request document; the response is the JSON envelope with
+  ``Content-Type: application/json``.  One request per connection
+  (``Connection: close``), so ``curl`` works against a running daemon::
+
+      curl -s http://127.0.0.1:4780/ -d '{"method": "ping"}'
+
+Everything is stdlib ``asyncio`` -- no third-party HTTP framework; the
+HTTP support is deliberately minimal (POST only, no keep-alive, no
+chunked bodies) because the NDJSON protocol is the production path.
+
+Connections are handled concurrently by the event loop; the actual
+compiles run in the service's bounded thread pool
+(:class:`repro.server.service.CompileService`), so a slow compile on one
+connection never stalls another.
+
+:class:`ServerThread` runs the whole stack on a background thread's event
+loop -- the harness the tests, the stress suite and the throughput
+benchmark drive a real server through.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from typing import Any, Optional
+
+from repro.server.protocol import MAX_MESSAGE_BYTES, error_envelope
+from repro.server.service import CompileService
+
+
+def _encode(envelope: dict[str, Any]) -> bytes:
+    """One compact JSON line (the NDJSON frame; also the HTTP body).
+
+    Responses beyond ``MAX_MESSAGE_BYTES`` are replaced with an error
+    envelope: a peer reading with the documented line bound would only see
+    a truncated, unparseable line otherwise.
+    """
+    payload = json.dumps(envelope, separators=(",", ":")).encode() + b"\n"
+    if len(payload) > MAX_MESSAGE_BYTES:
+        from repro.errors import TydiServerError
+
+        oversized = error_envelope(
+            envelope.get("id"),
+            TydiServerError(
+                f"response of {len(payload)} bytes exceeds the protocol bound "
+                f"of {MAX_MESSAGE_BYTES} (split the design or query fewer outputs)"
+            ),
+        )
+        payload = json.dumps(oversized, separators=(",", ":")).encode() + b"\n"
+    return payload
+
+
+class TydiServer:
+    """The asyncio front of one :class:`~repro.server.service.CompileService`.
+
+    ``port=0`` binds an ephemeral port; :attr:`address` reports the real
+    one after :meth:`start`.  The server stops when the service's
+    ``shutdown`` method is requested by any client (or :meth:`stop` is
+    called locally); in-flight requests complete and open connections are
+    closed.
+    """
+
+    def __init__(
+        self,
+        service: CompileService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def start(self) -> tuple[str, int]:
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_MESSAGE_BYTES,
+        )
+        self.port = self.address[1]
+        return self.address
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a shutdown is requested, then close down cleanly."""
+        assert self._stop is not None, "call start() first"
+        await self._stop.wait()
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            # Kick idle connections loose: on Python 3.12+ wait_closed()
+            # waits for every connection handler, and a client parked in
+            # readline() would otherwise hold the shutdown hostage.
+            for writer in list(self._connections):
+                with contextlib.suppress(Exception):
+                    writer.close()
+            await server.wait_closed()
+        self.service.close()
+
+    def stop(self) -> None:
+        """Request shutdown from inside the loop (idempotent)."""
+        self.service.shutdown_requested.set()
+        if self._stop is not None:
+            self._stop.set()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if _looks_like_http(first):
+                await self._serve_http(first, reader, writer)
+            else:
+                await self._serve_ndjson(first, reader, writer)
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ValueError,  # a line beyond MAX_MESSAGE_BYTES (StreamReader limit)
+        ):
+            pass  # a vanished or misframing peer is its own problem
+        finally:
+            self._connections.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+            if self.service.shutdown_requested.is_set() and self._stop is not None:
+                self._stop.set()
+
+    async def _serve_ndjson(
+        self,
+        first_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        line = first_line
+        while line:
+            stripped = line.strip()
+            if stripped:
+                envelope = await self._handle_raw(stripped)
+                writer.write(_encode(envelope))
+                await writer.drain()
+                if self.service.shutdown_requested.is_set():
+                    break
+            line = await reader.readline()
+
+    async def _handle_raw(self, payload: bytes) -> dict[str, Any]:
+        try:
+            message = json.loads(payload)
+        except ValueError as exc:
+            from repro.errors import TydiServerError
+
+            return error_envelope(None, TydiServerError(f"request is not valid JSON: {exc}"))
+        return await self.service.handle(message)
+
+    async def _serve_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        from repro.errors import TydiServerError
+
+        parts = request_line.decode("latin-1").split()
+        method = parts[0].upper() if parts else ""
+        content_length = 0
+        while True:  # drain headers
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = -1
+        if method != "POST":
+            envelope = error_envelope(
+                None, TydiServerError(f"HTTP method {method or '?'} not supported (use POST)")
+            )
+            await _write_http(writer, 405, envelope)
+            return
+        if content_length < 0 or content_length > MAX_MESSAGE_BYTES:
+            envelope = error_envelope(
+                None, TydiServerError("missing or unacceptable Content-Length")
+            )
+            await _write_http(writer, 400, envelope)
+            return
+        body = await reader.readexactly(content_length) if content_length else b""
+        envelope = await self._handle_raw(body or b"null")
+        status = 200 if envelope.get("ok") else 400
+        if not envelope.get("ok") and envelope.get("error", {}).get("stage") != "server":
+            # Compile failures are a *successful* protocol exchange: the
+            # envelope is the answer.  Only protocol violations are 400s.
+            status = 200
+        await _write_http(writer, status, envelope)
+
+
+async def _write_http(writer: asyncio.StreamWriter, status: int, envelope: dict[str, Any]) -> None:
+    reasons = {200: "OK", 400: "Bad Request", 405: "Method Not Allowed"}
+    body = _encode(envelope)
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+def _looks_like_http(first_line: bytes) -> bool:
+    """HTTP request lines end in ``HTTP/1.x``; JSON documents cannot."""
+    text = first_line.strip()
+    return text.endswith(b"HTTP/1.1") or text.endswith(b"HTTP/1.0")
+
+
+async def serve(
+    service: CompileService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional["threading.Event"] = None,
+    on_ready=None,
+) -> None:
+    """Start a :class:`TydiServer` and run it until shutdown is requested.
+
+    ``on_ready(server)`` (if given) fires after binding -- the CLI prints
+    the address there; ``ready`` (if given) is set at the same moment --
+    :class:`ServerThread` blocks on it.
+    """
+    server = TydiServer(service, host=host, port=port)
+    await server.start()
+
+    # Bridge the service's thread-safe shutdown event into the loop: a
+    # shutdown request arriving over a connection sets it in-loop, but the
+    # CLI's signal handler (or ServerThread.stop) sets it from outside.
+    loop = asyncio.get_running_loop()
+
+    async def watch_shutdown() -> None:
+        while not service.shutdown_requested.is_set():
+            await asyncio.sleep(0.05)
+        server.stop()
+
+    watcher = loop.create_task(watch_shutdown())
+    if on_ready is not None:
+        on_ready(server)
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        watcher.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await watcher
+
+
+class ServerThread:
+    """A live compile server on a background thread (tests and benchmarks).
+
+    Usage::
+
+        with ServerThread() as server:
+            client = CompileClient(*server.address)
+            ...
+
+    Exiting the context requests shutdown and joins the thread, asserting
+    the loop wound down cleanly.  ``service`` defaults to a fresh
+    uncached-workspace service.
+    """
+
+    def __init__(
+        self,
+        service: Optional[CompileService] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service if service is not None else CompileService()
+        self.host = host
+        self.port = port
+        self._ready = threading.Event()
+        self._server_box: list[TydiServer] = []
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if not self._server_box:
+            raise RuntimeError("server thread is not running")
+        return self.host, self._server_box[0].port
+
+    def start(self) -> "ServerThread":
+        def run() -> None:
+            try:
+                asyncio.run(
+                    serve(
+                        self.service,
+                        host=self.host,
+                        port=self.port,
+                        ready=self._ready,
+                        on_ready=self._server_box.append,
+                    )
+                )
+            except BaseException as exc:  # surfaced by stop()/join
+                self._error = exc
+                self._ready.set()
+
+        self._thread = threading.Thread(target=run, name="tydi-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread did not become ready")
+        if self._error is not None:
+            raise RuntimeError(f"server thread failed to start: {self._error!r}")
+        return self
+
+    def stop(self, timeout: float = 30) -> None:
+        self.service.shutdown_requested.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("server thread did not shut down in time")
+            self._thread = None
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise RuntimeError(f"server thread raised: {error!r}")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

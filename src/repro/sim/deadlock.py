@@ -17,6 +17,11 @@ from dataclasses import dataclass, field
 
 from repro.sim.engine import SimulationTrace, Simulator
 
+#: Fill/stroke colour of wait-cycle participants in :meth:`DeadlockReport.
+#: to_dot` (a shade apart from the netlist highlight, so cycle membership
+#: reads at a glance).
+_WAIT_CYCLE_COLOR = "#d94545"
+
 
 @dataclass
 class StalledChannel:
@@ -36,18 +41,26 @@ class DeadlockReport:
     stalled: list[StalledChannel] = field(default_factory=list)
     waiting_components: list[str] = field(default_factory=list)
     wait_cycles: list[list[str]] = field(default_factory=list)
+    #: Every edge of the wait-for graph as ``(waiter, waited_on)`` pairs --
+    #: the full relation the cycle detection walked, not just the cycles it
+    #: found.  :meth:`to_dot` renders it alongside the netlist.
+    wait_edges: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def deadlocked(self) -> bool:
         return bool(self.stalled)
 
     def to_dot(self, project) -> str:
-        """The design netlist with the stall participants painted.
+        """The design netlist with the stall participants painted, plus the
+        full wait-for graph.
 
-        Highlights every component on a wait cycle, every waiting
-        component, and the endpoints of stalled channels -- the graph a
-        designer wants next to :meth:`summary` (pipe through
-        ``dot -Tsvg``).
+        The main graph highlights every component on a wait cycle, every
+        waiting component, and the endpoints of stalled channels; a
+        dashed ``wait-for graph`` cluster then renders the complete
+        wait-for relation itself -- every waiter, every ``waiter ->
+        waited-on`` edge, with the edges (and nodes) lying on a detected
+        cycle painted red -- the graph a designer wants next to
+        :meth:`summary` (pipe through ``dot -Tsvg``).
         """
         from repro.backends.dot import render_highlighted
 
@@ -55,7 +68,54 @@ class DeadlockReport:
         endpoints.extend(self.waiting_components)
         for stall in self.stalled:
             endpoints.extend((stall.sink, stall.source))
-        return render_highlighted(project, endpoints)
+        base = render_highlighted(project, endpoints)
+        overlay = self._wait_for_subgraph()
+        if overlay is None:
+            return base
+        # Splice the cluster in before the document's closing brace so the
+        # whole report stays one digraph.
+        head, brace, tail = base.rpartition("}")
+        return head + overlay + brace + tail
+
+    def _wait_for_subgraph(self) -> str | None:
+        """The wait-for relation as one DOT cluster (``None`` when empty)."""
+        from repro.backends.dot import _quote as quote
+
+        nodes: list[str] = []
+        for waiter, waited_on in self.wait_edges:
+            for node in (waiter, waited_on):
+                if node not in nodes:
+                    nodes.append(node)
+        for node in self.waiting_components:
+            if node not in nodes:
+                nodes.append(node)
+        if not nodes:
+            return None
+        on_cycle = {node for cycle in self.wait_cycles for node in cycle}
+        cycle_edges = {
+            (cycle[index], cycle[index + 1])
+            for cycle in self.wait_cycles
+            for index in range(len(cycle) - 1)
+        }
+        lines = [
+            f"  subgraph {quote('cluster_wait_for')} {{",
+            f"    label={quote('wait-for graph')};",
+            "    style=dashed;",
+        ]
+        for node in nodes:
+            attrs = [f"label={quote(node)}", "shape=box"]
+            if node in on_cycle:
+                attrs.append("style=filled")
+                attrs.append(f"fillcolor={quote(_WAIT_CYCLE_COLOR)}")
+            lines.append(f"    {quote(f'waitfor.{node}')} [{', '.join(attrs)}];")
+        for waiter, waited_on in self.wait_edges:
+            attrs = []
+            if (waiter, waited_on) in cycle_edges:
+                attrs = [f"color={quote(_WAIT_CYCLE_COLOR)}", "penwidth=2"]
+            edge = f"    {quote(f'waitfor.{waiter}')} -> {quote(f'waitfor.{waited_on}')}"
+            lines.append(f"{edge} [{', '.join(attrs)}];" if attrs else f"{edge};")
+        lines.append("  }\n")
+        return "\n".join(lines)
 
     def summary(self) -> str:
         if not self.deadlocked:
@@ -122,6 +182,9 @@ def detect_deadlock(simulator: Simulator, trace: SimulationTrace | None = None) 
                 channel = component.inputs[port]
                 sources.add(channel.source[0] or "top")
             waits_on[path] = sources
+            # Record the full relation for the report's wait-for rendering
+            # (sorted per waiter: deterministic DOT output).
+            report.wait_edges.extend((path, source) for source in sorted(sources))
 
     # Cycle detection over the wait-for graph.
     visited: set[str] = set()

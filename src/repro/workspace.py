@@ -457,13 +457,68 @@ class Workspace:
                     "status": status,
                     "targets": list(entry.options.targets),
                 }
-        stats = getattr(self.cache, "stats", None)
-        stage_cache = getattr(self.cache, "stages", None)
+        cache_stats, stage_stats = self._cache_snapshots()
         return {
             "designs": designs,
-            "cache": stats.as_dict() if stats is not None else None,
-            "stage_cache": stage_cache.stats.as_dict() if stage_cache is not None else None,
+            "cache": cache_stats,
+            "stage_cache": stage_stats,
         }
+
+    def stats(self) -> dict[str, object]:
+        """A JSON-ready counters snapshot: design freshness + cache tiers.
+
+        The lighter-weight sibling of :meth:`report` behind the compile
+        service's ``stats`` endpoint: per-status design counts instead of
+        the per-design listing, and every cache counter read through the
+        owning cache's locked ``stats_snapshot()`` so concurrent compiles
+        can never be observed as a torn counter set.
+        """
+        counts = {"total": 0, "fresh": 0, "stale": 0, "error": 0}
+        for name in self.design_names:
+            with self._lock:
+                entry = self._designs.get(name)
+            if entry is None:
+                continue
+            with entry.lock:
+                counts["total"] += 1
+                if entry.memo_key != entry.fingerprint():
+                    counts["stale"] += 1
+                elif entry.memo_error is not None:
+                    counts["error"] += 1
+                else:
+                    counts["fresh"] += 1
+        cache_stats, stage_stats = self._cache_snapshots()
+        return {
+            "designs": counts,
+            "cache": cache_stats,
+            "stage_cache": stage_stats,
+        }
+
+    def _cache_snapshots(self) -> tuple[Optional[dict], Optional[dict]]:
+        """Locked counter snapshots of the cache stack (each may be None).
+
+        Prefers the cache's ``stats_snapshot()`` (counters copied under the
+        cache's own lock -- never torn); duck-typed caches without one fall
+        back to their raw ``stats.as_dict()``.
+        """
+        cache_stats = None
+        if self.cache is not None:
+            snapshot = getattr(self.cache, "stats_snapshot", None)
+            if snapshot is not None:
+                cache_stats = snapshot()
+            else:
+                stats = getattr(self.cache, "stats", None)
+                cache_stats = stats.as_dict() if stats is not None else None
+        stage_stats = None
+        stage_cache = getattr(self.cache, "stages", None)
+        if stage_cache is not None:
+            snapshot = getattr(stage_cache, "stats_snapshot", None)
+            if snapshot is not None:
+                stage_stats = snapshot()
+            else:
+                stats = getattr(stage_cache, "stats", None)
+                stage_stats = stats.as_dict() if stats is not None else None
+        return cache_stats, stage_stats
 
     def invalidate(self, name: Optional[str] = None) -> None:
         """Drop memoised artefacts (one design, or all of them).

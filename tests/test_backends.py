@@ -238,3 +238,67 @@ class TestSimConsumers:
         dot = report.to_dot(project)
         assert "digraph" in dot
         assert "style=filled" in dot
+
+    def test_deadlock_report_to_dot_renders_full_wait_for_graph(self, project):
+        from repro.sim.deadlock import DeadlockReport, StalledChannel
+
+        report = DeadlockReport(
+            stalled=[
+                StalledChannel(
+                    channel="c0", source="a.output", sink="b.input",
+                    queued_packets=1, pending_packets=0,
+                )
+            ],
+            waiting_components=["a", "b", "c"],
+            wait_cycles=[["a", "b", "a"]],
+            wait_edges=[("a", "b"), ("b", "a"), ("c", "a")],
+        )
+        dot = report.to_dot(project)
+        # One document: the netlist plus a dashed wait-for cluster.
+        assert dot.count("digraph") == 1
+        assert '"cluster_wait_for"' in dot
+        # Every node of the relation is rendered, not just cycle members.
+        for node in ("a", "b", "c"):
+            assert f'"waitfor.{node}"' in dot
+        # Every edge is rendered; cycle edges are painted, off-cycle ones not.
+        assert '"waitfor.a" -> "waitfor.b" [color=' in dot
+        assert '"waitfor.b" -> "waitfor.a" [color=' in dot
+        assert '"waitfor.c" -> "waitfor.a";' in dot
+        # The spliced document still closes properly.
+        assert dot.rstrip().endswith("}")
+
+    def test_deadlock_report_to_dot_without_waits_matches_highlight_only(self, project):
+        from repro.sim.deadlock import DeadlockReport
+
+        report = DeadlockReport()
+        dot = report.to_dot(project)
+        assert "cluster_wait_for" not in dot
+        assert dot.count("digraph") == 1
+
+    def test_detect_deadlock_records_wait_edges(self):
+        from repro.lang.compile import compile_project
+        from repro.sim.deadlock import detect_deadlock
+        from repro.sim.engine import Simulator
+
+        # An adder driven on only one operand: it waits on the source of
+        # its empty input ("top"), and that edge must appear in the report.
+        source = """
+        type num = Stream(Bit(8), d=1);
+        streamlet top_s { a: num in, b: num in, o: num out, }
+        impl top_i of top_s {
+            instance add(adder_i<type num, type num>),
+            a => add.lhs,
+            b => add.rhs,
+            add.output => o,
+        }
+        top top_i;
+        """
+        project = compile_project(source).project
+        simulator = Simulator(project)
+        simulator.drive("a", [1, 2, 3])
+        simulator.run()
+        report = detect_deadlock(simulator)
+        assert report.deadlocked
+        assert ("add", "top") in report.wait_edges
+        dot = report.to_dot(project)
+        assert '"waitfor.add" -> "waitfor.top"' in dot

@@ -1,0 +1,195 @@
+"""Concurrency stress test of the compile service (:mod:`repro.server`).
+
+The acceptance property of a served session: whatever interleaving of
+clients, edits and queries the server saw, every design's final answers
+are **byte-identical** to a fresh one-shot ``compile_sources`` of its
+final sources -- IR text, backend outputs, diagnostics, and the error
+envelope for designs whose final state is broken.  And mixed-design
+traffic from many threads never deadlocks (joins are bounded).
+
+The designs and edits come from the shared fuzzers in
+:mod:`repro.testing` (the same substrate as the staged-vs-monolithic and
+workspace differential harnesses).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.backends import get_backend
+from repro.errors import TydiError
+from repro.lang.compile import compile_sources
+from repro.server import CompileClient, CompileService, RemoteCompileError, ServerThread
+from repro.testing import build_random_design, mutate_design
+
+#: Bounded join: a worker that has not finished by then is deadlocked.
+JOIN_TIMEOUT = 120.0
+
+#: A file that breaks any design it is added to (parse error).
+BROKEN_TEXT = "type ?! = Stream(;\n"
+
+
+def _final_reference(sources):
+    """One-shot compile of the final sources: result or the raised error."""
+    try:
+        return compile_sources(sources, cache=None), None
+    except TydiError as exc:
+        return None, exc
+
+
+class _Worker(threading.Thread):
+    """One client thread: open a fuzzed design, edit it, re-query, verify."""
+
+    def __init__(self, address, name: str, seed: int, rounds: int, break_sometimes: bool):
+        super().__init__(name=f"stress-{name}", daemon=True)
+        self.address = address
+        self.design = name
+        self.seed = seed
+        self.rounds = rounds
+        self.break_sometimes = break_sometimes
+        self.final_sources = None
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            self._run()
+        except BaseException as exc:  # surfaced by the main thread
+            self.error = exc
+
+    def _run(self) -> None:
+        rng = random.Random(self.seed)
+        sources = build_random_design(rng)
+        with CompileClient(*self.address, connect_retry_for=10.0) as client:
+            client.open_design(
+                self.design,
+                files={filename: text for text, filename in sources},
+                options={"include_stdlib": True},
+            )
+            broken = False
+            for _ in range(self.rounds):
+                if self.break_sometimes and rng.random() < 0.3:
+                    # Break or un-break the design via a scratch file.
+                    if broken:
+                        client.remove_file(self.design, "broken.td")
+                    else:
+                        client.update_file(self.design, "broken.td", BROKEN_TEXT)
+                    broken = not broken
+                else:
+                    sources, index = mutate_design(rng, sources)
+                    text, filename = sources[index]
+                    client.update_file(self.design, filename, text)
+                # Interleave a query; a broken state must answer with the
+                # structured parse error, a healthy one with IR.
+                try:
+                    ir = client.get_ir(self.design)
+                    assert ir.strip(), "served IR is empty"
+                except RemoteCompileError as exc:
+                    assert exc.remote_stage != "server", f"protocol error: {exc}"
+            self.final_sources = list(sources)
+            if broken:
+                self.final_sources.append((BROKEN_TEXT, "broken.td"))
+
+            # Differential check on the final state, over the same client.
+            reference, expected_error = _final_reference(self.final_sources)
+            if expected_error is None:
+                assert client.get_ir(self.design) == reference.ir_text()
+                served_vhdl = client.get_outputs(self.design, "vhdl")
+                assert served_vhdl == get_backend("vhdl").emit(reference.project)
+                served_diags = client.get_diagnostics(self.design)
+                assert [d["message"] for d in served_diags] == [
+                    d.message for d in reference.diagnostics
+                ]
+            else:
+                with pytest.raises(RemoteCompileError) as excinfo:
+                    client.get_ir(self.design)
+                assert excinfo.value.remote_type == type(expected_error).__name__
+                assert excinfo.value.envelope["rendered"] == expected_error.render()
+
+
+def _run_workers(workers) -> None:
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=JOIN_TIMEOUT)
+        assert not worker.is_alive(), f"{worker.name} deadlocked (join timed out)"
+    for worker in workers:
+        if worker.error is not None:
+            raise AssertionError(f"{worker.name} failed: {worker.error!r}") from worker.error
+
+
+class TestServerStress:
+    def test_concurrent_clients_distinct_designs_match_oneshot(self):
+        with ServerThread(CompileService(jobs=4)) as server:
+            workers = [
+                _Worker(server.address, f"design{index}", seed=1000 + index,
+                        rounds=6, break_sometimes=False)
+                for index in range(6)
+            ]
+            _run_workers(workers)
+
+    def test_concurrent_clients_with_failing_states_match_oneshot(self):
+        with ServerThread(CompileService(jobs=4)) as server:
+            workers = [
+                _Worker(server.address, f"flaky{index}", seed=2000 + index,
+                        rounds=8, break_sometimes=True)
+                for index in range(4)
+            ]
+            _run_workers(workers)
+
+    def test_same_design_hammering_coalesces_and_stays_consistent(self):
+        """Readers and one writer on ONE design: every response is a valid
+        snapshot (the IR always matches one of the contents the writer
+        produced), and nothing deadlocks on the shared per-design lock."""
+        rng = random.Random(42)
+        sources = build_random_design(rng)
+        edits = [sources]
+        for _ in range(5):
+            edited, _ = mutate_design(rng, edits[-1])
+            edits.append(edited)
+        valid_irs = {
+            compile_sources(snapshot, cache=None).ir_text() for snapshot in edits
+        }
+
+        with ServerThread(CompileService(jobs=4)) as server:
+            with CompileClient(*server.address) as writer:
+                writer.open_design(
+                    "shared", files={filename: text for text, filename in sources}
+                )
+                writer.get_ir("shared")
+
+                stop = threading.Event()
+                failures: list[str] = []
+
+                def read_loop() -> None:
+                    try:
+                        with CompileClient(*server.address) as reader:
+                            while not stop.is_set():
+                                ir = reader.get_ir("shared")
+                                if ir not in valid_irs:
+                                    failures.append("reader saw an IR no edit produced")
+                                    return
+                    except BaseException as exc:
+                        failures.append(repr(exc))
+
+                readers = [threading.Thread(target=read_loop, daemon=True) for _ in range(3)]
+                for thread in readers:
+                    thread.start()
+                # Each snapshot differs from its predecessor in exactly one
+                # file (mutate_design edits one file per round), so a reader
+                # landing between two update_file calls still sees a state
+                # from `edits` -- never an invalid hybrid.
+                for snapshot in edits[1:]:
+                    for text, filename in snapshot:
+                        writer.update_file("shared", filename, text)
+                    writer.get_ir("shared")
+                stop.set()
+                for thread in readers:
+                    thread.join(timeout=JOIN_TIMEOUT)
+                    assert not thread.is_alive(), "reader deadlocked"
+                assert not failures, failures
+
+                reference = compile_sources(edits[-1], cache=None)
+                assert writer.get_ir("shared") == reference.ir_text()

@@ -1,0 +1,318 @@
+"""Tests of ``tydi-compile --watch`` (the polling loop in :mod:`repro.cli`).
+
+The loop is driven with a **fake clock**: the injected ``sleep`` edits
+files on disk instead of waiting, so each "tick" deterministically
+presents the loop with a new filesystem state -- no real time passes and
+no race with the poller exists.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro.cli as cli
+from repro.cli import run_watch_loop
+from repro.lang.compile import compile_sources
+from repro.workspace import Workspace
+
+GOOD = (
+    "type link_t = Stream(Bit(8));\n"
+    "streamlet pass_s { i: link_t in, o: link_t out, }\n"
+    "external impl pass_i of pass_s;\n"
+    "top pass_i;\n"
+)
+
+
+class FakeClock:
+    """An injectable ``sleep`` that runs scripted actions instead of waiting.
+
+    ``actions[k]`` runs on the k-th tick; once the script is exhausted the
+    clock raises ``KeyboardInterrupt`` -- exactly how a user ends a watch
+    session.
+    """
+
+    def __init__(self, actions):
+        self.actions = list(actions)
+        self.intervals: list[float] = []
+
+    def __call__(self, interval: float) -> None:
+        self.intervals.append(interval)
+        if not self.actions:
+            raise KeyboardInterrupt
+        action = self.actions.pop(0)
+        if action is not None:
+            action()
+
+
+def _write(path: pathlib.Path, text: str) -> None:
+    path.write_text(text)
+    # Force a new mtime signature even on coarse-mtime filesystems: the
+    # loop keys on (mtime_ns, size), and the fake clock makes every edit
+    # change the size anyway -- but be explicit for same-length rewrites.
+    stat = path.stat()
+    import os
+
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+
+
+class TestRunWatchLoop:
+    def test_change_triggers_update_and_refresh(self, tmp_path):
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        workspace = Workspace(cache=None)
+        workspace.add_design("design", [(GOOD, str(source))])
+        workspace.result("design")
+
+        refreshed: list[tuple[str, list[str]]] = []
+        edited = GOOD.replace("Bit(8)", "Bit(16)")
+        clock = FakeClock([lambda: _write(source, edited)])
+        rounds = run_watch_loop(
+            workspace,
+            {"design": {str(source): source}},
+            lambda design, changed: refreshed.append((design, changed)),
+            interval=0.5,
+            sleep=clock,
+        )
+        assert rounds == 1
+        assert refreshed == [("design", [str(source)])]
+        assert clock.intervals == [0.5, 0.5]  # the interval reaches the clock
+        # The workspace saw the edit: its answer matches a fresh compile.
+        reference = compile_sources([(edited, str(source))], cache=None)
+        assert workspace.ir("design") == reference.ir_text()
+
+    def test_unchanged_file_never_refreshes(self, tmp_path):
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        workspace = Workspace(cache=None)
+        workspace.add_design("design", [(GOOD, str(source))])
+        workspace.result("design")
+
+        refreshed = []
+        clock = FakeClock([None, None, None])  # three idle ticks
+        rounds = run_watch_loop(
+            workspace,
+            {"design": {str(source): source}},
+            lambda design, changed: refreshed.append(design),
+            interval=0.01,
+            sleep=clock,
+        )
+        assert rounds == 3
+        assert refreshed == []
+
+    def test_touch_without_content_change_is_noop(self, tmp_path):
+        """A re-save of identical bytes moves the mtime but must not
+        recompile: update_file is fingerprint-keyed."""
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        workspace = Workspace(cache=None)
+        workspace.add_design("design", [(GOOD, str(source))])
+        workspace.result("design")
+
+        refreshed = []
+        clock = FakeClock([lambda: _write(source, GOOD)])
+        run_watch_loop(
+            workspace,
+            {"design": {str(source): source}},
+            lambda design, changed: refreshed.append(design),
+            interval=0.01,
+            sleep=clock,
+        )
+        assert refreshed == []  # stat moved, fingerprint did not
+        assert workspace.is_fresh("design")
+
+    def test_broken_then_fixed_design_recovers(self, tmp_path):
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        workspace = Workspace(cache=None)
+        workspace.add_design("design", [(GOOD, str(source))])
+        workspace.result("design")
+
+        outcomes: list[bool] = []
+
+        def refresh(design, changed):
+            try:
+                workspace.result(design)
+                outcomes.append(True)
+            except Exception:
+                outcomes.append(False)
+
+        clock = FakeClock([
+            lambda: _write(source, "type ?! broken\n"),
+            lambda: _write(source, GOOD + "// fixed\n"),
+        ])
+        run_watch_loop(
+            workspace,
+            {"design": {str(source): source}},
+            refresh,
+            interval=0.01,
+            sleep=clock,
+        )
+        assert outcomes == [False, True]
+
+    def test_vanished_file_is_skipped_not_fatal(self, tmp_path, capsys):
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        workspace = Workspace(cache=None)
+        workspace.add_design("design", [(GOOD, str(source))])
+        workspace.result("design")
+
+        refreshed = []
+        clock = FakeClock([source.unlink, None])
+        rounds = run_watch_loop(
+            workspace,
+            {"design": {str(source): source}},
+            lambda design, changed: refreshed.append(design),
+            interval=0.01,
+            sleep=clock,
+        )
+        assert rounds == 2  # the loop survived the deletion
+        assert refreshed == []
+
+    def test_transient_read_failure_is_retried_next_round(self, tmp_path, capsys):
+        """A stat change whose read_text flakes once must be retried: the
+        signature is only committed after a successful read."""
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        workspace = Workspace(cache=None)
+        workspace.add_design("design", [(GOOD, str(source))])
+        workspace.result("design")
+
+        class FlakyPath:
+            def __init__(self, path):
+                self.path = path
+                self.fail_next = False
+
+            def stat(self):
+                return self.path.stat()
+
+            def read_text(self):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise OSError("transient read failure")
+                return self.path.read_text()
+
+            def __str__(self):
+                return str(self.path)
+
+        flaky = FlakyPath(source)
+        edited = GOOD.replace("Bit(8)", "Bit(16)")
+
+        def edit_and_break():
+            _write(source, edited)
+            flaky.fail_next = True
+
+        refreshed = []
+        clock = FakeClock([edit_and_break, None])  # round 2: same edit, read ok
+        run_watch_loop(
+            workspace,
+            {"design": {str(source): flaky}},
+            lambda design, changed: refreshed.append(design),
+            interval=0.01,
+            sleep=clock,
+        )
+        assert refreshed == ["design"]  # picked up on the retry round
+        reference = compile_sources([(edited, str(source))], cache=None)
+        assert workspace.ir("design") == reference.ir_text()
+        assert "cannot re-read" in capsys.readouterr().err
+
+    def test_max_rounds_bounds_the_loop(self, tmp_path):
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        workspace = Workspace(cache=None)
+        workspace.add_design("design", [(GOOD, str(source))])
+        never_ending = FakeClock([None] * 100)
+        rounds = run_watch_loop(
+            workspace,
+            {"design": {str(source): source}},
+            lambda design, changed: None,
+            interval=0.01,
+            sleep=never_ending,
+            max_rounds=4,
+        )
+        assert rounds == 4
+
+
+class TestWatchCli:
+    @pytest.fixture(autouse=True)
+    def _restore_clock(self):
+        original = cli._watch_sleep
+        yield
+        cli._watch_sleep = original
+
+    def test_single_mode_watch_rewrites_outputs(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        ir_out = tmp_path / "out.tir"
+        edited = GOOD.replace("Bit(8)", "Bit(16)")
+        cli._watch_sleep = FakeClock([lambda: _write(source, edited)])
+
+        code = cli.main(["--watch", "--watch-interval", "0.01",
+                         "--ir-out", str(ir_out), str(source)])
+        assert code == 0
+        reference = compile_sources([(edited, str(source))], cache=None)
+        assert ir_out.read_text() == reference.ir_text()
+        assert "[watch]" in capsys.readouterr().out
+
+    def test_batch_mode_watch_recompiles_only_changed_design(self, tmp_path, capsys):
+        one = tmp_path / "one.td"
+        two = tmp_path / "two.td"
+        one.write_text(GOOD)
+        two.write_text(GOOD.replace("pass", "other"))
+        out_dir = tmp_path / "ir"
+        edited = GOOD.replace("Bit(8)", "Bit(32)")
+        cli._watch_sleep = FakeClock([lambda: _write(one, edited)])
+
+        code = cli.main(["--batch", "--watch", "--watch-interval", "0.01",
+                         "--ir-out", str(out_dir), str(one), str(two)])
+        assert code == 0
+        reference = compile_sources([(edited, str(one))], cache=None, project_name="one")
+        assert (out_dir / "one.tir").read_text() == reference.ir_text()
+        output = capsys.readouterr().out
+        assert "recompiled one" in output
+        assert "recompiled two" not in output
+
+    def test_watch_survives_broken_intermediate_state(self, tmp_path, capsys):
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        ir_out = tmp_path / "out.tir"
+        fixed = GOOD + "// v2\n"
+        cli._watch_sleep = FakeClock([
+            lambda: _write(source, "type ?! broken\n"),
+            lambda: _write(source, fixed),
+        ])
+        code = cli.main(["--watch", "--watch-interval", "0.01",
+                         "--ir-out", str(ir_out), str(source)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "error (parse)" in captured.err
+        reference = compile_sources([(fixed, str(source))], cache=None)
+        assert ir_out.read_text() == reference.ir_text()
+
+    def test_batch_watch_picks_up_initially_unreadable_file(self, tmp_path, capsys):
+        """A design whose file was missing at startup is still watched: the
+        moment the file appears it is compiled like any other edit."""
+        present = tmp_path / "present.td"
+        missing = tmp_path / "missing.td"
+        present.write_text(GOOD)
+        out_dir = tmp_path / "ir"
+        late_text = GOOD.replace("pass", "late")
+        cli._watch_sleep = FakeClock([lambda: missing.write_text(late_text)])
+
+        code = cli.main(["--batch", "--watch", "--watch-interval", "0.01",
+                         "--ir-out", str(out_dir), str(present), str(missing)])
+        assert code == 0
+        reference = compile_sources(
+            [(late_text, str(missing))], cache=None, project_name="missing"
+        )
+        assert (out_dir / "missing.tir").read_text() == reference.ir_text()
+        assert "recompiled missing" in capsys.readouterr().out
+
+    def test_watch_rejects_json(self, tmp_path, capsys):
+        source = tmp_path / "w.td"
+        source.write_text(GOOD)
+        code = cli.main(["--watch", "--json", str(source)])
+        assert code == 1
+        assert "--watch" in capsys.readouterr().err
