@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""Soak a real multi-worker ``tydi-serve`` daemon and prove the pool's ops story.
+
+The CI replacement for the old single-request server smoke job.  It:
+
+1. spawns ``tydi-serve serve --workers N`` as a **subprocess** (the real
+   CLI, the real fork path, a real TCP port),
+2. drives it with ``--clients`` concurrent client threads for
+   ``--duration`` seconds of interleaved load -- TPC-H query designs
+   re-opened and recompiled, plus synthetic designs under continuous
+   fuzzed edits (``update_file`` + ``get_ir`` round trips, with
+   ``get_diagnostics`` / ``get_outputs`` mixed in),
+3. then runs the same load against a ``--baseline-workers`` daemon and
+   compares aggregate warm request throughput,
+4. asserts the ops invariants: **zero worker restarts** under healthy
+   load, **no protocol-level failures** (compile errors from fuzzed edits
+   are expected and counted separately), a **clean drain** on shutdown
+   (``drained: true`` and exit code 0), and -- with ``--assert-floor`` --
+   the multi-worker daemon serving >= ``--floor`` x the baseline's
+   requests/s,
+5. writes one JSON artifact (``--output``) that CI uploads.
+
+``--assert-floor`` is passed only in CI (4-vCPU runners); locally on small
+machines the soak still proves correctness and the clean drain, and the
+throughput ratio is recorded without being asserted.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/soak_server.py \\
+        --workers 4 --clients 6 --duration 20 --assert-floor
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import re
+import subprocess
+import sys
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import TydiServerError  # noqa: E402
+from repro.server import CompileClient, RemoteCompileError  # noqa: E402
+from repro.testing import build_random_design, mutate_design  # noqa: E402
+
+_LISTENING = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+class Daemon:
+    """One ``tydi-serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, workers: int) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.server.cli", "serve",
+                "--port", "0", "--workers", str(workers),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        self.port: int | None = None
+        deadline = time.monotonic() + 60
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            match = _LISTENING.search(line)
+            if match:
+                self.host, self.port = match.group(1), int(match.group(2))
+                return
+        raise RuntimeError(f"daemon did not announce a port (exit={self.proc.poll()})")
+
+    def shutdown(self) -> tuple[dict, int]:
+        """Request a drain-shutdown; returns (reply, exit_code)."""
+        with CompileClient(self.host, self.port, connect_retry_for=5) as client:
+            reply = client.shutdown()
+        exit_code = self.proc.wait(timeout=60)
+        return reply, exit_code
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def tpch_jobs() -> list:
+    from repro.queries import QUERIES
+
+    return [QUERIES[name].compile_job() for name in sorted(QUERIES)]
+
+
+class ClientStats:
+    __slots__ = ("requests", "compile_errors", "failures")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.compile_errors = 0
+        self.failures: list[str] = []
+
+
+def run_load(
+    host: str, port: int, *, clients: int, duration: float, seed: int
+) -> dict:
+    """Drive the soak workload; returns aggregate counters."""
+    jobs = tpch_jobs()
+    stop = threading.Event()
+    stats = [ClientStats() for _ in range(clients)]
+
+    def one_client(index: int) -> None:
+        rng = random.Random(seed * 1000 + index)
+        record = stats[index]
+        job = jobs[index % len(jobs)]
+        tpch_name = f"soak_tpch_{index}"
+        fuzz_name = f"soak_fuzz_{index}"
+        tpch_files = {filename: text for text, filename in job.sources}
+        fuzz_sources = build_random_design(rng)
+        try:
+            with CompileClient(host, port, connect_retry_for=10) as client:
+                def call(method, *args, **kwargs):
+                    record.requests += 1
+                    try:
+                        return getattr(client, method)(*args, **kwargs)
+                    except RemoteCompileError:
+                        record.compile_errors += 1
+                        return None
+
+                call("open_design", fuzz_name,
+                     files={f: t for t, f in fuzz_sources})
+                while not stop.is_set():
+                    roll = rng.random()
+                    if roll < 0.15:
+                        # A TPC-H compile: open (replace) + full query.
+                        call("open_design", tpch_name, files=tpch_files,
+                             options={"top": job.top, "sugaring": job.sugaring})
+                        call("get_ir", tpch_name)
+                    elif roll < 0.85:
+                        # A fuzzed edit round trip on the synthetic design.
+                        before = dict((f, t) for t, f in fuzz_sources)
+                        fuzz_sources, _ = mutate_design(rng, fuzz_sources)
+                        after = dict((f, t) for t, f in fuzz_sources)
+                        for filename in set(before) | set(after):
+                            if before.get(filename) != after.get(filename):
+                                if filename not in after:
+                                    call("remove_file", fuzz_name, filename)
+                                else:
+                                    call("update_file", fuzz_name, filename,
+                                         after[filename])
+                        call("get_ir", fuzz_name)
+                    elif roll < 0.95:
+                        call("get_diagnostics", fuzz_name)
+                    else:
+                        call("get_outputs", fuzz_name, "ir")
+        except (TydiServerError, OSError) as exc:
+            record.failures.append(f"client {index}: {exc}")
+
+    threads = [threading.Thread(target=one_client, args=(i,)) for i in range(clients)]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.monotonic() - start
+
+    total_requests = sum(record.requests for record in stats)
+    return {
+        "clients": clients,
+        "duration_s": round(elapsed, 2),
+        "requests": total_requests,
+        "requests_per_s": round(total_requests / elapsed, 2) if elapsed else 0.0,
+        "compile_errors": sum(record.compile_errors for record in stats),
+        "failures": [msg for record in stats for msg in record.failures],
+    }
+
+
+def soak(workers: int, *, clients: int, duration: float, seed: int) -> dict:
+    """One full soak phase: spawn daemon, load it, collect stats, drain."""
+    daemon = Daemon(workers)
+    try:
+        load = run_load(daemon.host, daemon.port, clients=clients,
+                        duration=duration, seed=seed)
+        with CompileClient(daemon.host, daemon.port, connect_retry_for=5) as client:
+            server_stats = client.stats()
+        reply, exit_code = daemon.shutdown()
+    except BaseException:
+        daemon.kill()
+        raise
+    pool_stats = server_stats.get("pool") or {}
+    return {
+        "workers": workers,
+        **load,
+        "server_requests": server_stats["server"]["requests"],
+        "worker_restarts": pool_stats.get("restarts", 0),
+        "shutdown": reply,
+        "exit_code": exit_code,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--baseline-workers", type=int, default=1)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="seconds of load per phase (default: 20)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--floor", type=float, default=2.0,
+                        help="required multi/baseline req/s ratio (default: 2.0)")
+    parser.add_argument("--assert-floor", action="store_true",
+                        help="fail when the throughput ratio is below --floor "
+                        "(CI only; needs >= --workers CPUs to be meaningful)")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("benchmark-artifacts/soak.json"))
+    args = parser.parse_args(argv)
+
+    print(f"soak: {args.workers} workers, {args.clients} clients, "
+          f"{args.duration:.0f}s per phase", flush=True)
+    multi = soak(args.workers, clients=args.clients, duration=args.duration,
+                 seed=args.seed)
+    print(f"soak: multi-worker phase: {multi['requests']} requests "
+          f"({multi['requests_per_s']}/s), {multi['compile_errors']} compile "
+          f"errors, restarts={multi['worker_restarts']}", flush=True)
+    baseline = soak(args.baseline_workers, clients=args.clients,
+                    duration=args.duration, seed=args.seed)
+    print(f"soak: baseline ({args.baseline_workers} worker): "
+          f"{baseline['requests']} requests ({baseline['requests_per_s']}/s)",
+          flush=True)
+
+    ratio = (multi["requests_per_s"] / baseline["requests_per_s"]
+             if baseline["requests_per_s"] else float("inf"))
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "multi": multi,
+        "baseline": baseline,
+        "throughput_ratio": round(ratio, 2),
+        "floor": args.floor,
+        "floor_asserted": bool(args.assert_floor),
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2))
+    print(f"soak: throughput ratio {ratio:.2f}x "
+          f"(artifact: {args.output})", flush=True)
+
+    problems = []
+    for phase in (multi, baseline):
+        tag = f"{phase['workers']}-worker phase"
+        if phase["failures"]:
+            problems.append(f"{tag}: protocol failures: {phase['failures'][:3]}")
+        if phase["worker_restarts"]:
+            problems.append(f"{tag}: {phase['worker_restarts']} worker restart(s) "
+                            f"under healthy load")
+        if not (phase["shutdown"].get("stopping") and phase["shutdown"].get("drained")):
+            problems.append(f"{tag}: unclean drain: {phase['shutdown']}")
+        if phase["exit_code"] != 0:
+            problems.append(f"{tag}: daemon exit code {phase['exit_code']}")
+        if phase["requests"] < args.clients * 2:
+            problems.append(f"{tag}: implausibly few requests ({phase['requests']})")
+    if args.assert_floor and ratio < args.floor:
+        problems.append(
+            f"throughput ratio {ratio:.2f}x below the {args.floor}x floor"
+        )
+
+    for problem in problems:
+        print(f"soak: FAIL: {problem}", flush=True)
+    if not problems:
+        print("soak: all invariants held", flush=True)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -134,6 +134,25 @@ class TydiServerError(TydiError):
     stage = "server"
 
 
+class TydiDrainingError(TydiServerError):
+    """Raised when a request reaches a compile service that is draining for
+    shutdown: in-flight jobs finish, but no new work is accepted.  Clients
+    see the concrete type name in the error envelope (``type:
+    "TydiDrainingError"``), so retry-against-a-replica logic can branch on
+    it without string-matching."""
+
+    stage = "server"
+
+
+class TydiBackpressureError(TydiServerError):
+    """Raised when a compile worker's bounded job queue is full: the caller
+    should back off and retry.  Structured (``type:
+    "TydiBackpressureError"``) for the same reason as
+    :class:`TydiDrainingError` -- overload handling must be branchable."""
+
+    stage = "server"
+
+
 @dataclass(frozen=True)
 class Diagnostic:
     """A non-fatal message produced by a pipeline stage.

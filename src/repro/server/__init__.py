@@ -1,30 +1,40 @@
 """``repro.server``: the async compile service over one shared Workspace.
 
 The long-lived daemon face of the toolchain: one
-:class:`~repro.server.service.CompileService` wraps one
-:class:`~repro.workspace.Workspace` (so every cache tier built by the
-pipeline -- whole-result, per-file parse, evaluate snapshots, per-backend
-units -- becomes shared warm memory serving many clients), an asyncio
-transport (:class:`~repro.server.transport.TydiServer`) speaks
+:class:`~repro.server.service.CompileService` wraps either one
+:class:`~repro.workspace.Workspace` (the ``workers=0`` in-process thread
+path) or a :class:`~repro.server.pool.WorkerPool` of forked worker
+processes with designs sharded across them by stable name hash
+(``workers=N``); an asyncio transport
+(:class:`~repro.server.transport.TydiServer`) speaks pipelined
 newline-delimited JSON over TCP plus a minimal HTTP/1.1 POST endpoint, and
 :class:`~repro.server.client.CompileClient` is the synchronous client the
 ``tydi-serve request`` CLI and the test suites drive it with.
 
-See ``docs/server.md`` for the protocol reference.
+See ``docs/server.md`` for the protocol reference and the worker-pool
+architecture.
 """
 
 from repro.server.client import CompileClient, http_post
+from repro.server.metrics import LatencyHistogram, MethodMetrics
+from repro.server.pool import POOLED_METHODS, WorkerPool, shard_for
 from repro.server.protocol import PROTOCOL_VERSION, RemoteCompileError
 from repro.server.service import CompileService
-from repro.server.transport import ServerThread, TydiServer, serve
+from repro.server.transport import MAX_PIPELINE_REQUESTS, ServerThread, TydiServer, serve
 
 __all__ = [
     "CompileClient",
     "CompileService",
+    "LatencyHistogram",
+    "MAX_PIPELINE_REQUESTS",
+    "MethodMetrics",
+    "POOLED_METHODS",
     "PROTOCOL_VERSION",
     "RemoteCompileError",
     "ServerThread",
     "TydiServer",
+    "WorkerPool",
     "http_post",
     "serve",
+    "shard_for",
 ]

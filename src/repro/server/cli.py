@@ -50,6 +50,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="compile thread-pool width (default: CPU count, capped at 8)",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fork N compile worker processes and shard designs across them "
+        "by stable name hash (0, the default: compile in-process on the "
+        "--jobs thread pool)",
+    )
+    serve.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -136,7 +145,10 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     try:
         service = CompileService(
-            jobs=args.jobs, cache_dir=args.cache_dir, max_cache_mb=args.max_cache_mb
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            max_cache_mb=args.max_cache_mb,
+            workers=args.workers,
         )
     except (TydiError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -144,7 +156,8 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     def announce(server) -> None:
         host, port = server.address
-        print(f"tydi-serve: listening on {host}:{port} (jobs={service.jobs})", flush=True)
+        mode = f"workers={args.workers}" if args.workers else f"jobs={service.jobs}"
+        print(f"tydi-serve: listening on {host}:{port} ({mode})", flush=True)
 
     async def main() -> None:
         loop = asyncio.get_running_loop()

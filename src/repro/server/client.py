@@ -18,6 +18,10 @@ failures exactly as in-process ones do::
 One client instance serves one thread (requests are strictly
 request/response on the shared socket); concurrent callers each open
 their own -- connections are cheap and the server multiplexes them.
+:meth:`CompileClient.request_batch` is the pipelined exception: it writes
+a whole batch of request lines before reading any response, letting the
+server overlap them (responses may return out of order; the echoed ``id``
+re-pairs them), and returns the envelopes in request order.
 
 :func:`http_post` is the one-shot HTTP sibling used for interop tests and
 quick probes (``curl`` works too).
@@ -154,6 +158,68 @@ class CompileClient:
                 f"response id {envelope.get('id')!r} does not match request {request_id}"
             )
         return envelope if isinstance(envelope, dict) else {"ok": False, "error": {}}
+
+    def request_batch(
+        self, requests: "list[tuple[str, Mapping[str, Any]]]"
+    ) -> list[dict[str, Any]]:
+        """Pipeline a batch of requests on this connection.
+
+        All request lines are written before any response is read, so the
+        server works on them concurrently (a multi-worker server spreads
+        them across shards).  Responses arrive in *completion* order; the
+        echoed ``id`` re-pairs them, and the returned envelopes are in
+        the original request order.  No envelope is unwrapped -- callers
+        inspect ``ok`` per entry, since a batch can mix successes and
+        failures.
+        """
+        self.connect()
+        ids: list[int] = []
+        lines: list[bytes] = []
+        for method, params in requests:
+            self._next_id += 1
+            message: dict[str, Any] = {"id": self._next_id, "method": method}
+            if params:
+                message["params"] = dict(params)
+            payload = json.dumps(message, separators=(",", ":")).encode() + b"\n"
+            if len(payload) > MAX_MESSAGE_BYTES:
+                raise TydiServerError(
+                    f"request of {len(payload)} bytes exceeds the protocol bound"
+                )
+            ids.append(self._next_id)
+            lines.append(payload)
+        if not ids:
+            return []
+        by_id: dict[Any, dict[str, Any]] = {}
+        try:
+            self._file.write(b"".join(lines))
+            self._file.flush()
+            for _ in ids:
+                line = self._file.readline(MAX_MESSAGE_BYTES)
+                if not line:
+                    raise TydiServerError(
+                        f"server at {self.host}:{self.port} closed the connection "
+                        f"with {len(ids) - len(by_id)} batch response(s) outstanding"
+                    )
+                try:
+                    envelope = json.loads(line)
+                except ValueError as exc:
+                    raise TydiServerError(
+                        f"unreadable response from server: {exc}"
+                    ) from exc
+                if not isinstance(envelope, dict):
+                    raise TydiServerError("batch response line is not a JSON object")
+                by_id[envelope.get("id")] = envelope
+        except (OSError, TydiServerError):
+            self.close()
+            raise
+        missing = [request_id for request_id in ids if request_id not in by_id]
+        if missing:
+            self.close()
+            raise TydiServerError(
+                f"batch responses missing for request id(s) {missing} "
+                f"(got ids {sorted(k for k in by_id if k is not None)!r})"
+            )
+        return [by_id[request_id] for request_id in ids]
 
     # -- convenience methods (one per service method) --------------------------
 

@@ -1,32 +1,38 @@
-"""The transport-agnostic compile service: JSON requests onto one Workspace.
+"""The transport-agnostic compile service: JSON requests onto warm compile state.
 
-:class:`CompileService` is the asyncio core of the compile daemon.  It owns
-exactly one :class:`~repro.workspace.Workspace` -- the shared warm memory
-every client benefits from: the whole-result cache, the per-stage parse /
-evaluate / backend tiers and the per-design memos all live in that single
-session, so a design one client compiled is a cache hit for every other
-client (and for the next `tydi-serve` run, when the workspace is built over
-a ``cache_dir``).
+:class:`CompileService` is the core of the compile daemon.  It has two
+execution modes behind one request surface:
 
-Concurrency model
------------------
+* ``workers=0`` (default): one shared :class:`~repro.workspace.Workspace`
+  -- the whole-result cache, the per-stage parse / evaluate / backend
+  tiers and the per-design memos all live in one session -- with every
+  workspace-touching request running in a bounded
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  Inside the pool the
+  workspace's per-design locks do the scheduling: different designs
+  compile in parallel (up to ``jobs`` threads, GIL permitting), same-
+  design requests coalesce on the design lock.
+* ``workers=N`` (N >= 1): a **multi-process**
+  :class:`~repro.server.pool.WorkerPool` -- N forked workers, each owning
+  the shard of designs that hashes to it, so pure-Python compile work
+  escapes the GIL and each worker's in-memory caches stay hot for its
+  shard.  Design-addressed methods route to the owning worker; ``ping`` /
+  ``stats`` / ``list_backends`` are answered by the parent, with ``stats``
+  aggregating per-worker counters, queue depths and restart totals.
 
-Every workspace-touching request runs in a bounded
-:class:`~concurrent.futures.ThreadPoolExecutor` via
-``loop.run_in_executor`` -- the event loop itself never blocks, so slow
-compiles never stall connection handling or quick requests.  Inside the
-pool, the workspace's per-design locks do the scheduling: requests for
-*different* designs compile fully in parallel (up to ``jobs`` pool
-threads), while concurrent requests for the *same* design coalesce on its
-lock -- the first computes, the rest are served the memo the moment the
-lock frees.  ``jobs`` therefore bounds compile parallelism exactly like
-``tydi-compile --jobs`` bounds the batch driver.
+Both modes share the drain lifecycle: a ``shutdown`` request marks the
+service *draining* (new work is rejected with a structured
+:class:`~repro.errors.TydiDrainingError` envelope), waits for every
+in-flight request to complete -- so no response is ever dropped by the
+transport winding down -- then drains the worker pool (if any) and only
+then signals the transport to stop.
 
 Requests and responses are plain dicts in the shape documented by
 :mod:`repro.server.protocol`; transports only frame and shuttle them.
 Failures never escape :meth:`handle` -- every exception becomes a
 structured error envelope carrying the :class:`~repro.errors.TydiError`
-stage and rendering.
+stage and rendering.  Per-method latency histograms
+(:mod:`repro.server.metrics`) are recorded around the full dispatch,
+queueing included, and surfaced by ``stats``.
 """
 
 from __future__ import annotations
@@ -34,10 +40,14 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Mapping, Optional
 
+from repro.errors import TydiDrainingError
 from repro.server import protocol
+from repro.server.metrics import MethodMetrics
+from repro.server.pool import POOLED_METHODS, WorkerPool
 from repro.workspace import Workspace
 
 
@@ -47,17 +57,27 @@ def default_jobs() -> int:
 
 
 class CompileService:
-    """Maps JSON requests onto one shared :class:`~repro.workspace.Workspace`.
+    """Maps JSON requests onto warm compile state (threaded or multi-process).
 
     Parameters
     ----------
     workspace:
-        The session to serve.  Omit it to have the service build one from
-        ``cache_dir`` / ``max_cache_mb`` / ``options`` (the same trio
-        ``tydi-compile`` exposes), so a served session and a CLI session
-        share on-disk artefacts.
+        The session to serve (``workers=0`` only).  Omit it to have the
+        service build one from ``cache_dir`` / ``max_cache_mb`` /
+        ``options`` (the same trio ``tydi-compile`` exposes), so a served
+        session and a CLI session share on-disk artefacts.
     jobs:
         Width of the compile thread pool (default: CPU count, capped at 8).
+    workers:
+        Forked compile worker processes.  ``0`` (default) keeps the
+        in-process thread path; ``N >= 1`` builds a
+        :class:`~repro.server.pool.WorkerPool` with design sharding --
+        ``workspace=`` must then be omitted (each worker owns its own).
+    drain_timeout:
+        Upper bound on waiting for in-flight requests during shutdown.
+    backlog / restart_budget:
+        Pool tuning: bounded per-worker queue depth, and crash respawns
+        allowed per worker (see :class:`~repro.server.pool.WorkerPool`).
     """
 
     def __init__(
@@ -65,37 +85,69 @@ class CompileService:
         workspace: Optional[Workspace] = None,
         *,
         jobs: Optional[int] = None,
+        workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         max_cache_mb: Optional[float] = None,
         options: Optional[Mapping[str, object]] = None,
+        drain_timeout: float = 30.0,
+        backlog: int = 64,
+        restart_budget: int = 3,
     ) -> None:
-        if workspace is None:
-            workspace = Workspace(
-                cache_dir=cache_dir, max_cache_mb=max_cache_mb, options=options
+        self.workers = int(workers) if workers else 0
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.pool: Optional[WorkerPool] = None
+        if self.workers:
+            if workspace is not None:
+                raise ValueError(
+                    "workers >= 1 gives every worker its own workspace; "
+                    "pass cache_dir=/options= instead of workspace="
+                )
+            self.pool = WorkerPool(
+                self.workers,
+                cache_dir=cache_dir,
+                max_cache_mb=max_cache_mb,
+                options=options,
+                backlog=backlog,
+                restart_budget=restart_budget,
             )
-        elif cache_dir is not None or max_cache_mb is not None:
-            raise ValueError(
-                "pass either an existing workspace= or cache_dir=/max_cache_mb=, not both"
-            )
-        self.workspace = workspace
+            self.workspace = None
+        else:
+            if workspace is None:
+                workspace = Workspace(
+                    cache_dir=cache_dir, max_cache_mb=max_cache_mb, options=options
+                )
+            elif cache_dir is not None or max_cache_mb is not None:
+                raise ValueError(
+                    "pass either an existing workspace= or cache_dir=/max_cache_mb=, not both"
+                )
+            self.workspace = workspace
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.drain_timeout = drain_timeout
         self._executor = ThreadPoolExecutor(
             max_workers=self.jobs, thread_name_prefix="tydi-serve"
         )
-        #: Set once a ``shutdown`` request was handled; transports watch it
+        #: Set once shutdown has fully drained; transports watch it
         #: (thread-safe: the CLI's signal handler may also set it).
         self.shutdown_requested = threading.Event()
+        #: Set the moment a shutdown request is parsed: new work is
+        #: rejected while in-flight requests finish.
+        self.draining = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._drain_result: Optional[bool] = None
+        self.metrics = MethodMetrics(tuple(self._METHODS) + ("<unknown>",))
         self._counters_lock = threading.Lock()
         self._requests = 0
         self._errors = 0
         self._in_flight = 0
         self._max_in_flight = 0
+        self._shutdowns_in_flight = 0
         self._method_counts: dict[str, int] = {}
         self._closed = False
 
-    # -- the request entry point ----------------------------------------------
+    # -- the request entry points ----------------------------------------------
 
     async def handle(self, message: Any) -> dict[str, Any]:
         """One decoded request document in, one response envelope out.
@@ -103,18 +155,48 @@ class CompileService:
         Never raises: malformed envelopes, unknown methods, bad parameters
         and compile failures all come back as error envelopes.
         """
+        start = time.perf_counter()
         try:
             request_id, method, params = protocol.parse_request(message)
         except Exception as exc:
             self._count(None, ok=False)
+            self.metrics.record(None, time.perf_counter() - start, ok=False)
             return protocol.error_envelope(protocol.recover_request_id(message), exc)
-        self._enter_request()
+        envelope = await self._handle_parsed(request_id, method, params)
+        ok = bool(envelope.get("ok"))
+        self._count(method, ok=ok)
+        self.metrics.record(method, time.perf_counter() - start, ok=ok)
+        return envelope
+
+    async def _handle_parsed(
+        self, request_id: Any, method: str, params: dict[str, Any]
+    ) -> dict[str, Any]:
+        handler = self._METHODS.get(method)
+        if handler is None:
+            return protocol.error_envelope(
+                request_id, protocol.unknown_method_error(method, self.methods())
+            )
         try:
-            handler = self._METHODS.get(method)
-            if handler is None:
-                raise protocol.unknown_method_error(method, self.methods())
-            spec_params, in_executor = self._SIGNATURES[method]
-            protocol.unknown_params_check(params, spec_params, method)
+            protocol.unknown_params_check(params, self._SIGNATURES[method][0], method)
+        except Exception as exc:
+            return protocol.error_envelope(request_id, exc)
+        if method == "shutdown":
+            return await self._handle_shutdown(request_id)
+        if self.draining.is_set() and method in self._DRAIN_REJECTED:
+            return protocol.error_envelope(
+                request_id,
+                TydiDrainingError(
+                    f"service is draining for shutdown; {method!r} rejected"
+                ),
+            )
+        self._enter_request(method)
+        try:
+            if self.pool is not None and method in POOLED_METHODS:
+                # The worker computes the full envelope (same dispatch code
+                # as in-process serving) and already stamped the id.
+                future = self.pool.submit(method, params, request_id)
+                return await asyncio.wrap_future(future)
+            in_executor = self._SIGNATURES[method][1]
             if in_executor:
                 loop = asyncio.get_running_loop()
                 result = await loop.run_in_executor(
@@ -123,16 +205,40 @@ class CompileService:
             else:
                 result = handler(self, params)
         except Exception as exc:
-            self._count(method, ok=False)
             return protocol.error_envelope(request_id, exc)
         finally:
-            self._exit_request()
-        self._count(method, ok=True)
+            self._exit_request(method)
         return protocol.success_envelope(request_id, result)
 
     def handle_sync(self, message: Any) -> dict[str, Any]:
         """Blocking :meth:`handle` for transports/tests without a loop."""
         return asyncio.run(self.handle(message))
+
+    def dispatch(self, message: Any) -> dict[str, Any]:
+        """Synchronous inline :meth:`handle`: no executor, no pool routing.
+
+        The execution primitive of the pool worker loop
+        (:mod:`repro.server.worker`) -- one request document in, one
+        envelope out, computed entirely on the calling thread, through the
+        exact validation and handler code the async path uses.  Never
+        raises.
+        """
+        try:
+            request_id, method, params = protocol.parse_request(message)
+        except Exception as exc:
+            self._count(None, ok=False)
+            return protocol.error_envelope(protocol.recover_request_id(message), exc)
+        handler = self._METHODS.get(method)
+        try:
+            if handler is None:
+                raise protocol.unknown_method_error(method, self.methods())
+            protocol.unknown_params_check(params, self._SIGNATURES[method][0], method)
+            result = handler(self, params)
+        except Exception as exc:
+            self._count(method, ok=False)
+            return protocol.error_envelope(request_id, exc)
+        self._count(method, ok=True)
+        return protocol.success_envelope(request_id, result)
 
     @classmethod
     def methods(cls) -> list[str]:
@@ -140,10 +246,65 @@ class CompileService:
         return sorted(cls._METHODS)
 
     def close(self) -> None:
-        """Release the compile pool (idempotent; pending compiles finish)."""
+        """Release workers and the compile pool (idempotent; pending work
+        finishes -- the pool drains gracefully)."""
         if not self._closed:
             self._closed = True
+            if self.pool is not None:
+                self.pool.close()
             self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the drain path --------------------------------------------------------
+
+    async def _handle_shutdown(self, request_id: Any) -> dict[str, Any]:
+        """Drain, then stop: in-flight responses are never dropped.
+
+        Sets :attr:`draining` immediately (new work is rejected), waits --
+        off the event loop, and *not* on a compile-pool thread, so a full
+        compile pool cannot deadlock the drain -- for every other
+        in-flight request to complete, drains the worker pool, and only
+        then sets :attr:`shutdown_requested` for the transport.
+        """
+        self._enter_request("shutdown")
+        try:
+            self.draining.set()
+            loop = asyncio.get_running_loop()
+            drained = await loop.run_in_executor(None, self._drain_blocking)
+        finally:
+            self._exit_request("shutdown")
+        return protocol.success_envelope(
+            request_id, {"stopping": True, "drained": bool(drained)}
+        )
+
+    def _drain_blocking(self) -> bool:
+        with self._drain_lock:  # concurrent shutdowns share one drain
+            if self._drain_result is None:
+                deadline = time.monotonic() + self.drain_timeout
+                drained = self._wait_for_idle(deadline)
+                if self.pool is not None:
+                    remaining = max(0.1, deadline - time.monotonic())
+                    drained = self.pool.drain(timeout=remaining) and drained
+                self._drain_result = drained
+            result = self._drain_result
+        self.shutdown_requested.set()
+        return result
+
+    def _wait_for_idle(self, deadline: float) -> bool:
+        """Until every non-shutdown in-flight request has completed."""
+        while True:
+            with self._counters_lock:
+                busy = self._in_flight - self._shutdowns_in_flight
+            if busy <= 0:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
 
     # -- method handlers -------------------------------------------------------
     # Each takes the validated params dict and returns the JSON-ready result
@@ -158,6 +319,7 @@ class CompileService:
             "version": repro.__version__,
             "methods": self.methods(),
             "jobs": self.jobs,
+            "workers": self.workers,
         }
 
     def _open_design(self, params: Mapping[str, Any]) -> dict[str, Any]:
@@ -238,6 +400,8 @@ class CompileService:
         }
 
     def _get_report(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        if self.pool is not None:
+            return self.pool.report()
         return dict(self.workspace.report())
 
     def _list_backends(self, params: Mapping[str, Any]) -> dict[str, Any]:
@@ -259,12 +423,27 @@ class CompileService:
                 "max_in_flight": self._max_in_flight,
                 "methods": dict(sorted(self._method_counts.items())),
                 "jobs": self.jobs,
+                "workers": self.workers,
+                "draining": self.draining.is_set(),
+            }
+        server["latency"] = self.metrics.as_dict()
+        if self.pool is not None:
+            pool_stats = self.pool.stats()
+            return {
+                "server": server,
+                "pool": pool_stats,
+                "workspace": _aggregate_worker_workspaces(pool_stats),
             }
         return {"server": server, "workspace": self.workspace.stats()}
 
     def _shutdown(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        # The inline/dispatch path (pool workers never receive shutdown;
+        # the async path intercepts the method and drains instead).
+        self.draining.set()
+        if self.pool is not None:  # pragma: no cover - defensive
+            self.pool.drain(timeout=self.drain_timeout)
         self.shutdown_requested.set()
-        return {"stopping": True}
+        return {"stopping": True, "drained": True}
 
     # -- accounting ------------------------------------------------------------
 
@@ -280,14 +459,18 @@ class CompileService:
                 key = method if method in self._METHODS else "<unknown>"
                 self._method_counts[key] = self._method_counts.get(key, 0) + 1
 
-    def _enter_request(self) -> None:
+    def _enter_request(self, method: Optional[str] = None) -> None:
         with self._counters_lock:
             self._in_flight += 1
             self._max_in_flight = max(self._max_in_flight, self._in_flight)
+            if method == "shutdown":
+                self._shutdowns_in_flight += 1
 
-    def _exit_request(self) -> None:
+    def _exit_request(self, method: Optional[str] = None) -> None:
         with self._counters_lock:
             self._in_flight -= 1
+            if method == "shutdown":
+                self._shutdowns_in_flight -= 1
 
     #: method name -> handler.  The parallel signature table records the
     #: allowed parameter names and whether the handler must run on a
@@ -321,4 +504,38 @@ class CompileService:
         "list_backends": ((), False),
         "stats": ((), True),
         "shutdown": ((), False),
+    }
+
+    #: Methods rejected once draining: everything that would start new
+    #: compile work or mutate design state.  ``ping`` / ``stats`` /
+    #: ``list_backends`` stay up so operators can observe the drain.
+    _DRAIN_REJECTED = POOLED_METHODS | {"get_report"}
+
+
+def _aggregate_worker_workspaces(pool_stats: Mapping[str, Any]) -> dict[str, Any]:
+    """Sum per-worker workspace stats into one workspace-shaped summary.
+
+    Lets pool-mode ``stats`` consumers keep reading
+    ``stats["workspace"]["designs"]["fresh"]`` etc. exactly as in
+    single-process mode; workers whose stats could not be collected are
+    counted in ``workers_missing``.
+    """
+    designs = {"total": 0, "fresh": 0, "stale": 0, "error": 0}
+    stage_totals: dict[str, int] = {}
+    missing = 0
+    for entry in pool_stats.get("per_worker", ()):
+        workspace = entry.get("workspace")
+        if not isinstance(workspace, Mapping):
+            missing += 1
+            continue
+        for key, value in (workspace.get("designs") or {}).items():
+            if key in designs and isinstance(value, int):
+                designs[key] += value
+        for key, value in (workspace.get("stage_cache") or {}).items():
+            if isinstance(value, int):
+                stage_totals[key] = stage_totals.get(key, 0) + value
+    return {
+        "designs": designs,
+        "stage_cache": stage_totals or None,
+        "workers_missing": missing,
     }

@@ -4,9 +4,15 @@ One listening socket speaks both protocols -- the first line of a
 connection decides:
 
 * **NDJSON** (the native protocol): every line is one JSON request, every
-  response one JSON line, many requests per connection, responses in
-  request order.  This is what :class:`repro.server.client.CompileClient`
-  speaks.
+  response one JSON line, many requests per connection.  The connection
+  is **pipelined**: requests are handled concurrently and responses may
+  return *out of request order* -- the echoed ``id`` pairs them -- so one
+  slow cold compile never blocks the faster requests behind it.  A
+  strictly request/response client (one request in flight, like
+  :meth:`repro.server.client.CompileClient.request`) still observes
+  perfectly ordered responses.  At most
+  :data:`MAX_PIPELINE_REQUESTS` requests are in flight per connection;
+  beyond that the server stops reading the socket (TCP backpressure).
 * **HTTP/1.1** (the interop escape hatch): a ``POST`` whose body is the
   same JSON request document; the response is the JSON envelope with
   ``Content-Type: application/json``.  One request per connection
@@ -18,10 +24,11 @@ Everything is stdlib ``asyncio`` -- no third-party HTTP framework; the
 HTTP support is deliberately minimal (POST only, no keep-alive, no
 chunked bodies) because the NDJSON protocol is the production path.
 
-Connections are handled concurrently by the event loop; the actual
-compiles run in the service's bounded thread pool
-(:class:`repro.server.service.CompileService`), so a slow compile on one
-connection never stalls another.
+Shutdown is drain-first: the service's ``shutdown`` method completes only
+after every in-flight request finished, so by the time the transport
+winds down, every response has been written.  Idle connections parked in
+a read are woken by an in-loop closing event rather than having their
+sockets yanked mid-write.
 
 :class:`ServerThread` runs the whole stack on a background thread's event
 loop -- the harness the tests, the stress suite and the throughput
@@ -38,6 +45,12 @@ from typing import Any, Optional
 
 from repro.server.protocol import MAX_MESSAGE_BYTES, error_envelope
 from repro.server.service import CompileService
+
+#: In-flight request bound per NDJSON connection: past this the server
+#: stops reading the socket, which surfaces to the peer as TCP
+#: backpressure (the pool's bounded queues provide the structured-error
+#: form of backpressure at the next layer down).
+MAX_PIPELINE_REQUESTS = 64
 
 
 def _encode(envelope: dict[str, Any]) -> bytes:
@@ -67,9 +80,8 @@ class TydiServer:
 
     ``port=0`` binds an ephemeral port; :attr:`address` reports the real
     one after :meth:`start`.  The server stops when the service's
-    ``shutdown`` method is requested by any client (or :meth:`stop` is
-    called locally); in-flight requests complete and open connections are
-    closed.
+    ``shutdown`` method has drained (or :meth:`stop` is called locally);
+    in-flight responses are written before their connections close.
     """
 
     def __init__(
@@ -84,7 +96,9 @@ class TydiServer:
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop: Optional[asyncio.Event] = None
+        self._closing: Optional[asyncio.Event] = None
         self._connections: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set["asyncio.Task[None]"] = set()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -96,6 +110,7 @@ class TydiServer:
 
     async def start(self) -> tuple[str, int]:
         self._stop = asyncio.Event()
+        self._closing = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.host,
@@ -109,12 +124,16 @@ class TydiServer:
         """Block until a shutdown is requested, then close down cleanly."""
         assert self._stop is not None, "call start() first"
         await self._stop.wait()
+        if self._closing is not None:
+            self._closing.set()  # wake connections parked in a read
         server, self._server = self._server, None
         if server is not None:
             server.close()
-            # Kick idle connections loose: on Python 3.12+ wait_closed()
-            # waits for every connection handler, and a client parked in
-            # readline() would otherwise hold the shutdown hostage.
+            # Give connection handlers time to flush in-flight responses
+            # (the drain path means they are already computed); only then
+            # force-close whatever is left.
+            if self._conn_tasks:
+                await asyncio.wait(set(self._conn_tasks), timeout=10.0)
             for writer in list(self._connections):
                 with contextlib.suppress(Exception):
                     writer.close()
@@ -124,6 +143,8 @@ class TydiServer:
     def stop(self) -> None:
         """Request shutdown from inside the loop (idempotent)."""
         self.service.shutdown_requested.set()
+        if self._closing is not None:
+            self._closing.set()
         if self._stop is not None:
             self._stop.set()
 
@@ -132,6 +153,9 @@ class TydiServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         self._connections.add(writer)
         try:
             first = await reader.readline()
@@ -150,6 +174,8 @@ class TydiServer:
             pass  # a vanished or misframing peer is its own problem
         finally:
             self._connections.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
@@ -162,16 +188,77 @@ class TydiServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
-        line = first_line
-        while line:
-            stripped = line.strip()
-            if stripped:
-                envelope = await self._handle_raw(stripped)
+        """The pipelined request loop of one NDJSON connection.
+
+        Every request line becomes its own task; a per-connection write
+        lock keeps response frames whole while letting them interleave in
+        completion order.  The read loop races the next line against the
+        server's closing event, so an idle connection never holds
+        shutdown hostage and a closing connection still finishes writing
+        what it already accepted.
+        """
+        assert self._closing is not None
+        write_lock = asyncio.Lock()
+        slots = asyncio.Semaphore(MAX_PIPELINE_REQUESTS)
+        tasks: set["asyncio.Task[None]"] = set()
+        line: Optional[bytes] = first_line
+        error: Optional[BaseException] = None
+        try:
+            while line:
+                stripped = line.strip()
+                if stripped:
+                    await slots.acquire()
+                    response_task = asyncio.create_task(
+                        self._respond_one(stripped, writer, write_lock, slots)
+                    )
+                    tasks.add(response_task)
+                    response_task.add_done_callback(tasks.discard)
+                if self._closing.is_set() or self.service.shutdown_requested.is_set():
+                    break
+                line = await self._read_or_closing(reader)
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError) as exc:
+            error = exc
+        finally:
+            if tasks:  # flush accepted work before the connection dies
+                await asyncio.gather(*tasks, return_exceptions=True)
+        if error is not None:
+            raise error
+
+    async def _read_or_closing(self, reader: asyncio.StreamReader) -> Optional[bytes]:
+        """The next request line, or ``None`` once the server is closing."""
+        assert self._closing is not None
+        read_task = asyncio.create_task(reader.readline())
+        closing_task = asyncio.create_task(self._closing.wait())
+        try:
+            await asyncio.wait(
+                {read_task, closing_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            for pending in (read_task, closing_task):
+                if not pending.done():
+                    pending.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await pending
+        if read_task.cancelled():
+            return None
+        return read_task.result()  # may raise: handled by the caller
+
+    async def _respond_one(
+        self,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        slots: asyncio.Semaphore,
+    ) -> None:
+        try:
+            envelope = await self._handle_raw(payload)
+            async with write_lock:
                 writer.write(_encode(envelope))
                 await writer.drain()
-                if self.service.shutdown_requested.is_set():
-                    break
-            line = await reader.readline()
+        except (ConnectionError, RuntimeError):
+            pass  # the peer (or the transport) went away mid-response
+        finally:
+            slots.release()
 
     async def _handle_raw(self, payload: bytes) -> dict[str, Any]:
         try:

@@ -178,6 +178,11 @@ class Workspace:
     executor / jobs:
         Defaults for :meth:`compile_all` (``"serial"`` / ``"thread"`` /
         ``"process"``, and the worker count).
+    label:
+        Optional human-readable name for this session, echoed by
+        :meth:`stats` and :meth:`report` when set.  The worker pool labels
+        each worker's workspace (``worker-0``, ``worker-1``, ...) so
+        aggregated stats stay attributable to their shard.
     """
 
     def __init__(
@@ -189,6 +194,7 @@ class Workspace:
         options: CompileOptions | Mapping[str, object] | None = None,
         executor: str = "thread",
         jobs: Optional[int] = None,
+        label: Optional[str] = None,
     ) -> None:
         from repro.pipeline.batch import EXECUTORS
 
@@ -213,6 +219,7 @@ class Workspace:
         self.default_options = CompileOptions.coerce(options)
         self.executor = executor
         self.jobs = jobs
+        self.label = label
         self._designs: dict[str, _Design] = {}
         self._lock = threading.Lock()
 
@@ -458,11 +465,14 @@ class Workspace:
                     "targets": list(entry.options.targets),
                 }
         cache_stats, stage_stats = self._cache_snapshots()
-        return {
+        snapshot: dict[str, object] = {
             "designs": designs,
             "cache": cache_stats,
             "stage_cache": stage_stats,
         }
+        if self.label is not None:
+            snapshot["label"] = self.label
+        return snapshot
 
     def stats(self) -> dict[str, object]:
         """A JSON-ready counters snapshot: design freshness + cache tiers.
@@ -488,11 +498,14 @@ class Workspace:
                 else:
                     counts["fresh"] += 1
         cache_stats, stage_stats = self._cache_snapshots()
-        return {
+        snapshot: dict[str, object] = {
             "designs": counts,
             "cache": cache_stats,
             "stage_cache": stage_stats,
         }
+        if self.label is not None:
+            snapshot["label"] = self.label
+        return snapshot
 
     def _cache_snapshots(self) -> tuple[Optional[dict], Optional[dict]]:
         """Locked counter snapshots of the cache stack (each may be None).
