@@ -37,6 +37,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "server-throughput.json": ("speedup",),
     "workspace-editloop.json": ("speedup",),
     "pool-throughput.json": ("speedup",),
+    "remote-cache.json": ("speedup",),
 }
 
 

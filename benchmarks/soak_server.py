@@ -12,13 +12,17 @@ The CI replacement for the old single-request server smoke job.  It:
    ``get_diagnostics`` / ``get_outputs`` mixed in),
 3. then runs the same load against a ``--baseline-workers`` daemon and
    compares aggregate warm request throughput,
-4. asserts the ops invariants: **zero worker restarts** under healthy
+4. then (unless ``--no-remote``) runs a third phase against a daemon
+   wired to a real ``tydi-cachesvc`` subprocess via ``--remote-cache``,
+   and **kills the cache server halfway through the load** -- proving the
+   remote L2 tier degrades to local-only without a single failed request,
+5. asserts the ops invariants: **zero worker restarts** under healthy
    load, **no protocol-level failures** (compile errors from fuzzed edits
-   are expected and counted separately), a **clean drain** on shutdown
-   (``drained: true`` and exit code 0), and -- with ``--assert-floor`` --
-   the multi-worker daemon serving >= ``--floor`` x the baseline's
-   requests/s,
-5. writes one JSON artifact (``--output``) that CI uploads.
+   are expected and counted separately) *including through the mid-soak
+   cache kill*, a **clean drain** on shutdown (``drained: true`` and exit
+   code 0), and -- with ``--assert-floor`` -- the multi-worker daemon
+   serving >= ``--floor`` x the baseline's requests/s,
+6. writes one JSON artifact (``--output``) that CI uploads.
 
 ``--assert-floor`` is passed only in CI (4-vCPU runners); locally on small
 machines the soak still proves correctness and the clean drain, and the
@@ -54,35 +58,44 @@ from repro.testing import build_random_design, mutate_design  # noqa: E402
 _LISTENING = re.compile(r"listening on ([\d.]+):(\d+)")
 
 
+def _spawn_announced(argv: list[str]) -> tuple[subprocess.Popen, str, int]:
+    """Spawn a subprocess and parse its ``listening on host:port`` line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 60
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = _LISTENING.search(line)
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    proc.kill()
+    raise RuntimeError(
+        f"{argv[2]}: subprocess did not announce a port (exit={proc.poll()})"
+    )
+
+
 class Daemon:
     """One ``tydi-serve`` subprocess bound to an ephemeral port."""
 
-    def __init__(self, workers: int) -> None:
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
-        self.proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro.server.cli", "serve",
-                "--port", "0", "--workers", str(workers),
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-            env=env,
-            cwd=str(REPO_ROOT),
-        )
-        self.port: int | None = None
-        deadline = time.monotonic() + 60
-        assert self.proc.stdout is not None
-        while time.monotonic() < deadline:
-            line = self.proc.stdout.readline()
-            if not line:
-                break
-            match = _LISTENING.search(line)
-            if match:
-                self.host, self.port = match.group(1), int(match.group(2))
-                return
-        raise RuntimeError(f"daemon did not announce a port (exit={self.proc.poll()})")
+    def __init__(self, workers: int, *, remote_cache: str | None = None) -> None:
+        argv = [
+            sys.executable, "-m", "repro.server.cli", "serve",
+            "--port", "0", "--workers", str(workers),
+        ]
+        if remote_cache:
+            argv += ["--remote-cache", remote_cache]
+        self.proc, self.host, self.port = _spawn_announced(argv)
 
     def shutdown(self) -> tuple[dict, int]:
         """Request a drain-shutdown; returns (reply, exit_code)."""
@@ -90,6 +103,29 @@ class Daemon:
             reply = client.shutdown()
         exit_code = self.proc.wait(timeout=60)
         return reply, exit_code
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+class CacheDaemon:
+    """One ``tydi-cachesvc`` subprocess bound to an ephemeral port.
+
+    The remote-phase victim: the soak SIGKILLs it halfway through the
+    load to prove every worker degrades to local-only caching instead of
+    failing requests.
+    """
+
+    def __init__(self) -> None:
+        self.proc, self.host, self.port = _spawn_announced(
+            [sys.executable, "-m", "repro.server.cachesvc", "--port", "0"]
+        )
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
 
     def kill(self) -> None:
         if self.proc.poll() is None:
@@ -188,9 +224,16 @@ def run_load(
     }
 
 
-def soak(workers: int, *, clients: int, duration: float, seed: int) -> dict:
+def soak(
+    workers: int,
+    *,
+    clients: int,
+    duration: float,
+    seed: int,
+    remote_cache: str | None = None,
+) -> dict:
     """One full soak phase: spawn daemon, load it, collect stats, drain."""
-    daemon = Daemon(workers)
+    daemon = Daemon(workers, remote_cache=remote_cache)
     try:
         load = run_load(daemon.host, daemon.port, clients=clients,
                         duration=duration, seed=seed)
@@ -201,7 +244,7 @@ def soak(workers: int, *, clients: int, duration: float, seed: int) -> dict:
         daemon.kill()
         raise
     pool_stats = server_stats.get("pool") or {}
-    return {
+    phase = {
         "workers": workers,
         **load,
         "server_requests": server_stats["server"]["requests"],
@@ -209,6 +252,51 @@ def soak(workers: int, *, clients: int, duration: float, seed: int) -> dict:
         "shutdown": reply,
         "exit_code": exit_code,
     }
+    if remote_cache is not None:
+        phase["remote_cache"] = _aggregate_remote_counters(server_stats)
+    return phase
+
+
+def _aggregate_remote_counters(server_stats: dict) -> dict[str, int]:
+    """Sum the remote-tier client counters across every pool worker."""
+    totals: dict[str, int] = {}
+    pool_stats = server_stats.get("pool") or {}
+    workspaces = [
+        entry.get("workspace")
+        for entry in pool_stats.get("per_worker", ())
+    ] or [server_stats.get("workspace")]
+    for workspace in workspaces:
+        remote = ((workspace or {}).get("cache") or {}).get("remote") or {}
+        for key, value in remote.items():
+            if isinstance(value, int):
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def remote_soak(workers: int, *, clients: int, duration: float, seed: int) -> dict:
+    """The remote-cache phase: soak through a live L2, kill it mid-run.
+
+    Spawns a real ``tydi-cachesvc`` subprocess, points the daemon at it,
+    and SIGKILLs the cache server at half the load duration.  The
+    invariants checked by ``main`` are the same as for the other phases --
+    in particular **zero protocol failures and zero worker restarts**:
+    losing the remote tier mid-compile must degrade to local-only caching,
+    never fail a request.
+    """
+    cache = CacheDaemon()
+    kill_after = duration / 2
+    killer = threading.Timer(kill_after, cache.kill)
+    try:
+        killer.start()
+        phase = soak(workers, clients=clients, duration=duration, seed=seed,
+                     remote_cache=cache.endpoint)
+    finally:
+        killer.cancel()
+        cache.kill()
+    phase["cache_endpoint"] = cache.endpoint
+    phase["cache_killed_after_s"] = round(kill_after, 2)
+    phase["cache_exit_code"] = cache.proc.poll()
+    return phase
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -224,6 +312,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--assert-floor", action="store_true",
                         help="fail when the throughput ratio is below --floor "
                         "(CI only; needs >= --workers CPUs to be meaningful)")
+    parser.add_argument("--no-remote", action="store_true",
+                        help="skip the remote-cache kill phase")
     parser.add_argument("--output", type=pathlib.Path,
                         default=pathlib.Path("benchmark-artifacts/soak.json"))
     args = parser.parse_args(argv)
@@ -240,6 +330,17 @@ def main(argv: list[str] | None = None) -> int:
     print(f"soak: baseline ({args.baseline_workers} worker): "
           f"{baseline['requests']} requests ({baseline['requests_per_s']}/s)",
           flush=True)
+    remote = None
+    if not args.no_remote:
+        remote = remote_soak(args.workers, clients=args.clients,
+                             duration=args.duration, seed=args.seed)
+        counters = remote["remote_cache"]
+        print(f"soak: remote-cache phase (L2 killed at "
+              f"{remote['cache_killed_after_s']:.0f}s): {remote['requests']} "
+              f"requests, {len(remote['failures'])} failures, "
+              f"restarts={remote['worker_restarts']}, remote gets="
+              f"{counters.get('gets', 0)} errors={counters.get('errors', 0)} "
+              f"skips={counters.get('skips', 0)}", flush=True)
 
     ratio = (multi["requests_per_s"] / baseline["requests_per_s"]
              if baseline["requests_per_s"] else float("inf"))
@@ -247,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
         "cpu_count": os.cpu_count(),
         "multi": multi,
         "baseline": baseline,
+        "remote": remote,
         "throughput_ratio": round(ratio, 2),
         "floor": args.floor,
         "floor_asserted": bool(args.assert_floor),
@@ -257,8 +359,19 @@ def main(argv: list[str] | None = None) -> int:
           f"(artifact: {args.output})", flush=True)
 
     problems = []
-    for phase in (multi, baseline):
-        tag = f"{phase['workers']}-worker phase"
+    phases = [(multi, f"{multi['workers']}-worker phase"),
+              (baseline, f"{baseline['workers']}-worker phase")]
+    if remote is not None:
+        phases.append((remote, "remote-cache phase"))
+        counters = remote["remote_cache"]
+        if not counters.get("gets") and not counters.get("puts"):
+            problems.append(
+                "remote-cache phase: workers recorded no remote traffic at "
+                "all (endpoint never wired through?)"
+            )
+        if remote["cache_exit_code"] is None:
+            problems.append("remote-cache phase: cache server outlived its kill")
+    for phase, tag in phases:
         if phase["failures"]:
             problems.append(f"{tag}: protocol failures: {phase['failures'][:3]}")
         if phase["worker_restarts"]:

@@ -134,6 +134,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "to this many megabytes, evicting least-recently-used entries",
     )
     batch.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="HOST:PORT",
+        help="shared remote L2 cache endpoint (a tydi-serve cache daemon); "
+        "consulted after memory and disk miss, with write-behind upload "
+        "(usable with or without --cache-dir)",
+    )
+    batch.add_argument(
         "--json",
         action="store_true",
         dest="json_output",
@@ -210,7 +218,12 @@ def _design_name(path_text: str, taken: set[str]) -> str:
 
 
 def _build_cache(args: argparse.Namespace):
-    """The compilation cache the CLI flags describe (``None`` without one)."""
+    """The compilation cache the CLI flags describe (``None`` without one).
+
+    ``--remote-cache`` alone still gets a cache (memory + remote tiers,
+    no disk): the point of the shared L2 is precisely that a machine
+    without a local artefact store can ride the fleet's warm entries.
+    """
     max_disk_bytes = None
     if args.max_cache_mb is not None:
         if args.max_cache_mb < 0:
@@ -218,11 +231,16 @@ def _build_cache(args: argparse.Namespace):
         if not args.cache_dir:
             raise _CliInputError("--max-cache-mb requires --cache-dir")
         max_disk_bytes = int(args.max_cache_mb * 1024 * 1024)
-    if not args.cache_dir:
+    remote = getattr(args, "remote_cache", None)
+    if not args.cache_dir and not remote:
         return None
     from repro.pipeline import CompilationCache
 
-    return CompilationCache(cache_dir=args.cache_dir, max_disk_bytes=max_disk_bytes)
+    return CompilationCache(
+        cache_dir=args.cache_dir or None,
+        max_disk_bytes=max_disk_bytes,
+        remote=remote,
+    )
 
 
 def _design_options(args: argparse.Namespace, name: str, targets, backend_opts):

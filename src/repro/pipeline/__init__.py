@@ -11,6 +11,11 @@ pure function of its source texts and options.  This package exploits that:
   StageCache`, per-stage sub-caching (per-file parse ASTs + post-evaluate
   snapshots) so a one-file edit of an N-file design re-parses only that
   file and re-runs only evaluate -> sugar -> DRC.
+* :mod:`repro.pipeline.remote` -- :class:`~repro.pipeline.remote.
+  RemoteCacheClient`, the shared remote L2 tier both caches consult after
+  their local misses (lookup order memory -> disk -> remote, write-behind
+  uploads, graceful degradation when the remote dies); the server side is
+  :mod:`repro.server.cachesvc`.
 * :mod:`repro.pipeline.batch` -- :func:`~repro.pipeline.batch.run_jobs`,
   the concurrent job engine (serial / thread / process executors with
   per-design error isolation) that :meth:`repro.workspace.Workspace.
@@ -42,6 +47,7 @@ from repro.pipeline.cache import (
     normalize_sources,
 )
 from repro.pipeline.incremental import IncrementalCompiler, IncrementalReport
+from repro.pipeline.remote import DEFAULT_CACHE_PORT, RemoteCacheClient, parse_endpoint
 from repro.pipeline.stages import StageCache, StageStats, file_fingerprint
 
 __all__ = [
@@ -52,14 +58,17 @@ __all__ = [
     "CompilationCache",
     "CompileJob",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_CACHE_PORT",
     "IncrementalCompiler",
     "IncrementalReport",
     "JobResult",
+    "RemoteCacheClient",
     "STAGE_SCHEMA_VERSION",
     "StageCache",
     "StageStats",
     "file_fingerprint",
     "fingerprint_sources",
     "normalize_sources",
+    "parse_endpoint",
     "run_jobs",
 ]

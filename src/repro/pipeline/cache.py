@@ -33,6 +33,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -55,7 +56,12 @@ CACHE_VERSION = 2
 #: v3: the options normal form gained the ``backend_options`` key
 #: (:class:`repro.lang.compile.CompileOptions`), so every pre-workspace
 #: fingerprint recipe is orphaned wholesale.
-STAGE_SCHEMA_VERSION = 3
+#: v4: option values hash through :func:`canonical_option_repr` instead of
+#: raw ``repr`` (mappings render sorted by key), so semantically identical
+#: options always share one fingerprint -- a prerequisite for keying the
+#: *shared* remote tier, where an order-dependent key would fragment (and
+#: pollute) the whole fleet's cache.
+STAGE_SCHEMA_VERSION = 4
 
 #: Default directory name for the on-disk store.
 DEFAULT_CACHE_DIR = ".tydi-cache"
@@ -64,6 +70,33 @@ DEFAULT_CACHE_DIR = ".tydi-cache"
 # The one normalisation shared with compile_sources, so fingerprints agree
 # no matter which layer computed them (the lang layer owns the definition).
 from repro.lang.compile import CompileOptions, normalize_sources  # noqa: E402
+
+
+def canonical_option_repr(value: object) -> str:
+    """A deterministic rendering of one option value for fingerprinting.
+
+    ``repr`` of a dict depends on key insertion order, so two semantically
+    identical option sets (e.g. ``backend_options`` mappings built in
+    different orders) would fingerprint differently -- a spurious local
+    miss, and a fleet-cache polluter once keys address a shared remote
+    tier.  Mappings therefore render sorted by key (recursively), sets
+    sorted by element rendering; sequences keep their order, which *is*
+    significant.  Everything else falls back to ``repr``.
+    """
+    if isinstance(value, Mapping):
+        items = sorted(
+            (canonical_option_repr(k), canonical_option_repr(v))
+            for k, v in value.items()
+        )
+        return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(sorted(canonical_option_repr(v) for v in value)) + "}"
+    if isinstance(value, tuple):
+        inner = ", ".join(canonical_option_repr(v) for v in value)
+        return "(" + inner + ("," if len(value) == 1 else "") + ")"
+    if isinstance(value, list):
+        return "[" + ", ".join(canonical_option_repr(v) for v in value) + "]"
+    return repr(value)
 
 
 def fingerprint_sources(
@@ -94,7 +127,7 @@ def fingerprint_sources(
         hasher.update(b"\x00opt\x00")
         hasher.update(key.encode())
         hasher.update(b"=")
-        hasher.update(repr(options[key]).encode())
+        hasher.update(canonical_option_repr(options[key]).encode())
     if options.get("include_stdlib", True):
         from repro.stdlib.source import STDLIB_SOURCE
 
@@ -135,7 +168,15 @@ def atomic_pickle_dump(path: Path, obj: object) -> None:
     atomic_write_bytes(path, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
-def evict_lru_files(root: Path, max_bytes: int) -> int:
+#: A ``*.tmp`` file older than this is a leak from a crashed writer
+#: (``atomic_write_bytes`` holds its temp file for milliseconds, not
+#: minutes) and is reclaimed during budget enforcement.
+TMP_SWEEP_AGE_S = 300.0
+
+
+def evict_lru_files(
+    root: Path, max_bytes: int, *, tmp_sweep_age_s: float = TMP_SWEEP_AGE_S
+) -> int:
     """Delete the least-recently-used ``*.pkl`` artefacts under ``root``.
 
     Scans recursively (the per-stage tier lives in a ``stages/``
@@ -143,9 +184,29 @@ def evict_lru_files(root: Path, max_bytes: int) -> int:
     unlinks oldest-mtime-first until the total is within ``max_bytes``.
     Loads refresh mtimes, so mtime order *is* recency order.  Returns the
     number of files deleted; unreadable or already-gone files are skipped.
+
+    ``*.tmp`` files are the write-in-progress side of
+    :func:`atomic_write_bytes`; a writer SIGKILLed between ``mkstemp`` and
+    ``os.replace`` leaks one forever.  Every enforcement pass therefore
+    sweeps tmp files older than ``tmp_sweep_age_s`` (uncounted -- garbage
+    collection, not eviction) and charges the *fresh* ones, which are
+    about to become artefacts, against the byte budget.
     """
     entries: list[tuple[float, int, Path]] = []
     total = 0
+    now = time.time()
+    for path in root.rglob("*.tmp"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        if now - stat.st_mtime >= tmp_sweep_age_s:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            continue
+        total += stat.st_size
     for path in root.rglob("*.pkl"):
         try:
             stat = path.stat()
@@ -231,6 +292,14 @@ class CompilationCache:
         misses through it, so a one-file edit of an N-file design re-parses
         only the edited file.  Set to ``False`` for a PR-1-style
         whole-result-only cache.
+    remote:
+        The shared remote L2 tier: a ``host:port`` endpoint string (a
+        :class:`~repro.pipeline.remote.RemoteCacheClient` is built from
+        it) or an existing client instance, shared with the per-stage
+        sub-cache.  Lookup order is memory -> disk -> remote; remote hits
+        are promoted into the local tiers, stores upload asynchronously
+        (write-behind), and a dead or slow remote degrades to local-only
+        -- it can never fail a compile.
 
     The cache is thread-safe: the batch driver's thread executor shares one
     instance across all workers.
@@ -240,6 +309,7 @@ class CompilationCache:
     cache_dir: Optional[str | Path] = None
     max_disk_bytes: Optional[int] = None
     stage_caching: bool = True
+    remote: Optional[object] = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -249,6 +319,10 @@ class CompilationCache:
             raise ValueError("max_disk_bytes must be >= 0")
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
+        if isinstance(self.remote, str):
+            from repro.pipeline.remote import RemoteCacheClient
+
+            self.remote = RemoteCacheClient.from_url(self.remote)
         self._entries: OrderedDict[str, "CompilationResult"] = OrderedDict()
         self._lock = threading.Lock()
         self.stages = None
@@ -258,6 +332,7 @@ class CompilationCache:
             self.stages = StageCache(
                 cache_dir=self.cache_dir,
                 max_disk_bytes=self.max_disk_bytes,
+                remote=self.remote,
             )
         # Apply the budget to whatever is already on disk: a store that only
         # ever *hits* would otherwise never shrink after a budget decrease.
@@ -277,7 +352,13 @@ class CompilationCache:
     # -- lookup / store -------------------------------------------------------
 
     def get(self, key: str) -> Optional["CompilationResult"]:
-        """Return the cached result for ``key`` or ``None`` on a miss."""
+        """Return the cached result for ``key`` or ``None`` on a miss.
+
+        Lookup order: in-memory LRU, local disk, then the remote tier
+        (when one is configured).  A remote hit is promoted into both
+        local tiers so the next process start over the same ``cache_dir``
+        hits disk without touching the network.
+        """
         with self._lock:
             result = self._entries.get(key)
             if result is not None:
@@ -285,21 +366,27 @@ class CompilationCache:
                 self.stats.hits += 1
                 return result
         result = self._disk_load(key)
+        disk_hit = result is not None
+        if result is None:
+            result = self._remote_load(key)
         with self._lock:
             if result is not None:
                 self.stats.hits += 1
-                self.stats.disk_hits += 1
+                if disk_hit:
+                    self.stats.disk_hits += 1
                 self._insert(key, result)
             else:
                 self.stats.misses += 1
         return result
 
     def put(self, key: str, result: "CompilationResult", *, disk: bool = True) -> None:
-        """Store a result under its content address (memory, then disk).
+        """Store a result under its content address (memory, disk, remote).
 
         ``disk=False`` populates only the in-memory tier -- used when the
         on-disk artefact is known to exist already (e.g. a process-pool
-        worker stored it), to avoid re-pickling the result.
+        worker stored it), to avoid re-pickling the result.  The remote
+        upload (when a remote is configured) is write-behind: the pickled
+        payload is queued and the compile path never waits on the network.
         """
         with self._lock:
             self.stats.stores += 1
@@ -336,12 +423,19 @@ class CompilationCache:
         with self._lock:
             self._entries.clear()
         if disk and self.cache_dir is not None and self.cache_dir.is_dir():
-            for path in self.cache_dir.glob("*.pkl"):
-                try:
-                    path.unlink()
-                except OSError:
-                    with self._lock:
-                        self.stats.disk_errors += 1
+            # Recursive, and independent of whether a StageCache is
+            # attached: a stage_caching=False instance pointed at a
+            # directory that *has* stage artefacts (written by an earlier
+            # configuration) must still reclaim them -- they count against
+            # max_disk_bytes either way.  Stale .tmp leaks from crashed
+            # writers go with them.
+            for pattern in ("*.pkl", "*.tmp"):
+                for path in self.cache_dir.rglob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        with self._lock:
+                            self.stats.disk_errors += 1
         if self.stages is not None:
             self.stages.clear(disk=disk)
 
@@ -349,7 +443,7 @@ class CompilationCache:
         with self._lock:
             return len(self._entries)
 
-    def stats_snapshot(self) -> dict[str, int]:
+    def stats_snapshot(self) -> dict[str, object]:
         """A consistent copy of the counters, taken under the cache lock.
 
         :attr:`stats` is mutated under ``self._lock``; reading it lock-free
@@ -357,10 +451,18 @@ class CompilationCache:
         e.g. a ``hits`` that already includes a lookup whose ``disk_hits``
         increment it misses.  Status endpoints (``Workspace.stats``, the
         compile service's ``stats`` method, the CLI JSON payloads) read
-        through this snapshot instead.
+        through this snapshot instead.  With a remote tier configured the
+        snapshot carries its per-tier counters under a nested ``"remote"``
+        key (hits / misses / bytes / errors / endpoint health).
         """
         with self._lock:
-            return self.stats.as_dict()
+            snapshot: dict[str, object] = dict(self.stats.as_dict())
+        if self.remote is not None:
+            remote_snapshot = getattr(self.remote, "stats_snapshot", None)
+            snapshot["remote"] = (
+                remote_snapshot() if remote_snapshot is not None else None
+            )
+        return snapshot
 
     # -- internals ------------------------------------------------------------
 
@@ -400,17 +502,59 @@ class CompilationCache:
             return None
 
     def _disk_store(self, key: str, result: "CompilationResult") -> None:
-        if self.cache_dir is None:
+        """Persist one result to the durable tiers: local disk, then remote.
+
+        One ``pickle.dumps`` serves both -- the remote tier stores exactly
+        the bytes the disk tier stores, so a remote hit round-trips through
+        the same deserialisation (and the same corruption guards) as a
+        disk hit.
+        """
+        if self.cache_dir is None and self.remote is None:
             return
         try:
-            atomic_pickle_dump(self._disk_path(key), result)
-            with self._lock:
-                self.stats.disk_stores += 1
-        except (OSError, pickle.PickleError):
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError):
             with self._lock:
                 self.stats.disk_errors += 1
             return
-        self.enforce_disk_budget()
+        if self.cache_dir is not None:
+            try:
+                atomic_write_bytes(self._disk_path(key), payload)
+                with self._lock:
+                    self.stats.disk_stores += 1
+                self.enforce_disk_budget()
+            except OSError:
+                with self._lock:
+                    self.stats.disk_errors += 1
+        if self.remote is not None:
+            self.remote.put(f"result:{key}", payload)
+
+    def _remote_load(self, key: str) -> Optional["CompilationResult"]:
+        """One remote lookup; corrupt payloads are a counted miss, never a
+        raise (mirroring the disk tier's corruption discipline)."""
+        if self.remote is None:
+            return None
+        payload = self.remote.get(f"result:{key}")
+        if payload is None:
+            return None
+        try:
+            result = pickle.loads(payload)
+        except (pickle.PickleError, EOFError, AttributeError, ImportError, ValueError):
+            note = getattr(self.remote, "note_corrupt", None)
+            if note is not None:
+                note(f"result:{key}")
+            return None
+        if self.cache_dir is not None:
+            # Promote to the local disk tier (the bytes are already the
+            # disk format); no re-upload -- the entry came from the remote.
+            try:
+                atomic_write_bytes(self._disk_path(key), payload)
+                with self._lock:
+                    self.stats.disk_stores += 1
+            except OSError:
+                with self._lock:
+                    self.stats.disk_errors += 1
+        return result
 
     def enforce_disk_budget(self) -> int:
         """Apply ``max_disk_bytes`` to the on-disk store (both tiers)."""

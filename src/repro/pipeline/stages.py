@@ -79,6 +79,7 @@ from repro.pipeline.cache import (
     CACHE_VERSION,
     STAGE_SCHEMA_VERSION,
     atomic_write_bytes,
+    canonical_option_repr,
     evict_lru_files,
 )
 
@@ -167,6 +168,14 @@ class StageCache:
         Byte budget enforced over ``cache_dir`` (recursively) after every
         disk store; least-recently-used ``*.pkl`` artefacts are deleted
         first.
+    remote:
+        The shared remote L2 tier (a :class:`~repro.pipeline.remote.
+        RemoteCacheClient`, usually the owning
+        :class:`~repro.pipeline.cache.CompilationCache`'s).  Each tier
+        consults it after its local miss (namespaces ``ast`` / ``eval`` /
+        ``backend``), promotes remote hits into memory + disk, and uploads
+        fresh artefacts write-behind.  A dead remote degrades to
+        local-only.
 
     Thread-safe; one instance may serve every worker of a thread-executor
     batch.
@@ -180,6 +189,7 @@ class StageCache:
         max_backend_entries: int = 1024,
         cache_dir: Optional[str | Path] = None,
         max_disk_bytes: Optional[int] = None,
+        remote: Optional[object] = None,
     ) -> None:
         if max_parse_entries < 1 or max_evaluate_entries < 1 or max_backend_entries < 1:
             raise ValueError("stage cache LRU capacities must be >= 1")
@@ -188,6 +198,11 @@ class StageCache:
         self.max_backend_entries = max_backend_entries
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_disk_bytes = max_disk_bytes
+        if isinstance(remote, str):
+            from repro.pipeline.remote import RemoteCacheClient
+
+            remote = RemoteCacheClient.from_url(remote)
+        self.remote = remote
         self.stats = StageStats()
         self._parse: OrderedDict[str, SourceUnit] = OrderedDict()
         #: Snapshots are held as pickle *bytes* so cached state can never be
@@ -215,7 +230,7 @@ class StageCache:
             hasher.update(b"\x00opt\x00")
             hasher.update(name.encode())
             hasher.update(b"=")
-            hasher.update(repr(options.get(name)).encode())
+            hasher.update(canonical_option_repr(options.get(name)).encode())
         if options.get("include_stdlib", True):
             from repro.stdlib.source import STDLIB_SOURCE
 
@@ -261,17 +276,23 @@ class StageCache:
                 self.stats.parse_hits += 1
                 return unit
         unit = self._disk_load(self._ast_path(key), SourceUnit)
-        if unit is None:
-            unit = parse_source(text, filename)
-            with self._lock:
-                self.stats.parse_misses += 1
-                self._insert(self._parse, key, unit, self.max_parse_entries)
-            self._disk_store(self._ast_path(key), unit)
-        else:
+        if unit is not None:
             with self._lock:
                 self.stats.parse_hits += 1
                 self.stats.disk_hits += 1
                 self._insert(self._parse, key, unit, self.max_parse_entries)
+            return unit
+        unit = self._remote_load("ast", key, SourceUnit, self._ast_path(key))
+        if unit is not None:
+            with self._lock:
+                self.stats.parse_hits += 1
+                self._insert(self._parse, key, unit, self.max_parse_entries)
+            return unit
+        unit = parse_source(text, filename)
+        with self._lock:
+            self.stats.parse_misses += 1
+            self._insert(self._parse, key, unit, self.max_parse_entries)
+        self._disk_store(self._ast_path(key), unit, namespace="ast", key=key)
         return unit
 
     def cached_backend_unit(self, project, implementation, backend) -> dict[str, str]:
@@ -294,17 +315,23 @@ class StageCache:
                 self.stats.backend_hits += 1
                 return files
         files = self._disk_load(self._backend_path(key), dict)
-        if files is None:
-            files = backend.emit_unit(project, implementation)
-            with self._lock:
-                self.stats.backend_misses += 1
-                self._insert(self._backend, key, files, self.max_backend_entries)
-            self._disk_store(self._backend_path(key), files)
-        else:
+        if files is not None:
             with self._lock:
                 self.stats.backend_hits += 1
                 self.stats.disk_hits += 1
                 self._insert(self._backend, key, files, self.max_backend_entries)
+            return files
+        files = self._remote_load("backend", key, dict, self._backend_path(key))
+        if files is not None:
+            with self._lock:
+                self.stats.backend_hits += 1
+                self._insert(self._backend, key, files, self.max_backend_entries)
+            return files
+        files = backend.emit_unit(project, implementation)
+        with self._lock:
+            self.stats.backend_misses += 1
+            self._insert(self._backend, key, files, self.max_backend_entries)
+        self._disk_store(self._backend_path(key), files, namespace="backend", key=key)
         return files
 
     def emit_backend(self, project, backend) -> dict[str, str]:
@@ -463,32 +490,46 @@ class StageCache:
 
     def _load_snapshot(self, key: str):
         payload: Optional[bytes] = None
+        from_remote = False
         with self._lock:
             payload = self._evaluate.get(key)
             if payload is not None:
                 self._evaluate.move_to_end(key)
         if payload is None:
             payload = self._disk_read(self._eval_path(key))
-            if payload is None:
-                return None
-            with self._lock:
-                self.stats.disk_hits += 1
-                self._insert(self._evaluate, key, payload, self.max_evaluate_entries)
+            if payload is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._insert(self._evaluate, key, payload, self.max_evaluate_entries)
+            else:
+                payload = self._remote_get("eval", key)
+                if payload is None:
+                    return None
+                from_remote = True
+                with self._lock:
+                    self._insert(self._evaluate, key, payload, self.max_evaluate_entries)
         try:
-            return pickle.loads(payload)
+            snapshot = pickle.loads(payload)
         except (pickle.PickleError, EOFError, AttributeError, ImportError, ValueError):
-            # A stale or corrupt snapshot (e.g. from a crashed writer) is a
-            # miss; drop it from both tiers so it is rebuilt.
+            # A stale or corrupt snapshot (e.g. from a crashed writer, or a
+            # bad remote blob) is a miss; drop it from every local tier so
+            # it is rebuilt.
             with self._lock:
                 self.stats.disk_errors += 1
                 self._evaluate.pop(key, None)
-            path = self._eval_path(key)
-            if path is not None:
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            if from_remote:
+                self._note_remote_corrupt("eval", key)
+            else:
+                path = self._eval_path(key)
+                if path is not None:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
             return None
+        if from_remote:
+            self._promote_to_disk(self._eval_path(key), payload)
+        return snapshot
 
     def _store_snapshot(self, key: str, snapshot: tuple) -> None:
         try:
@@ -508,6 +549,7 @@ class StageCache:
             except OSError:
                 with self._lock:
                     self.stats.disk_errors += 1
+        self._remote_put("eval", key, payload)
 
     def _disk_read(self, path: Optional[Path]) -> Optional[bytes]:
         if path is None:
@@ -544,16 +586,88 @@ class StageCache:
                 pass
             return None
 
-    def _disk_store(self, path: Optional[Path], value: object) -> None:
-        """Store one artefact; budget enforcement is deferred to the caller
-        (one pass per :meth:`compile`, not one per file)."""
+    def _disk_store(
+        self,
+        path: Optional[Path],
+        value: object,
+        *,
+        namespace: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> None:
+        """Store one artefact locally and enqueue its write-behind upload.
+
+        The value is pickled once and the same payload feeds both sinks;
+        budget enforcement is deferred to the caller (one pass per
+        :meth:`compile`, not one per file)."""
+        if path is None and self.remote is None:
+            return
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError):
+            with self._lock:
+                self.stats.disk_errors += 1
+            return
+        if path is not None:
+            try:
+                atomic_write_bytes(path, payload)
+                with self._lock:
+                    self.stats.disk_stores += 1
+            except OSError:
+                with self._lock:
+                    self.stats.disk_errors += 1
+        if namespace is not None and key is not None:
+            self._remote_put(namespace, key, payload)
+
+    # -- the remote (L2) tier -------------------------------------------------
+
+    def _remote_get(self, namespace: str, key: str) -> Optional[bytes]:
+        if self.remote is None:
+            return None
+        return self.remote.get(f"{namespace}:{key}")
+
+    def _remote_put(self, namespace: str, key: str, payload: Optional[bytes]) -> None:
+        if self.remote is not None and payload is not None:
+            self.remote.put(f"{namespace}:{key}", payload)
+
+    def _note_remote_corrupt(self, namespace: str, key: str) -> None:
+        note = getattr(self.remote, "note_corrupt", None)
+        if note is not None:
+            note(f"{namespace}:{key}")
+
+    def _remote_load(
+        self,
+        namespace: str,
+        key: str,
+        expected_type: type,
+        promote_path: Optional[Path],
+    ) -> Optional[object]:
+        """Fetch + unpickle one artefact from the remote tier.
+
+        A corrupt payload is a miss (reported back to the client's corrupt
+        counter), never an exception; a good one is promoted to local disk
+        without being re-uploaded."""
+        payload = self._remote_get(namespace, key)
+        if payload is None:
+            return None
+        try:
+            value = pickle.loads(payload)
+            if not isinstance(value, expected_type):
+                raise pickle.UnpicklingError(f"expected {expected_type.__name__}")
+        except (pickle.PickleError, EOFError, AttributeError, ImportError, ValueError):
+            self._note_remote_corrupt(namespace, key)
+            return None
+        self._promote_to_disk(promote_path, payload)
+        return value
+
+    def _promote_to_disk(self, path: Optional[Path], payload: bytes) -> None:
+        """Write a remote hit into the local disk tier (no re-upload)."""
         if path is None:
             return
         try:
-            atomic_write_bytes(path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            atomic_write_bytes(path, payload)
             with self._lock:
                 self.stats.disk_stores += 1
-        except (OSError, pickle.PickleError):
+        except OSError:
             with self._lock:
                 self.stats.disk_errors += 1
 

@@ -11,10 +11,15 @@ newline-delimited JSON over TCP plus a minimal HTTP/1.1 POST endpoint, and
 :class:`~repro.server.client.CompileClient` is the synchronous client the
 ``tydi-serve request`` CLI and the test suites drive it with.
 
+:mod:`repro.server.cachesvc` is the sibling daemon (``tydi-serve cache``):
+the shared remote L2 cache every compile session pointed at it with
+``--remote-cache`` shares (see :mod:`repro.pipeline.remote`).
+
 See ``docs/server.md`` for the protocol reference and the worker-pool
 architecture.
 """
 
+from repro.server.cachesvc import CacheServer, CacheServerThread, CacheStore
 from repro.server.client import CompileClient, http_post
 from repro.server.metrics import LatencyHistogram, MethodMetrics
 from repro.server.pool import POOLED_METHODS, WorkerPool, shard_for
@@ -23,6 +28,9 @@ from repro.server.service import CompileService
 from repro.server.transport import MAX_PIPELINE_REQUESTS, ServerThread, TydiServer, serve
 
 __all__ = [
+    "CacheServer",
+    "CacheServerThread",
+    "CacheStore",
     "CompileClient",
     "CompileService",
     "LatencyHistogram",

@@ -1,0 +1,323 @@
+"""The shared remote cache server: ``tydi-serve cache`` / ``repro.server.cachesvc``.
+
+The fleet-wide L2 of the content-addressed cache stack
+(:mod:`repro.pipeline.remote` documents the wire format and the tiering).
+One small stdlib-only daemon holds an in-memory, byte-budgeted LRU of
+pickled cache entries keyed by namespaced fingerprint; every ``tydi-serve``
+worker, ``tydi-compile`` run and ``--watch`` loop pointed at it with
+``--remote-cache host:port`` shares one warm store -- the sccache/Bazel
+remote-cache trick.
+
+The server is deliberately dumb: it never unpickles a payload (entries are
+opaque blobs; the *clients'* schema-versioned fingerprints guarantee that
+incompatible entries are never even requested), it has no persistence (the
+local disk tiers are the durable layer; a restarted cache server simply
+starts cold and refills from write-behind traffic), and it has no
+authentication (bind it to a trusted interface, as with ``tydi-serve``).
+
+Threading model: one ``ThreadingTCPServer`` thread per connection,
+persistent connections, all state behind one lock in :class:`CacheStore`.
+Cache operations are dict lookups over already-received bytes, so the lock
+is never held across I/O.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import socketserver
+import sys
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.pipeline.remote import (
+    DEFAULT_CACHE_PORT,
+    MAX_ENTRY_BYTES,
+    OP_GET,
+    OP_PUT,
+    OP_STATS,
+    RESP_ERROR,
+    RESP_HIT,
+    RESP_MISS,
+    RESP_OK,
+    RESP_STATS,
+    recv_frame,
+    send_frame,
+    unpack_put,
+)
+
+#: Default byte budget of the in-memory store.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+class CacheStore:
+    """A thread-safe, byte-budgeted LRU of opaque blobs."""
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        *,
+        max_entry_bytes: int = MAX_ENTRY_BYTES,
+    ) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = max_bytes
+        self.max_entry_bytes = max_entry_bytes
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.gets = 0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.rejected = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            self.gets += 1
+            blob = self._entries.get(key)
+            if blob is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return blob
+
+    def put(self, key: str, blob: bytes) -> bool:
+        """Store one blob; ``False`` when rejected (entry over the bound)."""
+        if len(blob) > self.max_entry_bytes:
+            with self._lock:
+                self.rejected += 1
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = blob
+            self._bytes += len(blob)
+            self.puts += 1
+            # LRU-evict into budget; an entry bigger than the whole budget
+            # evicts itself, leaving the store empty rather than over.
+            while self._bytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.evictions += 1
+        return True
+
+    def drop(self, key: str) -> bool:
+        """Remove one entry (operator surface; also used by tests)."""
+        with self._lock:
+            blob = self._entries.pop(key, None)
+            if blob is None:
+                return False
+            self._bytes -= len(blob)
+            return True
+
+    def keys(self) -> list[str]:
+        """A point-in-time copy of the stored keys, LRU order first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats_snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "gets": self.gets,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "rejected": self.rejected,
+                "evictions": self.evictions,
+            }
+
+
+class _CacheHandler(socketserver.BaseRequestHandler):
+    """One persistent connection: framed requests until EOF."""
+
+    def setup(self) -> None:
+        self.server.track_connection(self.request)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:
+        self.server.untrack_connection(self.request)  # type: ignore[attr-defined]
+
+    def handle(self) -> None:  # pragma: no branch - loop structure
+        store: CacheStore = self.server.store  # type: ignore[attr-defined]
+        sock: socket.socket = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    return  # client hung up cleanly
+                send_frame(sock, self._respond(store, frame))
+        except (OSError, ValueError, ConnectionError):
+            return  # torn connection / corrupt frame: drop the peer
+
+    @staticmethod
+    def _respond(store: CacheStore, frame: bytes) -> bytes:
+        op = frame[:1]
+        if op == OP_GET:
+            blob = store.get(frame[1:].decode(errors="replace"))
+            return RESP_MISS if blob is None else RESP_HIT + blob
+        if op == OP_PUT:
+            try:
+                key, blob = unpack_put(frame)
+            except Exception:
+                return RESP_ERROR + b"malformed put"
+            return RESP_OK if store.put(key, blob) else RESP_ERROR + b"entry rejected"
+        if op == OP_STATS:
+            return RESP_STATS + json.dumps(store.stats_snapshot()).encode()
+        return RESP_ERROR + b"unknown op"
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+
+    def track_connection(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(sock)
+
+    def untrack_connection(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(sock)
+
+    def close_connections(self) -> None:
+        """Tear down every live persistent connection.
+
+        ``shutdown`` only stops the accept loop; a *stopped* cache daemon
+        must also stop answering clients already connected (what a real
+        process kill does), so the mid-soak-kill semantics are testable
+        in-process.
+        """
+        with self._connections_lock:
+            victims = list(self._connections)
+        for sock in victims:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
+class CacheServer:
+    """A running cache server bound to one address.
+
+    Usable directly (``serve_forever`` on the calling thread, for the CLI)
+    or through :class:`CacheServerThread` for tests and benchmarks.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.store = CacheStore(max_bytes)
+        self._server = _TCPServer((host, port), _CacheHandler)
+        self._server.store = self.store  # type: ignore[attr-defined]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def endpoint(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.close_connections()
+
+    def close(self) -> None:
+        self._server.server_close()
+
+
+class CacheServerThread:
+    """Context manager running a :class:`CacheServer` on a daemon thread."""
+
+    def __init__(self, *, max_bytes: int = DEFAULT_MAX_BYTES, host: str = "127.0.0.1") -> None:
+        self.server = CacheServer(host, 0, max_bytes=max_bytes)
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, name="tydi-cachesvc", daemon=True
+        )
+
+    @property
+    def endpoint(self) -> str:
+        return self.server.endpoint
+
+    @property
+    def store(self) -> CacheStore:
+        return self.server.store
+
+    def __enter__(self) -> "CacheServerThread":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self._thread.join(timeout=10.0)
+        self.server.close()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """``python -m repro.server.cachesvc`` -- run until SIGINT/SIGTERM."""
+    parser = argparse.ArgumentParser(
+        prog="tydi-cachesvc",
+        description="Run the shared remote compilation-cache server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_CACHE_PORT,
+        help=f"TCP port (default: {DEFAULT_CACHE_PORT}; 0 for ephemeral)",
+    )
+    parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=DEFAULT_MAX_BYTES / (1024 * 1024),
+        metavar="MB",
+        help="in-memory store budget in megabytes (LRU-evicted; default: 512)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_mb < 0:
+        parser.error("--max-mb must be >= 0")
+
+    server = CacheServer(args.host, args.port, max_bytes=int(args.max_mb * 1024 * 1024))
+    host, port = server.address
+    print(f"tydi-cachesvc: listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.close()
+    print("tydi-cachesvc: stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

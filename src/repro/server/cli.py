@@ -71,6 +71,32 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="MB",
         help="bound the on-disk cache to this many megabytes (requires --cache-dir)",
     )
+    serve.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="HOST:PORT",
+        help="shared remote L2 cache endpoint (a tydi-serve cache daemon); "
+        "consulted after memory and disk miss, with write-behind upload; "
+        "pool workers each dial the same endpoint",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="run the shared remote cache daemon until SIGINT"
+    )
+    cache.add_argument("--host", default="127.0.0.1", help="bind address")
+    cache.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default: 4781; 0 for an ephemeral port)",
+    )
+    cache.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="in-memory store budget in megabytes (LRU-evicted; default: 512)",
+    )
 
     request = sub.add_parser("request", help="send one request, print the JSON envelope")
     request.add_argument("method", help="request method (e.g. ping, get_ir, stats)")
@@ -148,6 +174,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             max_cache_mb=args.max_cache_mb,
+            remote_cache=args.remote_cache,
             workers=args.workers,
         )
     except (TydiError, ValueError) as exc:
@@ -230,10 +257,23 @@ def _run_request(args: argparse.Namespace, method: str, params: dict[str, Any]) 
     return 0 if envelope.get("ok") else 1
 
 
+def _run_cache(args: argparse.Namespace) -> int:
+    from repro.server.cachesvc import main as cachesvc_main
+
+    forwarded = ["--host", args.host]
+    if args.port is not None:
+        forwarded += ["--port", str(args.port)]
+    if args.max_mb is not None:
+        forwarded += ["--max-mb", str(args.max_mb)]
+    return cachesvc_main(forwarded)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "shutdown":
         return _run_request(args, "shutdown", {})
     return _run_request(args, args.method, _collect_params(args))

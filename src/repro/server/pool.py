@@ -381,9 +381,11 @@ class WorkerPool:
     ----------
     workers:
         Process count (>= 1).
-    cache_dir / max_cache_mb / options:
+    cache_dir / max_cache_mb / remote_cache / options:
         Workspace wiring handed to every worker (one shared on-disk cache,
-        private in-memory tiers).
+        private in-memory tiers; ``remote_cache`` is an endpoint *string*,
+        so each worker dials its own connection to the parent's shared
+        remote tier after the fork).
     backlog:
         Bounded per-worker queue depth; a full queue rejects submits with
         :class:`~repro.errors.TydiBackpressureError`.
@@ -398,6 +400,7 @@ class WorkerPool:
         *,
         cache_dir: Optional[str] = None,
         max_cache_mb: Optional[float] = None,
+        remote_cache: Optional[str] = None,
         options: Optional[Mapping[str, object]] = None,
         backlog: int = 64,
         restart_budget: int = 3,
@@ -419,6 +422,7 @@ class WorkerPool:
         self.worker_config: dict[str, Any] = {
             "cache_dir": cache_dir,
             "max_cache_mb": max_cache_mb,
+            "remote_cache": remote_cache,
             "options": dict(options) if options is not None else None,
         }
         self._lock = threading.Lock()

@@ -64,8 +64,9 @@ class CompileService:
     workspace:
         The session to serve (``workers=0`` only).  Omit it to have the
         service build one from ``cache_dir`` / ``max_cache_mb`` /
-        ``options`` (the same trio ``tydi-compile`` exposes), so a served
-        session and a CLI session share on-disk artefacts.
+        ``remote_cache`` / ``options`` (the same knobs ``tydi-compile``
+        exposes), so a served session and a CLI session share on-disk
+        artefacts -- and, with a remote endpoint, the fleet-wide L2.
     jobs:
         Width of the compile thread pool (default: CPU count, capped at 8).
     workers:
@@ -88,6 +89,7 @@ class CompileService:
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         max_cache_mb: Optional[float] = None,
+        remote_cache: Optional[str] = None,
         options: Optional[Mapping[str, object]] = None,
         drain_timeout: float = 30.0,
         backlog: int = 64,
@@ -107,6 +109,7 @@ class CompileService:
                 self.workers,
                 cache_dir=cache_dir,
                 max_cache_mb=max_cache_mb,
+                remote_cache=remote_cache,
                 options=options,
                 backlog=backlog,
                 restart_budget=restart_budget,
@@ -115,11 +118,15 @@ class CompileService:
         else:
             if workspace is None:
                 workspace = Workspace(
-                    cache_dir=cache_dir, max_cache_mb=max_cache_mb, options=options
+                    cache_dir=cache_dir,
+                    max_cache_mb=max_cache_mb,
+                    remote_cache=remote_cache,
+                    options=options,
                 )
-            elif cache_dir is not None or max_cache_mb is not None:
+            elif cache_dir is not None or max_cache_mb is not None or remote_cache is not None:
                 raise ValueError(
-                    "pass either an existing workspace= or cache_dir=/max_cache_mb=, not both"
+                    "pass either an existing workspace= or "
+                    "cache_dir=/max_cache_mb=/remote_cache=, not both"
                 )
             self.workspace = workspace
         self.jobs = jobs if jobs is not None else default_jobs()

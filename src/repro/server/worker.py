@@ -125,9 +125,12 @@ def worker_main(
     from repro.server.service import CompileService
     from repro.workspace import Workspace
 
+    # remote_cache travels as an endpoint string: the client (socket +
+    # writer thread) must be created here, after the fork, never inherited.
     workspace = Workspace(
         cache_dir=config.get("cache_dir"),
         max_cache_mb=config.get("max_cache_mb"),
+        remote_cache=config.get("remote_cache"),
         options=config.get("options"),
         label=f"worker-{index}",
     )

@@ -172,6 +172,13 @@ class Workspace:
         When the workspace builds its own cache: the on-disk store location
         and its size budget in megabytes (LRU-evicted).  Only valid without
         an explicit ``cache``; ``max_cache_mb`` requires ``cache_dir``.
+    remote_cache:
+        When the workspace builds its own cache: the shared remote L2 tier
+        -- a ``host:port`` endpoint string (see :mod:`repro.pipeline.
+        remote`) or an existing :class:`~repro.pipeline.remote.
+        RemoteCacheClient`.  Consulted after memory and disk miss; a dead
+        remote degrades to local-only.  Only valid without an explicit
+        ``cache`` (attach the client to that cache yourself instead).
     options:
         Default :class:`~repro.lang.compile.CompileOptions` (or mapping)
         for designs added without their own.
@@ -191,6 +198,7 @@ class Workspace:
         cache=_AUTO_CACHE,
         cache_dir=None,
         max_cache_mb: Optional[float] = None,
+        remote_cache=None,
         options: CompileOptions | Mapping[str, object] | None = None,
         executor: str = "thread",
         jobs: Optional[int] = None,
@@ -200,9 +208,12 @@ class Workspace:
 
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
-        if cache is not _AUTO_CACHE and (cache_dir is not None or max_cache_mb is not None):
+        if cache is not _AUTO_CACHE and (
+            cache_dir is not None or max_cache_mb is not None or remote_cache is not None
+        ):
             raise TydiWorkspaceError(
-                "pass either an existing cache= or cache_dir=/max_cache_mb=, not both"
+                "pass either an existing cache= or "
+                "cache_dir=/max_cache_mb=/remote_cache=, not both"
             )
         if cache is _AUTO_CACHE:
             from repro.pipeline.cache import CompilationCache
@@ -214,7 +225,11 @@ class Workspace:
                 if cache_dir is None:
                     raise TydiWorkspaceError("max_cache_mb requires cache_dir")
                 max_disk_bytes = int(max_cache_mb * 1024 * 1024)
-            cache = CompilationCache(cache_dir=cache_dir, max_disk_bytes=max_disk_bytes)
+            cache = CompilationCache(
+                cache_dir=cache_dir,
+                max_disk_bytes=max_disk_bytes,
+                remote=remote_cache,
+            )
         self.cache = cache
         self.default_options = CompileOptions.coerce(options)
         self.executor = executor

@@ -231,3 +231,94 @@ class TestStats:
         assert cache.stats.lookups == 3
         assert cache.stats.hit_rate() == pytest.approx(2 / 3)
         assert cache.stats.as_dict()["hits"] == 2
+
+
+class TestClearRecursive:
+    def test_clear_disk_removes_stage_artefacts_without_stage_caching(self, tmp_path):
+        """Regression: clear(disk=True) with stage_caching=False used to glob
+        only top-level *.pkl, orphaning stages/ artefacts on disk (where they
+        still counted against max_disk_bytes)."""
+        warm = CompilationCache(cache_dir=tmp_path)
+        compile_sources([(SOURCE, "a.td")], cache=warm)
+        assert list((tmp_path / "stages").glob("*.pkl"))
+
+        cache = CompilationCache(cache_dir=tmp_path, stage_caching=False)
+        cache.clear(disk=True)
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_clear_disk_removes_leaked_tmp_files(self, tmp_path):
+        (tmp_path / "stages").mkdir()
+        (tmp_path / "dead.pkl.tmp").write_bytes(b"x")
+        (tmp_path / "stages" / "dead.pkl.tmp").write_bytes(b"x")
+        cache = CompilationCache(cache_dir=tmp_path)
+        cache.clear(disk=True)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestTmpSweep:
+    def test_stale_tmp_files_are_swept(self, tmp_path):
+        """Regression: a writer SIGKILLed mid-atomic_write_bytes leaks a
+        *.tmp file that eviction neither counted nor ever deleted."""
+        import os
+
+        from repro.pipeline.cache import evict_lru_files
+
+        stale = tmp_path / "orphan.pkl.tmp"
+        stale.write_bytes(b"x" * 100)
+        old = stale.stat().st_mtime - 3600
+        os.utime(stale, (old, old))
+        evicted = evict_lru_files(tmp_path, max_bytes=10_000)
+        assert evicted == 0  # GC, not a budget eviction
+        assert not stale.exists()
+
+    def test_fresh_tmp_files_survive_but_count_against_budget(self, tmp_path):
+        """An in-flight writer's .tmp must not be deleted under it, but its
+        bytes are real disk usage the budget has to see."""
+        from repro.pipeline.cache import evict_lru_files
+
+        fresh = tmp_path / "inflight.pkl.tmp"
+        fresh.write_bytes(b"x" * 600)
+        victim = tmp_path / "old.pkl"
+        victim.write_bytes(b"y" * 600)
+        evicted = evict_lru_files(tmp_path, max_bytes=1000)
+        assert fresh.exists()
+        assert not victim.exists()
+        assert evicted == 1
+
+
+class TestCanonicalOptions:
+    def test_dict_valued_option_order_invariant(self):
+        """Regression: repr() of dicts leaks key insertion order into the
+        fingerprint, so semantically identical options spuriously missed."""
+        a = fingerprint_sources(
+            [(SOURCE, "a.td")],
+            {"backend_options": {"vhdl": {"indent": 2, "header": True}}},
+        )
+        b = fingerprint_sources(
+            [(SOURCE, "a.td")],
+            {"backend_options": {"vhdl": {"header": True, "indent": 2}}},
+        )
+        assert a == b
+
+    def test_dict_content_still_changes_key(self):
+        a = fingerprint_sources([(SOURCE, "a.td")], {"backend_options": {"vhdl": {"indent": 2}}})
+        b = fingerprint_sources([(SOURCE, "a.td")], {"backend_options": {"vhdl": {"indent": 4}}})
+        assert a != b
+
+    def test_evaluate_key_order_invariant(self):
+        from repro.pipeline.stages import StageCache
+
+        stages = StageCache()
+        a = stages.evaluate_key([(SOURCE, "a.td")], {"top_args": {"x": 1, "y": 2}})
+        b = stages.evaluate_key([(SOURCE, "a.td")], {"top_args": {"y": 2, "x": 1}})
+        assert a == b
+
+    def test_canonical_repr_shapes(self):
+        from repro.pipeline.cache import canonical_option_repr
+
+        assert canonical_option_repr({"b": 1, "a": 2}) == canonical_option_repr({"a": 2, "b": 1})
+        assert canonical_option_repr((1,)) == "(1,)"
+        assert canonical_option_repr([1, 2]) == "[1, 2]"
+        assert canonical_option_repr({3, 1, 2}) == canonical_option_repr({2, 1, 3})
+        # Ordered containers stay order-sensitive: (1, 2) is not (2, 1).
+        assert canonical_option_repr((1, 2)) != canonical_option_repr((2, 1))
