@@ -38,6 +38,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "workspace-editloop.json": ("speedup",),
     "pool-throughput.json": ("speedup",),
     "remote-cache.json": ("speedup",),
+    "cold-compile.json": ("speedup",),
 }
 
 

@@ -1,0 +1,53 @@
+"""Shared synthetic workloads for the benchmark suite.
+
+The canonical workload is the 16-file "fleet" design: 15 files of
+``for``-expanded serial chains plus a top-level wiring them in series.
+Evaluation expands a few AST nodes per file into ``width`` instances and
+connections (then sugaring and the DRC walk the expanded graph), so the
+workload exercises every frontend stage in realistic proportions.  It was
+born in ``test_remote_cache.py`` and is now shared with the cold-compile
+benchmark, so both gate the *same* design.
+"""
+
+from __future__ import annotations
+
+
+def wide_file(index: int, width: int) -> tuple[str, str]:
+    """One file: a ``width``-deep serial chain built by a ``for`` loop."""
+    return (
+        f"""
+type link{index}_t = Stream(Bit(8), d=1);
+streamlet step{index}_s {{ i: link{index}_t in, o: link{index}_t out, }}
+external impl step{index}_i of step{index}_s;
+streamlet wide{index}_s {{ feed: link{index}_t in, result: link{index}_t out, }}
+impl wide{index}_i of wide{index}_s {{
+    instance pu(step{index}_i) [{width}],
+    feed => pu[0].i,
+    for i in 0->{width - 1} {{
+        pu[i].o => pu[i+1].i,
+    }}
+    pu[{width - 1}].o => result,
+}}
+""",
+        f"wide{index}.td",
+    )
+
+
+def fleet_workload(num_files: int = 16, width: int = 160) -> list[tuple[str, str]]:
+    """N files of for-expanded chains plus a top wiring them in series."""
+    sources = [wide_file(index, width) for index in range(num_files - 1)]
+    last = num_files - 2
+    lines = [
+        "streamlet top_s { feed: link0_t in, result: link%d_t out, }" % last,
+        "impl top_i of top_s {",
+    ]
+    for index in range(num_files - 1):
+        lines.append(f"    instance w{index}(wide{index}_i),")
+    lines.append("    feed => w0.feed,")
+    for index in range(num_files - 2):
+        lines.append(f"    w{index}.result => w{index + 1}.feed,")
+    lines.append(f"    w{last}.result => result,")
+    lines.append("}")
+    lines.append("top top_i;")
+    sources.append(("\n".join(lines) + "\n", "top.td"))
+    return sources

@@ -88,13 +88,21 @@ def _spawn_announced(argv: list[str]) -> tuple[subprocess.Popen, str, int]:
 class Daemon:
     """One ``tydi-serve`` subprocess bound to an ephemeral port."""
 
-    def __init__(self, workers: int, *, remote_cache: str | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        *,
+        remote_cache: str | None = None,
+        profile_stages: bool = False,
+    ) -> None:
         argv = [
             sys.executable, "-m", "repro.server.cli", "serve",
             "--port", "0", "--workers", str(workers),
         ]
         if remote_cache:
             argv += ["--remote-cache", remote_cache]
+        if profile_stages:
+            argv += ["--profile-stages"]
         self.proc, self.host, self.port = _spawn_announced(argv)
 
     def shutdown(self) -> tuple[dict, int]:
@@ -231,9 +239,11 @@ def soak(
     duration: float,
     seed: int,
     remote_cache: str | None = None,
+    profile_stages: bool = False,
 ) -> dict:
     """One full soak phase: spawn daemon, load it, collect stats, drain."""
-    daemon = Daemon(workers, remote_cache=remote_cache)
+    daemon = Daemon(workers, remote_cache=remote_cache,
+                    profile_stages=profile_stages)
     try:
         load = run_load(daemon.host, daemon.port, clients=clients,
                         duration=duration, seed=seed)
@@ -254,6 +264,8 @@ def soak(
     }
     if remote_cache is not None:
         phase["remote_cache"] = _aggregate_remote_counters(server_stats)
+    if profile_stages:
+        phase["profiling"] = (server_stats.get("workspace") or {}).get("profiling")
     return phase
 
 
@@ -314,6 +326,9 @@ def main(argv: list[str] | None = None) -> int:
                         "(CI only; needs >= --workers CPUs to be meaningful)")
     parser.add_argument("--no-remote", action="store_true",
                         help="skip the remote-cache kill phase")
+    parser.add_argument("--profile-stages", action="store_true",
+                        help="run the daemons with per-stage profiling enabled "
+                        "and assert stage timings surface in the stats reply")
     parser.add_argument("--output", type=pathlib.Path,
                         default=pathlib.Path("benchmark-artifacts/soak.json"))
     args = parser.parse_args(argv)
@@ -321,7 +336,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"soak: {args.workers} workers, {args.clients} clients, "
           f"{args.duration:.0f}s per phase", flush=True)
     multi = soak(args.workers, clients=args.clients, duration=args.duration,
-                 seed=args.seed)
+                 seed=args.seed, profile_stages=args.profile_stages)
     print(f"soak: multi-worker phase: {multi['requests']} requests "
           f"({multi['requests_per_s']}/s), {multi['compile_errors']} compile "
           f"errors, restarts={multi['worker_restarts']}", flush=True)
@@ -387,6 +402,21 @@ def main(argv: list[str] | None = None) -> int:
         problems.append(
             f"throughput ratio {ratio:.2f}x below the {args.floor}x floor"
         )
+    if args.profile_stages:
+        # The stats reply of a --profile-stages daemon must carry summed
+        # per-stage timings from the pool workers (parse ran thousands of
+        # times under this load; a zero count means the wiring is broken).
+        profiling = multi.get("profiling") or {}
+        parse_count = ((profiling.get("stages") or {}).get("parse") or {}).get("count", 0)
+        if not profiling.get("enabled") or parse_count <= 0:
+            problems.append(
+                f"--profile-stages: no parse stage timings in the multi-worker "
+                f"stats reply (profiling block: {profiling!r:.200})"
+            )
+        else:
+            print(f"soak: profiling: parse ran {parse_count} times "
+                  f"({profiling['stages']['parse']['wall_ms']:.0f} ms wall)",
+                  flush=True)
 
     for problem in problems:
         print(f"soak: FAIL: {problem}", flush=True)

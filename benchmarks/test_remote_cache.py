@@ -40,52 +40,12 @@ from repro.server.cachesvc import CacheServerThread
 ARTIFACT_DIR = pathlib.Path(os.environ.get("TYDI_BENCH_ARTIFACTS", "benchmark-artifacts"))
 
 
-def _wide_file(index: int, width: int) -> tuple[str, str]:
-    """One file: a ``width``-deep serial chain built by a ``for`` loop.
-
-    The loop body is what makes this the right workload for a *remote*
-    cache benchmark: evaluation expands a few AST nodes into ``width``
-    instances plus connections (then sugar and DRC walk the expanded
-    graph), so recomputing an artefact costs far more than deserialising
-    it -- the regime a shared cache server exists for.
-    """
-    return (
-        f"""
-type link{index}_t = Stream(Bit(8), d=1);
-streamlet step{index}_s {{ i: link{index}_t in, o: link{index}_t out, }}
-external impl step{index}_i of step{index}_s;
-streamlet wide{index}_s {{ feed: link{index}_t in, result: link{index}_t out, }}
-impl wide{index}_i of wide{index}_s {{
-    instance pu(step{index}_i) [{width}],
-    feed => pu[0].i,
-    for i in 0->{width - 1} {{
-        pu[i].o => pu[i+1].i,
-    }}
-    pu[{width - 1}].o => result,
-}}
-""",
-        f"wide{index}.td",
-    )
-
-
-def _fleet_workload(num_files: int = 16, width: int = 160):
-    """N files of for-expanded chains plus a top wiring them in series."""
-    sources = [_wide_file(index, width) for index in range(num_files - 1)]
-    last = num_files - 2
-    lines = [
-        "streamlet top_s { feed: link0_t in, result: link%d_t out, }" % last,
-        "impl top_i of top_s {",
-    ]
-    for index in range(num_files - 1):
-        lines.append(f"    instance w{index}(wide{index}_i),")
-    lines.append("    feed => w0.feed,")
-    for index in range(num_files - 2):
-        lines.append(f"    w{index}.result => w{index + 1}.feed,")
-    lines.append(f"    w{last}.result => result,")
-    lines.append("}")
-    lines.append("top top_i;")
-    sources.append(("\n".join(lines) + "\n", "top.td"))
-    return sources
+# The workload moved to the shared corpus module (the cold-compile benchmark
+# gates the same design); the loop-expanded body is what makes it right for a
+# *remote* cache benchmark too -- recomputing an artefact costs far more than
+# deserialising it, the regime a shared cache server exists for.
+from corpus import fleet_workload as _fleet_workload  # noqa: E402,F401
+from corpus import wide_file as _wide_file  # noqa: E402,F401
 
 
 def test_cold_worker_with_warm_remote_speedup(benchmark, tmp_path):

@@ -1,12 +1,47 @@
-"""Setuptools shim.
+"""Setuptools shim plus build hooks.
 
 The offline build environment has no ``wheel`` package, so PEP 517 editable
 installs (which build an editable wheel) fail with ``invalid command
 'bdist_wheel'``.  Keeping a ``setup.py`` lets ``pip install -e .`` fall back
 to the legacy ``setup.py develop`` path, which needs neither network access
 nor the wheel package.  All metadata lives in ``pyproject.toml``.
+
+The ``build_py`` override regenerates the precompiled stdlib AST snapshot
+(``src/repro/stdlib/_stdlib_ast.pkl``) from the in-tree sources so every
+wheel ships a snapshot stamped with the version it was built from.  Failure
+to build it is non-fatal -- the runtime loader (:mod:`repro.stdlib.snapshot`)
+falls back to a live parse -- so a build environment that cannot import the
+package still produces a working wheel.
 """
 
-from setuptools import setup
+import sys
+from pathlib import Path
 
-setup()
+from setuptools import setup
+from setuptools.command.build_py import build_py
+
+
+class BuildPyWithStdlibSnapshot(build_py):
+    def run(self):
+        self._build_snapshot()
+        super().run()
+
+    def _build_snapshot(self):
+        src = Path(__file__).resolve().parent / "src"
+        old_path = list(sys.path)
+        sys.path.insert(0, str(src))
+        try:
+            from repro.stdlib.snapshot import build_snapshot
+
+            target = build_snapshot()
+            print(f"built stdlib AST snapshot: {target}")
+        except Exception as exc:  # non-fatal: runtime falls back to live parse
+            print(
+                f"warning: could not build stdlib AST snapshot ({exc}); "
+                "the installed package will live-parse the stdlib instead"
+            )
+        finally:
+            sys.path[:] = old_path
+
+
+setup(cmdclass={"build_py": BuildPyWithStdlibSnapshot})

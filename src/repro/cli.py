@@ -147,6 +147,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         dest="json_output",
         help="print per-design and cache statistics as JSON",
     )
+    perf = parser.add_argument_group("performance")
+    perf.add_argument(
+        "--profile-stages",
+        action="store_true",
+        help="record per-stage wall/CPU timings (parse, evaluate, sugaring, "
+        "drc, backends) and print the table to stderr when done; same "
+        "switch as the TYDI_PROFILE_STAGES environment variable",
+    )
+    perf.add_argument(
+        "--parse-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pre-parse the input files across N worker processes, warming "
+        "the per-file AST cache before compilation (uses an in-memory "
+        "cache when no --cache-dir is configured)",
+    )
     watch = parser.add_argument_group("watch mode")
     watch.add_argument(
         "--watch",
@@ -233,6 +250,13 @@ def _build_cache(args: argparse.Namespace):
         max_disk_bytes = int(args.max_cache_mb * 1024 * 1024)
     remote = getattr(args, "remote_cache", None)
     if not args.cache_dir and not remote:
+        # --parse-jobs warms the per-file AST tier, which needs *some*
+        # cache to warm; a memory-only one keeps the flag useful without
+        # forcing --cache-dir.
+        if getattr(args, "parse_jobs", None):
+            from repro.pipeline import CompilationCache
+
+            return CompilationCache()
         return None
     from repro.pipeline import CompilationCache
 
@@ -241,6 +265,22 @@ def _build_cache(args: argparse.Namespace):
         max_disk_bytes=max_disk_bytes,
         remote=remote,
     )
+
+
+def _preload_parse(workspace, sources, args: argparse.Namespace) -> None:
+    """Warm the per-file AST cache across ``--parse-jobs`` worker processes.
+
+    A no-op without the flag, without a stage cache, or with nothing to
+    parse; the subsequent compile then serves its parse stage from the
+    warmed tier (:meth:`repro.pipeline.stages.StageCache.preload_units`).
+    """
+    jobs = getattr(args, "parse_jobs", None)
+    if not jobs or not sources:
+        return
+    stage_cache = getattr(workspace.cache, "stages", None) if workspace.cache else None
+    if stage_cache is None:
+        return
+    stage_cache.preload_units(sources, jobs=jobs)
 
 
 def _design_options(args: argparse.Namespace, name: str, targets, backend_opts):
@@ -274,6 +314,7 @@ def _run_batch(args: argparse.Namespace) -> int:
     unreadable: dict[int, JobResult] = {}
     taken: set[str] = set()
     design_paths: dict[str, pathlib.Path] = {}
+    readable_sources: list[tuple[str, str]] = []
     for position, path_text in enumerate(args.sources):
         path = pathlib.Path(path_text)
         name = _design_name(path_text, taken)
@@ -290,11 +331,14 @@ def _run_batch(args: argparse.Namespace) -> int:
                 error_type=type(exc.__cause__).__name__ if exc.__cause__ else "OSError",
             )
             continue
+        readable_sources.append((text, str(path)))
         workspace.add_design(
             name,
             ((text, str(path)),),
             _design_options(args, name, targets, backend_opts),
         )
+
+    _preload_parse(workspace, readable_sources, args)
 
     outcome = workspace.compile_all(executor=args.executor, jobs=args.jobs).batch
 
@@ -567,9 +611,19 @@ def main(argv: list[str] | None = None) -> int:
             build_arg_parser().error("at least one source file is required")
         if args.watch and args.json_output:
             raise _CliInputError("--watch cannot be combined with --json")
-        if args.batch:
-            return _run_batch(args)
-        return _run_single(args)
+        if args.parse_jobs is not None and args.parse_jobs < 1:
+            raise _CliInputError("--parse-jobs must be >= 1")
+        if args.profile_stages:
+            from repro.profiling import enable_profiling
+
+            enable_profiling()
+        try:
+            return _run_batch(args) if args.batch else _run_single(args)
+        finally:
+            if args.profile_stages:
+                from repro.profiling import format_profile
+
+                print(format_profile(), file=sys.stderr)
     except _CliInputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -584,6 +638,7 @@ def _run_single(args: argparse.Namespace) -> int:
     backend_opts = _resolve_backend_options(args)
 
     workspace = Workspace(cache=_build_cache(args))
+    _preload_parse(workspace, sources, args)
 
     # When target outputs stream to stdout (no --out-dir), the stage log
     # moves to stderr so e.g. `tydi-compile --target dot x.td | dot -Tsvg`

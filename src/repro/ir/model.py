@@ -101,26 +101,46 @@ class Streamlet:
 
     def __post_init__(self) -> None:
         self.name = sanitize_identifier(self.name, keyword_suffix=False)
-        seen: set[str] = set()
+        index: dict[str, Port] = {}
         for port in self.ports:
-            if port.name in seen:
+            if port.name in index:
                 raise TydiBackendError(f"streamlet {self.name!r} has duplicate port {port.name!r}")
-            seen.add(port.name)
+            index[port.name] = port
+        self._port_index = index
+
+    def _ports_by_name(self) -> dict[str, Port]:
+        """Name index over ``ports``, rebuilt lazily if it drifted.
+
+        Every mutation goes through :meth:`add_port` (which maintains the
+        index), but the list itself is a public field -- the length guard
+        rebuilds after any out-of-band append, and after unpickling an
+        instance stored before the index existed.  Not a dataclass field,
+        so ``==``/``repr`` semantics are untouched.
+        """
+        index = getattr(self, "_port_index", None)
+        if index is None or len(index) != len(self.ports):
+            index = {}
+            for port in self.ports:  # first-wins, like the linear scan it replaces
+                index.setdefault(port.name, port)
+            self._port_index = index
+        return index
 
     def add_port(self, port: Port) -> Port:
-        if any(p.name == port.name for p in self.ports):
+        index = self._ports_by_name()
+        if port.name in index:
             raise TydiBackendError(f"streamlet {self.name!r} already has port {port.name!r}")
         self.ports.append(port)
+        index[port.name] = port
         return port
 
     def port(self, name: str) -> Port:
-        for port in self.ports:
-            if port.name == name:
-                return port
-        raise TydiBackendError(f"streamlet {self.name!r} has no port {name!r}")
+        port = self._ports_by_name().get(name)
+        if port is None:
+            raise TydiBackendError(f"streamlet {self.name!r} has no port {name!r}")
+        return port
 
     def has_port(self, name: str) -> bool:
-        return any(p.name == name for p in self.ports)
+        return name in self._ports_by_name()
 
     def inputs(self) -> list[Port]:
         return [p for p in self.ports if p.direction is PortDirection.IN]
@@ -183,23 +203,44 @@ class Implementation:
     def __post_init__(self) -> None:
         self.name = sanitize_identifier(self.name, keyword_suffix=False)
         self.streamlet = sanitize_identifier(self.streamlet, keyword_suffix=False)
+        index: dict[str, Instance] = {}
+        for inst in self.instances:
+            index.setdefault(inst.name, inst)
+        self._instance_index = index
+
+    def _instances_by_name(self) -> dict[str, Instance]:
+        """Name index over ``instances`` (same contract as
+        :meth:`Streamlet._ports_by_name`): maintained by
+        :meth:`add_instance`, lazily rebuilt behind a length guard.  With
+        ``for``-expanded designs routinely holding hundreds of instances
+        per implementation, the historical linear scans here were the
+        single hottest cost of evaluate + DRC."""
+        index = getattr(self, "_instance_index", None)
+        if index is None or len(index) != len(self.instances):
+            index = {}
+            for inst in self.instances:  # first-wins, like the linear scan it replaces
+                index.setdefault(inst.name, inst)
+            self._instance_index = index
+        return index
 
     def add_instance(self, instance: Instance) -> Instance:
-        if any(i.name == instance.name for i in self.instances):
+        index = self._instances_by_name()
+        if instance.name in index:
             raise TydiBackendError(
                 f"implementation {self.name!r} already has instance {instance.name!r}"
             )
         self.instances.append(instance)
+        index[instance.name] = instance
         return instance
 
     def instance(self, name: str) -> Instance:
-        for inst in self.instances:
-            if inst.name == name:
-                return inst
-        raise TydiBackendError(f"implementation {self.name!r} has no instance {name!r}")
+        inst = self._instances_by_name().get(name)
+        if inst is None:
+            raise TydiBackendError(f"implementation {self.name!r} has no instance {name!r}")
+        return inst
 
     def has_instance(self, name: str) -> bool:
-        return any(i.name == name for i in self.instances)
+        return name in self._instances_by_name()
 
     def add_connection(self, connection: Connection) -> Connection:
         self.connections.append(connection)

@@ -23,7 +23,7 @@ from typing import Optional
 from repro.utils.source import SourceSpan
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Node:
     """Base class of all AST nodes."""
 
@@ -35,26 +35,26 @@ class Node:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Expr(Node):
     """Base class of value expressions."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal(Expr):
     """An int, float, string or boolean literal."""
 
     value: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Identifier(Expr):
     """A reference to a variable, constant or template parameter."""
 
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinaryOp(Expr):
     """A binary operation: arithmetic, comparison or boolean."""
 
@@ -63,7 +63,7 @@ class BinaryOp(Expr):
     right: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnaryOp(Expr):
     """Unary minus or boolean not."""
 
@@ -71,7 +71,7 @@ class UnaryOp(Expr):
     operand: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Call(Expr):
     """A builtin function call such as ``ceil(log2(x))``."""
 
@@ -79,14 +79,14 @@ class Call(Expr):
     arguments: tuple[Expr, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrayLiteral(Expr):
     """An array literal ``[a, b, c]``."""
 
     items: tuple[Expr, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IndexExpr(Expr):
     """Indexing into an array value: ``values[i]``."""
 
@@ -94,7 +94,7 @@ class IndexExpr(Expr):
     index: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RangeExpr(Expr):
     """A half-open integer range ``start -> end`` used by ``for`` loops."""
 
@@ -107,31 +107,31 @@ class RangeExpr(Expr):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TypeExpr(Node):
     """Base class of logical-type expressions."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NullTypeExpr(TypeExpr):
     """The ``Null`` type."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BitTypeExpr(TypeExpr):
     """``Bit(width_expression)``."""
 
     width: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NamedTypeExpr(TypeExpr):
     """A reference to a named type or a ``type`` template parameter."""
 
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamTypeExpr(TypeExpr):
     """``Stream(element, d=..., t=..., c=..., dir=..., sync=...)``."""
 
@@ -144,7 +144,7 @@ class StreamTypeExpr(TypeExpr):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TemplateParam(Node):
     """One template parameter declaration.
 
@@ -158,19 +158,19 @@ class TemplateParam(Node):
     of_streamlet: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TemplateArg(Node):
     """Base class of template arguments at an instantiation site."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TypeArg(TemplateArg):
     """``type <type-expression>`` argument."""
 
     type_expr: TypeExpr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ImplArg(TemplateArg):
     """``impl <name>`` argument (an implementation passed as a value)."""
 
@@ -178,7 +178,7 @@ class ImplArg(TemplateArg):
     arguments: tuple["TemplateArg", ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExprArg(TemplateArg):
     """A plain value argument."""
 
@@ -190,26 +190,26 @@ class ExprArg(TemplateArg):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Declaration(Node):
     """Base class of top-level declarations."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PackageDecl(Declaration):
     """``package name;`` -- names the current source file's package."""
 
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UseDecl(Declaration):
     """``use name;`` -- imports another package's declarations."""
 
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConstDecl(Declaration):
     """``const name = expression;`` -- an immutable variable."""
 
@@ -217,7 +217,7 @@ class ConstDecl(Declaration):
     value: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TypeAliasDecl(Declaration):
     """``type name = type-expression;``"""
 
@@ -225,7 +225,7 @@ class TypeAliasDecl(Declaration):
     type_expr: TypeExpr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupDecl(Declaration):
     """``Group name { field: type, ... }``"""
 
@@ -233,7 +233,7 @@ class GroupDecl(Declaration):
     fields: tuple[tuple[str, TypeExpr], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnionDecl(Declaration):
     """``Union name { variant: type, ... }``"""
 
@@ -241,7 +241,7 @@ class UnionDecl(Declaration):
     variants: tuple[tuple[str, TypeExpr], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PortDecl(Node):
     """A port of a streamlet, optionally an array of ports."""
 
@@ -252,7 +252,7 @@ class PortDecl(Node):
     clock_domain: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamletDecl(Declaration):
     """``streamlet name<params> { ports }``"""
 
@@ -270,12 +270,12 @@ class StreamletDecl(Declaration):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ImplItem(Node):
     """Base class of statements allowed inside an implementation body."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstanceDecl(ImplItem):
     """``instance name(target<args>)[count]``"""
 
@@ -285,7 +285,7 @@ class InstanceDecl(ImplItem):
     array_size: Optional[Expr] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PortRefExpr(Node):
     """A reference to a port in a connection.
 
@@ -300,7 +300,7 @@ class PortRefExpr(Node):
     port_index: Optional[Expr] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionStmt(ImplItem):
     """``source => sink`` with optional attributes (e.g. ``@structural``)."""
 
@@ -309,7 +309,7 @@ class ConnectionStmt(ImplItem):
     attributes: tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForStmt(ImplItem):
     """``for i in <array-or-range> { body }``"""
 
@@ -318,7 +318,7 @@ class ForStmt(ImplItem):
     body: tuple[ImplItem, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IfStmt(ImplItem):
     """``if (cond) { body } else { body }``"""
 
@@ -327,7 +327,7 @@ class IfStmt(ImplItem):
     else_body: tuple[ImplItem, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AssertStmt(ImplItem):
     """``assert(expression)`` with an optional message string."""
 
@@ -335,7 +335,7 @@ class AssertStmt(ImplItem):
     message: Optional[Expr] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocalConstDecl(ImplItem):
     """A ``const`` declaration local to an implementation body."""
 
@@ -348,12 +348,12 @@ class LocalConstDecl(ImplItem):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimStmt(Node):
     """Base class of simulation statements inside an event handler."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateDecl(Node):
     """``state name = "initial";`` -- a string-valued state variable."""
 
@@ -361,19 +361,19 @@ class StateDecl(Node):
     initial: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventExpr(Node):
     """Base class of event expressions (receive events and combinations)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceiveEvent(EventExpr):
     """``receive(port)`` -- fires when a data packet arrives on ``port``."""
 
     port: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CombinedEvent(EventExpr):
     """Boolean combination of events (``&&`` / ``||``)."""
 
@@ -382,7 +382,7 @@ class CombinedEvent(EventExpr):
     right: EventExpr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendStmt(SimStmt):
     """``send(port, expression);`` -- emit a data packet on an output port."""
 
@@ -390,21 +390,21 @@ class SendStmt(SimStmt):
     value: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckStmt(SimStmt):
     """``ack(port);`` -- acknowledge the handshake on an input port."""
 
     port: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DelayStmt(SimStmt):
     """``delay n;`` -- advance simulated time by ``n`` cycles."""
 
     cycles: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetStateStmt(SimStmt):
     """``state name = expression;`` -- update a state variable."""
 
@@ -412,7 +412,7 @@ class SetStateStmt(SimStmt):
     value: Expr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimIfStmt(SimStmt):
     """``if (cond) { ... } else { ... }`` inside an event handler."""
 
@@ -421,7 +421,7 @@ class SimIfStmt(SimStmt):
     else_body: tuple[SimStmt, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventHandler(Node):
     """``on <event-expression> { statements }``"""
 
@@ -429,7 +429,7 @@ class EventHandler(Node):
     body: tuple[SimStmt, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimulationBlock(Node):
     """``simulation { state ...; on ... { ... } }`` inside an implementation."""
 
@@ -442,7 +442,7 @@ class SimulationBlock(Node):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ImplDecl(Declaration):
     """``impl name<params> of streamlet<args> { body }``.
 
@@ -463,7 +463,7 @@ class ImplDecl(Declaration):
         return bool(self.params)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TopDecl(Declaration):
     """``top name<args>;`` -- designates the top-level implementation."""
 
@@ -471,7 +471,7 @@ class TopDecl(Declaration):
     arguments: tuple[TemplateArg, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class SourceUnit:
     """One parsed source file: package name plus its declarations."""
 

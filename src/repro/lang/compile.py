@@ -48,6 +48,7 @@ from repro.lang.drc import DRCReport, check_project
 from repro.lang.evaluate import Evaluator, Program
 from repro.lang.parser import parse_source
 from repro.lang.sugaring import SugaringReport, apply_sugaring
+from repro.profiling import PROFILER
 from repro.stdlib.source import STDLIB_SOURCE
 
 
@@ -311,10 +312,19 @@ def _parsed_stdlib(source_text: str) -> SourceUnit:
 
     Every compilation with ``include_stdlib=True`` prepends the same ~200
     lines of stdlib source; lexing and parsing them dominated short compiles,
-    so the parsed AST is memoised.  The AST is treated as immutable by every
-    later stage (evaluation only reads declarations), which makes sharing one
-    unit across compilations safe.
+    so the parsed AST is memoised.  On a *cold* process the first call is
+    served from the precompiled pickled snapshot shipped with the package
+    (:mod:`repro.stdlib.snapshot`) when its version stamp matches -- any
+    mismatch falls back to a live parse.  The AST is treated as immutable by
+    every later stage (evaluation only reads declarations), which makes
+    sharing one unit across compilations safe.
     """
+    if source_text == STDLIB_SOURCE:
+        from repro.stdlib.snapshot import load_stdlib_unit
+
+        unit = load_stdlib_unit()
+        if unit is not None:
+            return unit
     return parse_source(source_text, "std.td")
 
 
@@ -384,9 +394,10 @@ def parse_stage(
     declarations), which is what makes sharing cached ASTs safe.
     """
     units: list[SourceUnit] = []
-    if include_stdlib:
-        units.append(_parsed_stdlib(STDLIB_SOURCE))
-    units.extend(parse_file(text, filename) for text, filename in normalized)
+    with PROFILER.stage("parse"):
+        if include_stdlib:
+            units.append(_parsed_stdlib(STDLIB_SOURCE))
+        units.extend(parse_file(text, filename) for text, filename in normalized)
     total_decls = sum(len(u.declarations) for u in units)
     entry = CompilationStage(
         "parse", f"parsed {len(units)} source file(s), {total_decls} declaration(s)"
@@ -403,9 +414,10 @@ def evaluate_stage(
     project_name: str = "design",
 ) -> tuple[Project, CompilationStage]:
     """Stage 2: evaluation / expansion ("code expansion & evaluation")."""
-    program = Program.from_units(list(units))
-    evaluator = Evaluator(program, diagnostics, project_name=project_name)
-    project = evaluator.evaluate(top=top, top_args=top_args)
+    with PROFILER.stage("evaluate"):
+        program = Program.from_units(list(units))
+        evaluator = Evaluator(program, diagnostics, project_name=project_name)
+        project = evaluator.evaluate(top=top, top_args=top_args)
     stats = project.statistics()
     entry = CompilationStage(
         "evaluate",
@@ -421,7 +433,8 @@ def sugar_stage(
     diagnostics: DiagnosticSink,
 ) -> tuple[SugaringReport, CompilationStage]:
     """Stage 3: sugaring ("desugaring" box of Figure 3).  Mutates ``project``."""
-    report = apply_sugaring(project, diagnostics)
+    with PROFILER.stage("sugaring"):
+        report = apply_sugaring(project, diagnostics)
     return report, CompilationStage("sugaring", report.summary())
 
 
@@ -432,7 +445,8 @@ def drc_stage(
     strict: bool = True,
 ) -> tuple[DRCReport, CompilationStage]:
     """Stage 4: design rule check; ``strict`` raises on DRC errors."""
-    report = check_project(project, diagnostics)
+    with PROFILER.stage("drc"):
+        report = check_project(project, diagnostics)
     entry = CompilationStage("drc", report.summary())
     if strict:
         report.raise_if_failed()
@@ -469,10 +483,11 @@ def backend_stage(
     options_by_name = dict(backend_options or ())
     for target in normalize_targets(targets):
         backend = get_backend(target, options_by_name.get(target))
-        if stage_cache is not None:
-            files = stage_cache.emit_backend(project, backend)
-        else:
-            files = backend.emit(project)
+        with PROFILER.stage(f"backend:{backend.name}"):
+            if stage_cache is not None:
+                files = stage_cache.emit_backend(project, backend)
+            else:
+                files = backend.emit(project)
         outputs[backend.name] = files
         entries.append(
             CompilationStage(f"backend:{backend.name}", f"emitted {len(files)} file(s)")

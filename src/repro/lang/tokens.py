@@ -98,7 +98,7 @@ KEYWORDS = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     """A single lexed token with its source span."""
 

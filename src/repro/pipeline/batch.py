@@ -268,10 +268,67 @@ def _process_worker(
 
 
 def _worker_count(executor: str, max_workers: Optional[int], num_jobs: int) -> int:
+    """Resolve the effective worker count for one batch.
+
+    An explicit ``max_workers`` is always respected (clamped to the job
+    count).  The *default* is executor-aware: the frontend is pure Python,
+    so threads only overlap the GIL-releasing slices (disk-cache I/O,
+    pickling) and more than a handful adds contention rather than
+    parallelism -- hence the small thread cap.  Processes sidestep the GIL
+    entirely, so their default is the full CPU count.  (Historically both
+    defaults were capped at 8, under-using wide machines for process
+    batches.)
+    """
     if executor == "serial" or num_jobs <= 1:
         return 1
-    workers = max_workers or min(os.cpu_count() or 2, 8)
+    if max_workers is not None:
+        return max(1, min(max_workers, num_jobs))
+    cpus = os.cpu_count() or 2
+    workers = min(cpus, 8) if executor == "thread" else cpus
     return max(1, min(workers, num_jobs))
+
+
+def _parse_one(item: tuple[str, str]):
+    """Process-pool entry point: parse one ``(text, filename)`` pair."""
+    from repro.lang.parser import parse_source
+
+    text, filename = item
+    return parse_source(text, filename)
+
+
+def parallel_parse_stage(
+    normalized: Sequence[tuple[str, str]],
+    *,
+    include_stdlib: bool = True,
+    jobs: Optional[int] = None,
+):
+    """Stage 1 (:func:`repro.lang.compile.parse_stage`) across a process pool.
+
+    Parsing is per-file independent and pure, so the files of one design can
+    be lexed/parsed concurrently.  The parsed units are fed back through the
+    real ``parse_stage`` (as its ``parse_file`` hook), so stdlib handling,
+    unit ordering and the stage-log entry are byte-identical to a serial
+    parse -- ``tests/test_pipeline_batch.py`` asserts equality.
+
+    ``jobs`` defaults to the CPU count; with one worker or one file the
+    serial path runs directly (a process pool costs more than it saves on
+    small inputs).
+    """
+    from repro.lang.compile import parse_stage
+
+    normalized = tuple(normalized)
+    if jobs is None:
+        jobs = os.cpu_count() or 2
+    jobs = max(1, min(jobs, len(normalized)))
+    if jobs <= 1 or len(normalized) <= 1:
+        return parse_stage(normalized, include_stdlib=include_stdlib)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        parsed = iter(list(pool.map(_parse_one, normalized)))
+    return parse_stage(
+        normalized,
+        include_stdlib=include_stdlib,
+        parse_file=lambda text, filename: next(parsed),
+    )
 
 
 def run_jobs(
@@ -295,8 +352,11 @@ def run_jobs(
         ``"serial"``, ``"thread"`` or ``"process"``.  Threads share the
         in-memory cache; processes share only its disk tier.
     max_workers:
-        Worker count for the concurrent executors (default: CPU count,
-        capped at 8 for threads to match the GIL's useful parallelism).
+        Worker count for the concurrent executors.  Defaults are
+        executor-aware (see :func:`_worker_count`): CPU count for
+        processes, CPU count capped at 8 for threads (the pure-Python
+        frontend holds the GIL, so extra threads add contention, not
+        parallelism).  An explicit value is always respected.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")

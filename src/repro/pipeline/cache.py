@@ -61,7 +61,11 @@ CACHE_VERSION = 2
 #: options always share one fingerprint -- a prerequisite for keying the
 #: *shared* remote tier, where an order-dependent key would fragment (and
 #: pollute) the whole fleet's cache.
-STAGE_SCHEMA_VERSION = 4
+#: v5: the AST/token dataclasses grew ``slots=True`` and logical types are
+#: interned at the constructor (``repro.spec.logical_types``), changing the
+#: pickle layout of cached parse/evaluate artefacts; entries pickled by the
+#: pre-slots layout must miss rather than deserialise into the new classes.
+STAGE_SCHEMA_VERSION = 5
 
 #: Default directory name for the on-disk store.
 DEFAULT_CACHE_DIR = ".tydi-cache"

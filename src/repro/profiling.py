@@ -1,0 +1,148 @@
+"""Opt-in per-stage wall/CPU timers for the frontend pipeline.
+
+Profiling the cold path (parse -> evaluate -> sugar -> DRC -> backends)
+guided every frontend optimisation in this repo, so the instrumentation is
+kept as a first-class, always-available (but default-off) facility instead
+of ad-hoc ``cProfile`` runs:
+
+* the stage functions in :mod:`repro.lang.compile` wrap their bodies in
+  :meth:`StageProfiler.stage`, which is a no-op unless profiling is on;
+* enabling is opt-in via the ``TYDI_PROFILE_STAGES`` environment variable
+  (read once at import, so forked pool workers inherit it) or the
+  ``--profile-stages`` flag of ``tydi-compile`` / ``tydi-serve serve``;
+* the numbers ride the existing stats plumbing:
+  :meth:`repro.workspace.Workspace.stats` includes a ``"profiling"`` block
+  when enabled, which the compile service's ``stats`` endpoint (and the
+  worker pool's per-worker aggregation) forwards unchanged.
+
+Timers record both wall time (``perf_counter``) and CPU time
+(``process_time``) so a stage that blocks on I/O (disk cache, remote L2)
+is distinguishable from one that burns cycles.
+
+Overhead when disabled is one attribute check per stage call; when enabled,
+two clock reads per stage plus a dict update under a lock -- negligible
+against stage costs, so it is safe to leave on in a long-lived daemon.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+#: Environment switch: any value other than ``"" / "0" / "false" / "no"``
+#: (case-insensitive) enables the global profiler at import time.
+ENV_VAR = "TYDI_PROFILE_STAGES"
+
+
+def _env_enabled(value: str | None) -> bool:
+    if value is None:
+        return False
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+class StageProfiler:
+    """Accumulates per-stage wall/CPU timings; thread-safe, default-off."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        #: stage name -> [count, wall_seconds, cpu_seconds]
+        self._stages: dict[str, list[float]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop every accumulated timing (the enabled flag is untouched)."""
+        with self._lock:
+            self._stages.clear()
+
+    def record(self, name: str, wall_seconds: float, cpu_seconds: float) -> None:
+        """Fold one timed run of ``name`` into the accumulators."""
+        with self._lock:
+            entry = self._stages.get(name)
+            if entry is None:
+                self._stages[name] = [1, wall_seconds, cpu_seconds]
+            else:
+                entry[0] += 1
+                entry[1] += wall_seconds
+                entry[2] += cpu_seconds
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one stage run; a no-op context manager while disabled.
+
+        Exceptions propagate unchanged; a failing stage still records the
+        time it spent before raising (a slow *failing* DRC is exactly the
+        kind of regression the timers exist to surface).
+        """
+        if not self._enabled:
+            yield
+            return
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - wall0, time.process_time() - cpu0)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready copy: per-stage counts and millisecond totals."""
+        with self._lock:
+            stages = {
+                name: {
+                    "count": int(entry[0]),
+                    "wall_ms": round(entry[1] * 1000, 3),
+                    "cpu_ms": round(entry[2] * 1000, 3),
+                }
+                for name, entry in sorted(self._stages.items())
+            }
+        return {"enabled": self._enabled, "stages": stages}
+
+
+#: The process-wide profiler every stage function reports to.
+PROFILER = StageProfiler(enabled=_env_enabled(os.environ.get(ENV_VAR)))
+
+
+def enable_profiling() -> None:
+    """Turn the global profiler on (same effect as ``TYDI_PROFILE_STAGES=1``)."""
+    PROFILER.enable()
+
+
+def disable_profiling() -> None:
+    PROFILER.disable()
+
+
+def profiling_enabled() -> bool:
+    return PROFILER.enabled
+
+
+def profile_snapshot() -> dict[str, object]:
+    """The global profiler's :meth:`StageProfiler.snapshot`."""
+    return PROFILER.snapshot()
+
+
+def format_profile(snapshot: dict[str, object] | None = None) -> str:
+    """Render a snapshot as an aligned text table (CLI ``--profile-stages``)."""
+    if snapshot is None:
+        snapshot = profile_snapshot()
+    stages = snapshot.get("stages") or {}
+    if not stages:
+        return "no stage timings recorded"
+    width = max(len(name) for name in stages)
+    lines = [f"{'stage':<{width}}  {'runs':>5}  {'wall ms':>10}  {'cpu ms':>10}"]
+    for name, entry in stages.items():
+        lines.append(
+            f"{name:<{width}}  {entry['count']:>5}  "
+            f"{entry['wall_ms']:>10.3f}  {entry['cpu_ms']:>10.3f}"
+        )
+    return "\n".join(lines)

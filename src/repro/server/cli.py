@@ -79,6 +79,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "consulted after memory and disk miss, with write-behind upload; "
         "pool workers each dial the same endpoint",
     )
+    serve.add_argument(
+        "--profile-stages",
+        action="store_true",
+        help="record per-stage wall/CPU timings in this daemon (and its "
+        "pool workers); exposed under the stats endpoint's "
+        "workspace.profiling block",
+    )
 
     cache = sub.add_parser(
         "cache", help="run the shared remote cache daemon until SIGINT"
@@ -168,6 +175,16 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.errors import TydiError
     from repro.server.service import CompileService
     from repro.server.transport import serve
+
+    if args.profile_stages:
+        import os
+
+        from repro.profiling import ENV_VAR, enable_profiling
+
+        # The env var (read at import time) makes forked/spawned pool
+        # workers profile too; enable_profiling() covers this process.
+        os.environ[ENV_VAR] = "1"
+        enable_profiling()
 
     try:
         service = CompileService(

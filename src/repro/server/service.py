@@ -529,6 +529,8 @@ def _aggregate_worker_workspaces(pool_stats: Mapping[str, Any]) -> dict[str, Any
     """
     designs = {"total": 0, "fresh": 0, "stale": 0, "error": 0}
     stage_totals: dict[str, int] = {}
+    profile_totals: dict[str, dict[str, float]] = {}
+    profiling_enabled = False
     missing = 0
     for entry in pool_stats.get("per_worker", ()):
         workspace = entry.get("workspace")
@@ -541,8 +543,24 @@ def _aggregate_worker_workspaces(pool_stats: Mapping[str, Any]) -> dict[str, Any
         for key, value in (workspace.get("stage_cache") or {}).items():
             if isinstance(value, int):
                 stage_totals[key] = stage_totals.get(key, 0) + value
-    return {
+        profiling = workspace.get("profiling")
+        if isinstance(profiling, Mapping):
+            profiling_enabled = profiling_enabled or bool(profiling.get("enabled"))
+            for stage, counters in (profiling.get("stages") or {}).items():
+                if not isinstance(counters, Mapping):
+                    continue
+                totals = profile_totals.setdefault(
+                    stage, {"count": 0, "wall_ms": 0.0, "cpu_ms": 0.0}
+                )
+                for key in totals:
+                    value = counters.get(key)
+                    if isinstance(value, (int, float)):
+                        totals[key] = round(totals[key] + value, 3)
+    summary: dict[str, Any] = {
         "designs": designs,
         "stage_cache": stage_totals or None,
         "workers_missing": missing,
     }
+    if profiling_enabled or profile_totals:
+        summary["profiling"] = {"enabled": profiling_enabled, "stages": profile_totals}
+    return summary

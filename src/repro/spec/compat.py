@@ -29,7 +29,14 @@ def structurally_equal(a: LogicalType, b: LogicalType) -> bool:
     Stream parameters (dimension, direction, synchronicity, throughput, user)
     must match exactly; complexity participates in the connection check
     separately, so it is *not* part of structural equality.
+
+    Constructor-level interning (:class:`repro.spec.logical_types.
+    _InternedTypeMeta`) makes structurally identical types the *same*
+    object in the common case, so the identity check below resolves most
+    DRC comparisons without recursing.
     """
+    if a is b:
+        return True
     if isinstance(a, Null) and isinstance(b, Null):
         return True
     if isinstance(a, Bit) and isinstance(b, Bit):

@@ -26,7 +26,70 @@ from repro.spec.stream_params import Complexity, Direction, Synchronicity, Throu
 from repro.utils.names import sanitize_identifier
 
 
-class LogicalType:
+class _InternedTypeMeta(type):
+    """Constructor-level hash-consing of logical type instances.
+
+    Logical types are immutable value objects compared *structurally* all
+    over the DRC/compat hot path (``strictly_equal`` falls back to deep
+    comparison, ``structurally_equal`` always recurses).  Interning at the
+    constructor makes structurally identical constructions return the *same*
+    object, so those comparisons short-circuit on their ``a is b`` fast
+    paths -- without touching ``__eq__``/``__hash__`` semantics at all
+    (dataclass-generated structural equality is exactly what keys the
+    intern table).
+
+    Properties:
+
+    * validation still runs first -- ``__post_init__`` raises before the
+      table is consulted, so invalid constructions never intern;
+    * only instances whose :meth:`LogicalType._internable` predicate holds
+      are collapsed.  Strict equality (``strictly_equal``) deliberately
+      distinguishes *anonymous* structural twins -- two separately written
+      ``Group { x: Bit(8) }`` types are different types -- so anonymous
+      Groups/Unions (and Streams wrapping them) are never interned.
+      Primitives and *named* compound types are safe: dataclass equality
+      for those already implies strict equality, so collapsing them cannot
+      change any DRC verdict;
+    * an instance with an unhashable field (never the case for the five
+      spec constructors, but subclasses are free) simply skips interning;
+    * the table is bounded: at :data:`_INTERN_CAPACITY` entries it is
+      cleared wholesale (interning is an optimisation, not an identity
+      guarantee -- ``__eq__`` remains the source of truth);
+    * unpickled instances bypass ``__call__`` and are therefore not
+      interned; pickle's memo still preserves sharing *within* one payload,
+      and equality semantics are unchanged either way.
+    """
+
+    _INTERN_CAPACITY = 4096
+    _intern_table: dict["LogicalType", "LogicalType"] = {}
+
+    def __call__(cls, *args, **kwargs):
+        instance = super().__call__(*args, **kwargs)
+        if not instance._internable():
+            return instance
+        table = _InternedTypeMeta._intern_table
+        try:
+            canonical = table.get(instance)
+        except TypeError:  # unhashable field: skip interning
+            return instance
+        if canonical is not None:
+            return canonical
+        if len(table) >= _InternedTypeMeta._INTERN_CAPACITY:
+            table.clear()
+        table[instance] = instance
+        return instance
+
+
+def clear_intern_table() -> None:
+    """Drop every interned logical type (test isolation hook)."""
+    _InternedTypeMeta._intern_table.clear()
+
+
+def intern_table_size() -> int:
+    return len(_InternedTypeMeta._intern_table)
+
+
+class LogicalType(metaclass=_InternedTypeMeta):
     """Base class for all Tydi logical types."""
 
     #: Short constructor name used in rendering ("Null", "Bit", ...).
@@ -58,6 +121,16 @@ class LogicalType:
     def children(self) -> Iterable[tuple[str, "LogicalType"]]:
         """(name, type) pairs of direct children; empty for leaf types."""
         return ()
+
+    def _internable(self) -> bool:
+        """Whether constructor-level interning may collapse equal instances.
+
+        Must only be True when dataclass equality implies *strict* equality
+        (see :func:`repro.spec.compat.strictly_equal`): anonymous compound
+        types are distinct types even when structurally identical, so they
+        opt out via overrides.  Leaf primitives are always safe.
+        """
+        return True
 
     def __str__(self) -> str:
         return self.to_tydi()
@@ -163,6 +236,11 @@ class Group(LogicalType):
             return sanitize_identifier(self.name.lower())
         return super().mangle_name()
 
+    def _internable(self) -> bool:
+        # Anonymous groups are distinct types under strict equality even
+        # when structurally identical; only named ones may be collapsed.
+        return bool(self.name)
+
 
 @dataclass(frozen=True, repr=False)
 class Union(LogicalType):
@@ -217,6 +295,10 @@ class Union(LogicalType):
         if self.name:
             return sanitize_identifier(self.name.lower())
         return super().mangle_name()
+
+    def _internable(self) -> bool:
+        # Same rule as Group: anonymous unions stay distinct.
+        return bool(self.name)
 
 
 @dataclass(frozen=True, repr=False)
@@ -288,6 +370,13 @@ class Stream(LogicalType):
 
     def children(self) -> Iterable[tuple[str, LogicalType]]:
         return (("element", self.element), ("user", self.user))
+
+    def _internable(self) -> bool:
+        # Mirrors the element condition of ``strictly_equal``'s Stream rule:
+        # collapsing two equal streams is only safe when equal elements are
+        # guaranteed strictly equal -- primitives and named compound types.
+        # Streams around anonymous Groups/Unions stay distinct objects.
+        return isinstance(self.element, (Bit, Null)) or bool(getattr(self.element, "name", None))
 
     def data_width(self) -> int:
         """Bits of element data per lane (excluding dimension / user bits)."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class SourceLocation:
     """A single point in a source file (1-based line and column)."""
 
@@ -25,7 +25,7 @@ class SourceLocation:
         return f"{self.line}:{self.column}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SourceSpan:
     """A half-open byte range ``[start, end)`` within a named source file."""
 

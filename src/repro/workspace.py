@@ -518,6 +518,13 @@ class Workspace:
             "cache": cache_stats,
             "stage_cache": stage_stats,
         }
+        from repro.profiling import PROFILER
+
+        if PROFILER.enabled:
+            # Per-stage wall/CPU timers (opt-in via TYDI_PROFILE_STAGES or
+            # --profile-stages); rides the stats plumbing unchanged through
+            # the compile service's ``stats`` endpoint.
+            snapshot["profiling"] = PROFILER.snapshot()
         if self.label is not None:
             snapshot["label"] = self.label
         return snapshot

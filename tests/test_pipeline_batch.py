@@ -245,3 +245,90 @@ class TestBackendTargets:
         entry = outcome.results[0]
         assert entry.error_stage == "backend"
         assert "unknown backend" in entry.error
+
+
+class TestWorkerCount:
+    def test_explicit_workers_always_respected(self):
+        from repro.pipeline.batch import _worker_count
+
+        assert _worker_count("process", 32, 64) == 32
+        assert _worker_count("thread", 32, 64) == 32
+        assert _worker_count("process", 32, 4) == 4  # clamped to job count
+
+    def test_defaults_are_executor_aware(self):
+        import os
+
+        from repro.pipeline.batch import _worker_count
+
+        cpus = os.cpu_count() or 2
+        assert _worker_count("thread", None, 1000) == min(cpus, 8)
+        assert _worker_count("process", None, 1000) == cpus
+
+    def test_serial_and_tiny_batches(self):
+        from repro.pipeline.batch import _worker_count
+
+        assert _worker_count("serial", 16, 100) == 1
+        assert _worker_count("process", 16, 1) == 1
+
+
+class TestParallelParse:
+    SOURCES = tuple(
+        (design_source(width), f"par_{width}.td") for width in range(1, 7)
+    )
+
+    def test_parallel_equals_serial(self):
+        from repro.lang.compile import parse_stage
+        from repro.pipeline.batch import parallel_parse_stage
+
+        serial_units, serial_entry = parse_stage(self.SOURCES)
+        parallel_units, parallel_entry = parallel_parse_stage(self.SOURCES, jobs=4)
+        assert parallel_units == serial_units
+        assert parallel_entry == serial_entry
+
+    def test_parallel_equals_serial_without_stdlib(self):
+        from repro.lang.compile import parse_stage
+        from repro.pipeline.batch import parallel_parse_stage
+
+        serial = parse_stage(self.SOURCES, include_stdlib=False)
+        parallel = parallel_parse_stage(self.SOURCES, include_stdlib=False, jobs=3)
+        assert parallel == serial
+
+    def test_single_worker_takes_serial_path(self):
+        from repro.lang.compile import parse_stage
+        from repro.pipeline.batch import parallel_parse_stage
+
+        assert parallel_parse_stage(self.SOURCES, jobs=1) == parse_stage(self.SOURCES)
+
+    def test_parse_error_propagates(self):
+        from repro.errors import TydiSyntaxError
+        from repro.pipeline.batch import parallel_parse_stage
+
+        bad = self.SOURCES + (("streamlet ? {", "bad.td"),)
+        with pytest.raises(TydiSyntaxError):
+            parallel_parse_stage(bad, jobs=4)
+
+    def test_preload_units_warms_parse_tier(self):
+        cache = CompilationCache()
+        stage_cache = cache.stages
+        parsed = stage_cache.preload_units(self.SOURCES, jobs=4)
+        assert parsed == len(self.SOURCES)
+        # Everything warmed: a second preload parses nothing...
+        assert stage_cache.preload_units(self.SOURCES, jobs=4) == 0
+        # ...and a compile's parse stage is all hits.
+        before = stage_cache.stats_snapshot()["parse_hits"]
+        for text, filename in self.SOURCES:
+            stage_cache.cached_parse(text, filename)
+        after = stage_cache.stats_snapshot()["parse_hits"]
+        assert after - before == len(self.SOURCES)
+
+    def test_preloaded_compile_matches_cold_compile(self):
+        from repro.lang.compile import CompileOptions, run_pipeline
+        from repro.testing import build_chain_design
+
+        sources = build_chain_design(4)
+        cache = CompilationCache()
+        cache.stages.preload_units(sources, jobs=4)
+        warm = cache.stages.compile(list(sources), CompileOptions().as_dict())
+        cold = run_pipeline(sources, CompileOptions())
+        assert warm.ir_text() == cold.ir_text()
+        assert [s.name for s in warm.stages] == [s.name for s in cold.stages]

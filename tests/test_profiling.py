@@ -1,0 +1,151 @@
+"""The opt-in per-stage profiler and its ride along the stats plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import profiling
+from repro.lang.compile import CompileOptions, run_pipeline
+from repro.profiling import PROFILER, StageProfiler, format_profile
+
+
+@pytest.fixture(autouse=True)
+def _profiler_off():
+    """Leave the global profiler disabled and empty around every test."""
+    PROFILER.disable()
+    PROFILER.reset()
+    yield
+    PROFILER.disable()
+    PROFILER.reset()
+
+
+class TestStageProfiler:
+    def test_disabled_by_default_and_noop(self):
+        profiler = StageProfiler()
+        assert not profiler.enabled
+        with profiler.stage("parse"):
+            pass
+        assert profiler.snapshot() == {"enabled": False, "stages": {}}
+
+    def test_enabled_records_wall_and_cpu(self):
+        profiler = StageProfiler(enabled=True)
+        with profiler.stage("work"):
+            total = sum(range(10_000))
+        assert total
+        snapshot = profiler.snapshot()
+        entry = snapshot["stages"]["work"]
+        assert entry["count"] == 1
+        assert entry["wall_ms"] >= 0
+        assert entry["cpu_ms"] >= 0
+
+    def test_counts_accumulate_and_reset(self):
+        profiler = StageProfiler(enabled=True)
+        for _ in range(3):
+            with profiler.stage("s"):
+                pass
+        assert profiler.snapshot()["stages"]["s"]["count"] == 3
+        profiler.reset()
+        assert profiler.snapshot()["stages"] == {}
+
+    def test_failing_stage_still_records(self):
+        profiler = StageProfiler(enabled=True)
+        with pytest.raises(ValueError):
+            with profiler.stage("drc"):
+                raise ValueError("boom")
+        assert profiler.snapshot()["stages"]["drc"]["count"] == 1
+
+    def test_env_parsing(self):
+        enabled = profiling._env_enabled
+        assert not enabled(None)
+        for falsy in ("", "0", "false", "no", "off", " False ", "NO"):
+            assert not enabled(falsy)
+        for truthy in ("1", "true", "yes", "on", "anything"):
+            assert enabled(truthy)
+
+
+class TestPipelineIntegration:
+    def test_stages_recorded_when_enabled(self):
+        PROFILER.enable()
+        run_pipeline([("streamlet s { }", "x.td")], CompileOptions())
+        stages = PROFILER.snapshot()["stages"]
+        for name in ("parse", "evaluate", "sugaring", "drc"):
+            assert stages[name]["count"] == 1, name
+
+    def test_backend_stages_recorded(self):
+        PROFILER.enable()
+        run_pipeline(
+            [("streamlet s { }", "x.td")], CompileOptions(targets=("ir",))
+        )
+        assert "backend:ir" in PROFILER.snapshot()["stages"]
+
+    def test_nothing_recorded_when_disabled(self):
+        run_pipeline([("streamlet s { }", "x.td")], CompileOptions())
+        assert PROFILER.snapshot()["stages"] == {}
+
+    def test_workspace_stats_include_profiling_only_when_enabled(self):
+        from repro.workspace import Workspace
+
+        workspace = Workspace(cache=None)
+        workspace.add_design("d", [("streamlet s { }", "x.td")])
+        workspace.result("d")
+        assert "profiling" not in workspace.stats()
+
+        PROFILER.enable()
+        workspace.update_file("d", "x.td", "streamlet s2 { }")
+        workspace.result("d")
+        stats = workspace.stats()
+        assert stats["profiling"]["enabled"] is True
+        assert stats["profiling"]["stages"]["parse"]["count"] >= 1
+
+
+class TestFormatProfile:
+    def test_empty_snapshot(self):
+        assert "no stage timings" in format_profile({"enabled": True, "stages": {}})
+
+    def test_table_rendering(self):
+        snapshot = {
+            "enabled": True,
+            "stages": {"parse": {"count": 2, "wall_ms": 1.5, "cpu_ms": 1.25}},
+        }
+        table = format_profile(snapshot)
+        assert "parse" in table and "1.500" in table and "1.250" in table
+
+
+class TestPoolAggregation:
+    def test_worker_profiling_blocks_are_summed(self):
+        from repro.server.service import _aggregate_worker_workspaces
+
+        def worker(wall):
+            return {
+                "workspace": {
+                    "designs": {"total": 1, "fresh": 1, "stale": 0, "error": 0},
+                    "stage_cache": {"parse_hits": 1},
+                    "profiling": {
+                        "enabled": True,
+                        "stages": {"parse": {"count": 1, "wall_ms": wall, "cpu_ms": wall}},
+                    },
+                }
+            }
+
+        summary = _aggregate_worker_workspaces({"per_worker": [worker(1.5), worker(2.5)]})
+        assert summary["profiling"]["enabled"] is True
+        parse = summary["profiling"]["stages"]["parse"]
+        assert parse["count"] == 2
+        assert parse["wall_ms"] == pytest.approx(4.0)
+
+    def test_no_profiling_block_without_worker_profiling(self):
+        from repro.server.service import _aggregate_worker_workspaces
+
+        summary = _aggregate_worker_workspaces(
+            {
+                "per_worker": [
+                    {
+                        "workspace": {
+                            "designs": {"total": 1, "fresh": 1, "stale": 0, "error": 0},
+                            "stage_cache": {},
+                        }
+                    }
+                ]
+            }
+        )
+        assert "profiling" not in summary

@@ -1,0 +1,129 @@
+"""The precompiled stdlib AST snapshot: freshness and fallback behaviour.
+
+The invariant under test: :func:`repro.stdlib.snapshot.load_stdlib_unit`
+NEVER raises -- a missing, corrupt, truncated or stale snapshot silently
+falls back to a live parse (returning ``None`` and bumping the fallback
+counter), because a broken snapshot may cost milliseconds, not a compile.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.lang.ast import SourceUnit
+from repro.lang.parser import parse_source
+from repro.stdlib import snapshot as snap
+from repro.stdlib.source import STDLIB_SOURCE
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    snap.reset_counters()
+    yield
+    snap.reset_counters()
+
+
+class TestCommittedSnapshot:
+    def test_committed_snapshot_is_fresh(self):
+        """The in-tree snapshot must match the current stdlib + version.
+
+        If this fails after editing the stdlib or the AST classes, rebuild
+        with ``python -m repro.stdlib.snapshot`` and commit the result.
+        """
+        assert snap.snapshot_path().is_file(), (
+            "snapshot missing; run `python -m repro.stdlib.snapshot`"
+        )
+        unit = snap.load_stdlib_unit()
+        assert unit is not None, (
+            f"committed snapshot is stale ({snap.snapshot_counters()['last_fallback']}); "
+            "run `python -m repro.stdlib.snapshot` and commit the result"
+        )
+        assert snap.snapshot_counters()["hits"] == 1
+
+    def test_snapshot_equals_live_parse(self):
+        unit = snap.load_stdlib_unit()
+        assert unit == parse_source(STDLIB_SOURCE, "std.td")
+
+    def test_compile_uses_snapshot_ast(self):
+        from repro.lang import compile as compile_mod
+        from repro.lang.compile import CompileOptions, run_pipeline
+
+        compile_mod._parsed_stdlib.cache_clear()
+        result = run_pipeline([("streamlet s { }", "x.td")], CompileOptions())
+        compile_mod._parsed_stdlib.cache_clear()
+        assert snap.snapshot_counters()["hits"] >= 1
+        assert not result.diagnostics.has_errors()
+
+
+class TestFallbacks:
+    def test_missing_snapshot_falls_back(self, tmp_path):
+        assert snap.load_stdlib_unit(tmp_path / "nope.pkl") is None
+        counters = snap.snapshot_counters()
+        assert counters["fallbacks"] == 1
+        assert counters["last_fallback"] == "missing"
+
+    def test_corrupt_bytes_fall_back(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        path.write_bytes(b"this is not a pickle")
+        assert snap.load_stdlib_unit(path) is None
+        assert snap.snapshot_counters()["last_fallback"] == "corrupt"
+
+    def test_truncated_snapshot_falls_back(self, tmp_path):
+        good = snap.build_snapshot(tmp_path / "good.pkl")
+        truncated = tmp_path / "short.pkl"
+        truncated.write_bytes(good.read_bytes()[:50])
+        assert snap.load_stdlib_unit(truncated) is None
+        assert snap.snapshot_counters()["last_fallback"] == "corrupt"
+
+    def test_wrong_payload_shape_falls_back(self, tmp_path):
+        path = tmp_path / "shape.pkl"
+        path.write_bytes(pickle.dumps(["not", "a", "dict"]))
+        assert snap.load_stdlib_unit(path) is None
+        assert snap.snapshot_counters()["last_fallback"] == "corrupt"
+
+    def test_stale_stamp_falls_back(self, tmp_path):
+        path = tmp_path / "stale.pkl"
+        stamp = snap._stamp(STDLIB_SOURCE)
+        stamp["compiler"] = "0.0.0-ancient"
+        unit = parse_source(STDLIB_SOURCE, "std.td")
+        path.write_bytes(pickle.dumps({"stamp": stamp, "unit": unit}))
+        assert snap.load_stdlib_unit(path) is None
+        assert snap.snapshot_counters()["last_fallback"] == "stale"
+
+    def test_stamp_with_non_unit_payload_falls_back(self, tmp_path):
+        path = tmp_path / "nounit.pkl"
+        path.write_bytes(pickle.dumps({"stamp": snap._stamp(STDLIB_SOURCE), "unit": 42}))
+        assert snap.load_stdlib_unit(path) is None
+        assert snap.snapshot_counters()["last_fallback"] == "corrupt"
+
+    def test_compile_survives_broken_snapshot(self, monkeypatch, tmp_path):
+        """End to end: a corrupt snapshot must not break compilation."""
+        from repro.lang import compile as compile_mod
+        from repro.lang.compile import CompileOptions, run_pipeline
+
+        broken = tmp_path / "broken.pkl"
+        broken.write_bytes(b"\x80garbage")
+        monkeypatch.setattr(snap, "snapshot_path", lambda: broken)
+        compile_mod._parsed_stdlib.cache_clear()
+        try:
+            result = run_pipeline([("streamlet s { }", "x.td")], CompileOptions())
+        finally:
+            compile_mod._parsed_stdlib.cache_clear()
+        assert not result.diagnostics.has_errors()
+        counters = snap.snapshot_counters()
+        assert counters["fallbacks"] == 1
+        assert counters["hits"] == 0
+
+
+class TestBuildSnapshot:
+    def test_build_produces_loadable_snapshot(self, tmp_path):
+        path = snap.build_snapshot(tmp_path / "fresh.pkl")
+        unit = snap.load_stdlib_unit(path)
+        assert isinstance(unit, SourceUnit)
+        assert snap.snapshot_counters()["hits"] == 1
+
+    def test_build_is_atomic(self, tmp_path):
+        path = snap.build_snapshot(tmp_path / "atomic.pkl")
+        assert not path.with_suffix(".tmp").exists()
