@@ -39,6 +39,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "pool-throughput.json": ("speedup",),
     "remote-cache.json": ("speedup",),
     "cold-compile.json": ("speedup",),
+    "sim-service.json": ("speedup",),
 }
 
 

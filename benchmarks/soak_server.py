@@ -7,9 +7,11 @@ The CI replacement for the old single-request server smoke job.  It:
    CLI, the real fork path, a real TCP port),
 2. drives it with ``--clients`` concurrent client threads for
    ``--duration`` seconds of interleaved load -- TPC-H query designs
-   re-opened and recompiled, plus synthetic designs under continuous
+   re-opened and recompiled, synthetic designs under continuous
    fuzzed edits (``update_file`` + ``get_ir`` round trips, with
-   ``get_diagnostics`` / ``get_outputs`` mixed in),
+   ``get_diagnostics`` / ``get_outputs`` mixed in), plus a simulable
+   pipeline per client driven through ``simulate_design`` under fuzzed
+   plans and occasional edits (the ``sim:`` tier under concurrency),
 3. then runs the same load against a ``--baseline-workers`` daemon and
    compares aggregate warm request throughput,
 4. then (unless ``--no-remote``) runs a third phase against a daemon
@@ -147,13 +149,32 @@ def tpch_jobs() -> list:
     return [QUERIES[name].compile_job() for name in sorted(QUERIES)]
 
 
+def sim_pipeline(constant: int) -> str:
+    """A simulable add-constant/accumulate pipeline (stdlib primitives)."""
+    return (
+        "type num = Stream(Bit(32), d=1);\n"
+        "streamlet top_s { values: num in, total: num out, }\n"
+        "impl top_i of top_s {\n"
+        f"    instance k(const_int_generator_i<type num, {constant}>),\n"
+        "    instance add(adder_i<type num, type num>),\n"
+        "    instance acc(sum_i<type num, type num>),\n"
+        "    values => add.lhs,\n"
+        "    k.output => add.rhs,\n"
+        "    add.output => acc.input,\n"
+        "    acc.output => total,\n"
+        "}\n"
+        "top top_i;\n"
+    )
+
+
 class ClientStats:
-    __slots__ = ("requests", "compile_errors", "failures")
+    __slots__ = ("requests", "compile_errors", "failures", "simulations")
 
     def __init__(self) -> None:
         self.requests = 0
         self.compile_errors = 0
         self.failures: list[str] = []
+        self.simulations = 0
 
 
 def run_load(
@@ -170,8 +191,20 @@ def run_load(
         job = jobs[index % len(jobs)]
         tpch_name = f"soak_tpch_{index}"
         fuzz_name = f"soak_fuzz_{index}"
+        sim_name = f"soak_sim_{index}"
+        sim_constant = 10 + index
         tpch_files = {filename: text for text, filename in job.sources}
         fuzz_sources = build_random_design(rng)
+        # A small pool of plans per client: repeats exercise the sim: cache
+        # tier, fresh ones exercise the simulator, all under concurrency.
+        sim_plans = [
+            {
+                "stimuli": {"values": [rng.randint(0, 99)
+                                       for _ in range(rng.randint(1, 8))]},
+                "channel_capacity": rng.choice([1, 2, 4]),
+            }
+            for _ in range(3)
+        ]
         try:
             with CompileClient(host, port, connect_retry_for=10) as client:
                 def call(method, *args, **kwargs):
@@ -184,6 +217,8 @@ def run_load(
 
                 call("open_design", fuzz_name,
                      files={f: t for t, f in fuzz_sources})
+                call("open_design", sim_name,
+                     files={"sim.td": sim_pipeline(sim_constant)})
                 while not stop.is_set():
                     roll = rng.random()
                     if roll < 0.15:
@@ -191,6 +226,17 @@ def run_load(
                         call("open_design", tpch_name, files=tpch_files,
                              options={"top": job.top, "sugaring": job.sugaring})
                         call("get_ir", tpch_name)
+                    elif roll < 0.30:
+                        # A plan-driven simulation; sometimes edit the
+                        # design first so the sim: tier sees invalidation
+                        # races, not just warm repeats.
+                        if rng.random() < 0.3:
+                            sim_constant += 1
+                            call("update_file", sim_name, "sim.td",
+                                 sim_pipeline(sim_constant))
+                        if call("simulate_design", sim_name,
+                                rng.choice(sim_plans)) is not None:
+                            record.simulations += 1
                     elif roll < 0.85:
                         # A fuzzed edit round trip on the synthetic design.
                         before = dict((f, t) for t, f in fuzz_sources)
@@ -228,6 +274,7 @@ def run_load(
         "requests": total_requests,
         "requests_per_s": round(total_requests / elapsed, 2) if elapsed else 0.0,
         "compile_errors": sum(record.compile_errors for record in stats),
+        "simulate_requests": sum(record.simulations for record in stats),
         "failures": [msg for record in stats for msg in record.failures],
     }
 
@@ -339,7 +386,8 @@ def main(argv: list[str] | None = None) -> int:
                  seed=args.seed, profile_stages=args.profile_stages)
     print(f"soak: multi-worker phase: {multi['requests']} requests "
           f"({multi['requests_per_s']}/s), {multi['compile_errors']} compile "
-          f"errors, restarts={multi['worker_restarts']}", flush=True)
+          f"errors, {multi['simulate_requests']} simulations, "
+          f"restarts={multi['worker_restarts']}", flush=True)
     baseline = soak(args.baseline_workers, clients=args.clients,
                     duration=args.duration, seed=args.seed)
     print(f"soak: baseline ({args.baseline_workers} worker): "
@@ -398,6 +446,8 @@ def main(argv: list[str] | None = None) -> int:
             problems.append(f"{tag}: daemon exit code {phase['exit_code']}")
         if phase["requests"] < args.clients * 2:
             problems.append(f"{tag}: implausibly few requests ({phase['requests']})")
+        if not phase.get("simulate_requests"):
+            problems.append(f"{tag}: no simulate_design traffic")
     if args.assert_floor and ratio < args.floor:
         problems.append(
             f"throughput ratio {ratio:.2f}x below the {args.floor}x floor"

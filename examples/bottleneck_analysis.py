@@ -15,6 +15,7 @@ Run with:  python examples/bottleneck_analysis.py
 """
 
 from repro.arrow.fletcher import fletcher_interface_source, reader_behaviors
+from repro.errors import TydiSimulationError
 from repro.arrow.tpch import LINEITEM_SCHEMA, generate_tpch_data
 from repro.lang import compile_sources
 from repro.sim import Simulator, analyze_bottlenecks, detect_deadlock
@@ -102,7 +103,12 @@ def main() -> None:
     broken_result = compile_project(broken_source)
     broken = Simulator(broken_result.project, channel_capacity=2)
     broken.drive("a", [1, 2, 3])  # nobody ever drives "b"
-    broken.run(max_time=5_000)
+    try:
+        broken.run(max_time=5_000)
+    except TydiSimulationError as exc:
+        # The time budget ran out with events still pending -- the partial
+        # trace attached to the error is what we analyse.
+        print(f"  simulation stopped: {exc.message}")
     deadlock = detect_deadlock(broken)
     print(f"  deadlocked: {deadlock.deadlocked}")
     print("  " + deadlock.summary().replace("\n", "\n  "))

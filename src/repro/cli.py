@@ -164,6 +164,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "the per-file AST cache before compilation (uses an in-memory "
         "cache when no --cache-dir is configured)",
     )
+    sim = parser.add_argument_group("simulation")
+    sim.add_argument(
+        "--simulate",
+        action="store_true",
+        help="after compiling, run the event-driven simulator over the "
+        "design and print a one-line report (bottleneck component, "
+        "deadlock verdict); a deadlocked design exits non-zero",
+    )
+    sim.add_argument(
+        "--sim-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON simulation plan for --simulate: an object with any of "
+        "stimuli, channel_capacity, max_time, max_events, analyses, "
+        "testbench (default: an empty plan -- sources drive themselves)",
+    )
     watch = parser.add_argument_group("watch mode")
     watch.add_argument(
         "--watch",
@@ -281,6 +297,31 @@ def _preload_parse(workspace, sources, args: argparse.Namespace) -> None:
     if stage_cache is None:
         return
     stage_cache.preload_units(sources, jobs=jobs)
+
+
+def _load_sim_plan(args: argparse.Namespace):
+    """The :class:`~repro.sim.harness.SimulationPlan` of ``--sim-plan``.
+
+    Re-read on every call so a ``--watch`` session picks up plan edits;
+    without the flag, the default plan (no stimuli, default budgets).
+    """
+    from repro.sim.harness import SimulationPlan
+
+    if not args.sim_plan:
+        return SimulationPlan()
+    path = pathlib.Path(args.sim_plan)
+    try:
+        document = json.loads(_read_or_exit(path))
+    except ValueError as exc:
+        raise _CliInputError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise _CliInputError(f"{path} must hold a JSON object (a simulation plan)")
+    from repro.errors import TydiError
+
+    try:
+        return SimulationPlan.coerce(document)
+    except TydiError as exc:
+        raise _CliInputError(f"{path}: {exc}") from exc
 
 
 def _design_options(args: argparse.Namespace, name: str, targets, backend_opts):
@@ -613,6 +654,10 @@ def main(argv: list[str] | None = None) -> int:
             raise _CliInputError("--watch cannot be combined with --json")
         if args.parse_jobs is not None and args.parse_jobs < 1:
             raise _CliInputError("--parse-jobs must be >= 1")
+        if args.sim_plan and not args.simulate:
+            raise _CliInputError("--sim-plan requires --simulate")
+        if args.simulate and args.batch:
+            raise _CliInputError("--simulate is not supported with --batch")
         if args.profile_stages:
             from repro.profiling import enable_profiling
 
@@ -689,6 +734,14 @@ def _query_and_emit_single(args, workspace, targets, log_stream) -> int:
         print(f"error ({exc.stage}): {exc.render()}", file=sys.stderr)
         return 1
 
+    sim_report = None
+    if getattr(args, "simulate", False):
+        try:
+            sim_report = workspace.simulate("design", _load_sim_plan(args))
+        except TydiError as exc:
+            print(f"error ({exc.stage}): {exc.render()}", file=sys.stderr)
+            return 1
+
     if args.json_output:
         payload = {
             "stages": [{"name": s.name, "detail": s.detail} for s in result.stages],
@@ -699,10 +752,14 @@ def _query_and_emit_single(args, workspace, targets, log_stream) -> int:
             if cache is not None and cache.stages is not None
             else None,
         }
+        if sim_report is not None:
+            payload["simulation"] = sim_report.as_dict()
         print(json.dumps(payload, indent=2))
     else:
         for stage in result.stages:
             print(f"[{stage.name}] {stage.detail}", file=log_stream)
+        if sim_report is not None:
+            print(f"[simulate] {sim_report.summary()}", file=log_stream)
 
     if args.stats and not args.json_output:
         for key, value in result.project.statistics().items():
@@ -733,6 +790,8 @@ def _query_and_emit_single(args, workspace, targets, log_stream) -> int:
         if not args.json_output:
             print(f"wrote {len(files)} VHDL file(s) to {out_dir}", file=log_stream)
 
+    if sim_report is not None and sim_report.deadlocked:
+        return 1
     return 0
 
 

@@ -121,9 +121,24 @@ class TydiBackendError(TydiError):
 
 
 class TydiSimulationError(TydiError):
-    """Raised by the event-driven simulator."""
+    """Raised by the event-driven simulator.
+
+    Budget-exhaustion errors (``max_time`` / ``max_events``) carry the
+    partial :class:`repro.sim.engine.SimulationTrace` recorded up to the
+    point of failure in ``trace``, so callers can still run bottleneck or
+    deadlock analysis on the truncated run."""
 
     stage = "simulate"
+
+    def __init__(
+        self,
+        message: str,
+        span: Optional[object] = None,
+        *,
+        trace: Optional[object] = None,
+    ) -> None:
+        self.trace = trace
+        super().__init__(message, span)
 
 
 class TydiServerError(TydiError):

@@ -65,7 +65,11 @@ CACHE_VERSION = 2
 #: interned at the constructor (``repro.spec.logical_types``), changing the
 #: pickle layout of cached parse/evaluate artefacts; entries pickled by the
 #: pre-slots layout must miss rather than deserialise into the new classes.
-STAGE_SCHEMA_VERSION = 5
+#: v6: the stage cache gained the ``sim:`` tier (pickled
+#: :class:`repro.sim.harness.SimulationReport` keyed on evaluate fingerprint
+#: plus plan fingerprint); the salt bump keeps pre-sim stores from mixing
+#: with the new namespace layout.
+STAGE_SCHEMA_VERSION = 6
 
 #: Default directory name for the on-disk store.
 DEFAULT_CACHE_DIR = ".tydi-cache"

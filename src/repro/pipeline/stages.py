@@ -125,6 +125,8 @@ class StageStats:
     evaluate_misses: int = 0
     backend_hits: int = 0
     backend_misses: int = 0
+    sim_hits: int = 0
+    sim_misses: int = 0
     disk_hits: int = 0
     disk_stores: int = 0
     disk_errors: int = 0
@@ -138,6 +140,8 @@ class StageStats:
             "evaluate_misses": self.evaluate_misses,
             "backend_hits": self.backend_hits,
             "backend_misses": self.backend_misses,
+            "sim_hits": self.sim_hits,
+            "sim_misses": self.sim_misses,
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
             "disk_errors": self.disk_errors,
@@ -148,6 +152,7 @@ class StageStats:
         self.parse_hits = self.parse_misses = 0
         self.evaluate_hits = self.evaluate_misses = 0
         self.backend_hits = self.backend_misses = 0
+        self.sim_hits = self.sim_misses = 0
         self.disk_hits = self.disk_stores = self.disk_errors = 0
         self.disk_evictions = 0
 
@@ -187,15 +192,22 @@ class StageCache:
         max_parse_entries: int = 512,
         max_evaluate_entries: int = 64,
         max_backend_entries: int = 1024,
+        max_sim_entries: int = 128,
         cache_dir: Optional[str | Path] = None,
         max_disk_bytes: Optional[int] = None,
         remote: Optional[object] = None,
     ) -> None:
-        if max_parse_entries < 1 or max_evaluate_entries < 1 or max_backend_entries < 1:
+        if (
+            max_parse_entries < 1
+            or max_evaluate_entries < 1
+            or max_backend_entries < 1
+            or max_sim_entries < 1
+        ):
             raise ValueError("stage cache LRU capacities must be >= 1")
         self.max_parse_entries = max_parse_entries
         self.max_evaluate_entries = max_evaluate_entries
         self.max_backend_entries = max_backend_entries
+        self.max_sim_entries = max_sim_entries
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_disk_bytes = max_disk_bytes
         if isinstance(remote, str):
@@ -211,6 +223,11 @@ class StageCache:
         #: Per-implementation backend unit outputs ({filename: text}); plain
         #: string payloads, safe to share across compilations.
         self._backend: OrderedDict[str, dict[str, str]] = OrderedDict()
+        #: Simulation reports keyed on evaluate fingerprint + plan
+        #: fingerprint (:meth:`sim_key`).  Served as-is: treat a cached
+        #: :class:`repro.sim.harness.SimulationReport` as immutable, like
+        #: any result obtained through a cache.
+        self._sim: OrderedDict[str, object] = OrderedDict()
         self._lock = threading.Lock()
 
     # -- keying ---------------------------------------------------------------
@@ -239,6 +256,27 @@ class StageCache:
         for text, filename in normalize_sources(sources):
             hasher.update(b"\x00unit\x00")
             hasher.update(file_fingerprint(text, filename).encode())
+        return hasher.hexdigest()
+
+    def sim_key(
+        self,
+        sources: Sequence[tuple[str, str]] | Sequence[str],
+        options: "Mapping[str, object] | CompileOptions | None",
+        plan,
+    ) -> str:
+        """Cache key of one simulation: the design's evaluate fingerprint
+        plus the :class:`repro.sim.harness.SimulationPlan` fingerprint.
+
+        Downstream-only options (``sugaring`` / ``targets`` / ...) do not
+        participate -- they cannot change what the simulator elaborates --
+        so recompiling for a new backend target keeps sim reports warm.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(_stage_salt().encode())
+        hasher.update(b"\x00sim\x00")
+        hasher.update(self.evaluate_key(sources, options).encode())
+        hasher.update(b"\x00plan\x00")
+        hasher.update(plan.fingerprint().encode())
         return hasher.hexdigest()
 
     def backend_unit_key(self, backend, implementation_key: str) -> str:
@@ -384,6 +422,45 @@ class StageCache:
         self._disk_store(self._backend_path(key), files, namespace="backend", key=key)
         return files
 
+    def cached_simulation(self, key: str, compute):
+        """One plan-driven simulation report, through the ``sim:`` tier.
+
+        ``key`` comes from :meth:`sim_key`; a hit serves the memoised
+        :class:`repro.sim.harness.SimulationReport` from memory, disk or
+        the remote L2 (promoting as usual) without simulating; a miss calls
+        ``compute()`` (expected to return the report) and stores the result
+        in every tier.  Simulation errors propagate unchanged and are never
+        cached.  Standalone callers with a ``max_disk_bytes`` budget should
+        call :meth:`enforce_disk_budget` after a burst of stores.
+        """
+        from repro.sim.harness import SimulationReport
+
+        with self._lock:
+            report = self._sim.get(key)
+            if report is not None:
+                self._sim.move_to_end(key)
+                self.stats.sim_hits += 1
+                return report
+        report = self._disk_load(self._sim_path(key), SimulationReport)
+        if report is not None:
+            with self._lock:
+                self.stats.sim_hits += 1
+                self.stats.disk_hits += 1
+                self._insert(self._sim, key, report, self.max_sim_entries)
+            return report
+        report = self._remote_load("sim", key, SimulationReport, self._sim_path(key))
+        if report is not None:
+            with self._lock:
+                self.stats.sim_hits += 1
+                self._insert(self._sim, key, report, self.max_sim_entries)
+            return report
+        report = compute()
+        with self._lock:
+            self.stats.sim_misses += 1
+            self._insert(self._sim, key, report, self.max_sim_entries)
+        self._disk_store(self._sim_path(key), report, namespace="sim", key=key)
+        return report
+
     def emit_backend(self, project, backend) -> dict[str, str]:
         """Emit one backend over ``project`` with per-implementation caching.
 
@@ -500,6 +577,7 @@ class StageCache:
             self._parse.clear()
             self._evaluate.clear()
             self._backend.clear()
+            self._sim.clear()
         if disk and self.cache_dir is not None:
             stage_dir = self.cache_dir / STAGE_DIR_NAME
             if stage_dir.is_dir():
@@ -512,7 +590,12 @@ class StageCache:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._parse) + len(self._evaluate) + len(self._backend)
+            return (
+                len(self._parse)
+                + len(self._evaluate)
+                + len(self._backend)
+                + len(self._sim)
+            )
 
     # -- internals ------------------------------------------------------------
 
@@ -537,6 +620,11 @@ class StageCache:
         if self.cache_dir is None:
             return None
         return self.cache_dir / STAGE_DIR_NAME / f"backend-{key}.pkl"
+
+    def _sim_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / STAGE_DIR_NAME / f"sim-{key}.pkl"
 
     def _load_snapshot(self, key: str):
         payload: Optional[bytes] = None

@@ -129,6 +129,21 @@ class TpchQuery:
 
     # -- simulation ------------------------------------------------------------------
 
+    def default_plan(
+        self, *, channel_capacity: int = 4, max_events: int = 5_000_000
+    ):
+        """The :class:`~repro.sim.harness.SimulationPlan` query runs use.
+
+        TPC-H designs drive themselves through their reader behaviours, so
+        the plan carries no stimuli -- only the channel capacity and the
+        event budget the historical ``simulate`` defaults used.
+        """
+        from repro.sim.harness import SimulationPlan
+
+        return SimulationPlan(
+            channel_capacity=channel_capacity, max_events=max_events
+        )
+
     def simulate(
         self,
         tables: Mapping[str, Table],
@@ -136,14 +151,43 @@ class TpchQuery:
         channel_capacity: int = 4,
         max_events: int = 5_000_000,
     ) -> tuple[object, SimulationTrace, Simulator]:
-        """Run the compiled design on a dataset and extract its result."""
+        """Run the compiled design on a dataset and extract its result.
+
+        Budgets resolve through :meth:`default_plan`, the same path the
+        simulation harness takes; callers that want the picklable
+        :class:`~repro.sim.harness.SimulationReport` instead of the raw
+        trace use :meth:`simulate_report`.
+        """
+        plan = self.default_plan(
+            channel_capacity=channel_capacity, max_events=max_events
+        )
         datasets = self.dataset_builder(tables)
         result = self.compile()
         behaviors = reader_behaviors(self.schemas, datasets)
         simulator = Simulator(
             result.project,
-            channel_capacity=channel_capacity,
+            channel_capacity=plan.channel_capacity,
             behaviors=behaviors,
         )
-        trace = simulator.run(max_events=max_events)
+        trace = simulator.run(max_time=plan.max_time, max_events=plan.max_events)
         return self.extract_result(trace), trace, simulator
+
+    def simulate_report(
+        self,
+        tables: Mapping[str, Table],
+        *,
+        plan=None,
+    ):
+        """Simulate on a dataset and return the harness's report.
+
+        Delegates to :func:`~repro.sim.harness.run_simulation` with this
+        query's reader behaviours.  Behaviour overrides hold the dataset
+        (not JSON-serialisable), so these runs bypass the ``sim:`` cache
+        tier by construction -- the report itself still pickles fine.
+        """
+        from repro.sim.harness import SimulationPlan, run_simulation
+
+        plan = self.default_plan() if plan is None else SimulationPlan.coerce(plan)
+        datasets = self.dataset_builder(tables)
+        behaviors = reader_behaviors(self.schemas, datasets)
+        return run_simulation(self.compile().project, plan, behaviors=behaviors)

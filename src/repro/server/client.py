@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import socket
 import time
+from collections import deque
 from typing import Any, Mapping, Optional
 
 from repro.errors import TydiServerError
@@ -58,6 +59,9 @@ class CompileClient:
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._next_id = 0
+        #: Event frames (``watch_design`` pushes) read while waiting for a
+        #: response; drained by :meth:`next_event` in arrival order.
+        self._events: deque[dict[str, Any]] = deque()
 
     # -- connection lifecycle --------------------------------------------------
 
@@ -131,12 +135,29 @@ class CompileClient:
         try:
             self._file.write(payload)
             self._file.flush()
-            line = self._file.readline(MAX_MESSAGE_BYTES)
+            while True:
+                envelope = self._read_envelope()
+                # Watch events may interleave with the response on a
+                # watching connection; buffer them for next_event().
+                if isinstance(envelope, dict) and "event" in envelope:
+                    self._events.append(envelope)
+                    continue
+                break
         except OSError as exc:
             self.close()
             raise TydiServerError(
                 f"connection to {self.host}:{self.port} failed mid-request: {exc}"
             ) from exc
+        if isinstance(envelope, dict) and envelope.get("id") not in (None, request_id):
+            self.close()
+            raise TydiServerError(
+                f"response id {envelope.get('id')!r} does not match request {request_id}"
+            )
+        return envelope if isinstance(envelope, dict) else {"ok": False, "error": {}}
+
+    def _read_envelope(self) -> Any:
+        """Read and decode one NDJSON frame (response or event)."""
+        line = self._file.readline(MAX_MESSAGE_BYTES)
         if not line:
             self.close()
             raise TydiServerError(
@@ -148,16 +169,10 @@ class CompileClient:
                 f"response exceeds the protocol bound of {MAX_MESSAGE_BYTES} bytes"
             )
         try:
-            envelope = json.loads(line)
+            return json.loads(line)
         except ValueError as exc:
             self.close()
             raise TydiServerError(f"unreadable response from server: {exc}") from exc
-        if isinstance(envelope, dict) and envelope.get("id") not in (None, request_id):
-            self.close()
-            raise TydiServerError(
-                f"response id {envelope.get('id')!r} does not match request {request_id}"
-            )
-        return envelope if isinstance(envelope, dict) else {"ok": False, "error": {}}
 
     def request_batch(
         self, requests: "list[tuple[str, Mapping[str, Any]]]"
@@ -193,21 +208,13 @@ class CompileClient:
         try:
             self._file.write(b"".join(lines))
             self._file.flush()
-            for _ in ids:
-                line = self._file.readline(MAX_MESSAGE_BYTES)
-                if not line:
-                    raise TydiServerError(
-                        f"server at {self.host}:{self.port} closed the connection "
-                        f"with {len(ids) - len(by_id)} batch response(s) outstanding"
-                    )
-                try:
-                    envelope = json.loads(line)
-                except ValueError as exc:
-                    raise TydiServerError(
-                        f"unreadable response from server: {exc}"
-                    ) from exc
+            while len(by_id) < len(ids):
+                envelope = self._read_envelope()
                 if not isinstance(envelope, dict):
                     raise TydiServerError("batch response line is not a JSON object")
+                if "event" in envelope:
+                    self._events.append(envelope)
+                    continue
                 by_id[envelope.get("id")] = envelope
         except (OSError, TydiServerError):
             self.close()
@@ -258,6 +265,67 @@ class CompileClient:
 
     def get_diagnostics(self, design: str) -> list[dict[str, Any]]:
         return self.request("get_diagnostics", design=design)["diagnostics"]
+
+    def simulate_design(
+        self, design: str, plan: Optional[Mapping[str, Any]] = None
+    ) -> dict[str, Any]:
+        """Simulate one design; returns ``{design, fingerprint, report}``.
+
+        ``plan`` is the wire form of a
+        :class:`~repro.sim.harness.SimulationPlan` (any object with an
+        ``as_dict()`` also works); ``None`` runs the default plan.
+        """
+        params: dict[str, Any] = {"design": design}
+        if plan is not None:
+            params["plan"] = dict(plan.as_dict() if hasattr(plan, "as_dict") else plan)
+        return self.request("simulate_design", **params)
+
+    def watch_design(
+        self, design: str, plan: Optional[Mapping[str, Any]] = None
+    ) -> dict[str, Any]:
+        """Subscribe this connection to a design's update notifications.
+
+        After each successful ``update_file`` on the design the server
+        pushes an event frame (``{"event": "design_update", ...}``) with
+        fresh diagnostics and -- when it changed -- the simulation report
+        for ``plan``.  Read events with :meth:`next_event`.
+        """
+        params: dict[str, Any] = {"design": design}
+        if plan is not None:
+            params["plan"] = dict(plan.as_dict() if hasattr(plan, "as_dict") else plan)
+        return self.request("watch_design", **params)
+
+    def next_event(self, timeout: Optional[float] = None) -> Optional[dict[str, Any]]:
+        """The next pushed event frame, or ``None`` after ``timeout``.
+
+        Events buffered while pairing earlier responses are returned
+        first; otherwise blocks reading the socket for up to ``timeout``
+        seconds (``None``: the client's default timeout).
+        """
+        if self._events:
+            return self._events.popleft()
+        self.connect()
+        previous = self._sock.gettimeout()
+        self._sock.settimeout(timeout if timeout is not None else self.timeout)
+        try:
+            envelope = self._read_envelope()
+        except TimeoutError:
+            return None
+        except OSError as exc:
+            self.close()
+            raise TydiServerError(
+                f"connection to {self.host}:{self.port} failed reading events: {exc}"
+            ) from exc
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(previous)
+        if isinstance(envelope, dict) and "event" in envelope:
+            return envelope
+        self.close()
+        raise TydiServerError(
+            "received a response frame while waiting for events "
+            "(concurrent requests on a watching connection?)"
+        )
 
     def get_report(self) -> dict[str, Any]:
         return self.request("get_report")

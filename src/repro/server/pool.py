@@ -61,6 +61,10 @@ POOLED_METHODS = frozenset(
         "get_ir",
         "get_outputs",
         "get_diagnostics",
+        # Read-only like get_ir: routed to the owning shard so simulation
+        # reports come out of that worker's warm sim: cache tier; never
+        # mirrored (nothing to replay on a respawn).
+        "simulate_design",
     }
 )
 
@@ -402,6 +406,7 @@ class WorkerPool:
         max_cache_mb: Optional[float] = None,
         remote_cache: Optional[str] = None,
         options: Optional[Mapping[str, object]] = None,
+        parse_jobs: Optional[int] = None,
         backlog: int = 64,
         restart_budget: int = 3,
         drain_join_timeout: float = 30.0,
@@ -424,6 +429,7 @@ class WorkerPool:
             "max_cache_mb": max_cache_mb,
             "remote_cache": remote_cache,
             "options": dict(options) if options is not None else None,
+            "parse_jobs": parse_jobs,
         }
         self._lock = threading.Lock()
         self._next_job_id = 0

@@ -56,6 +56,25 @@ def default_jobs() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
+class _Watch:
+    """One ``watch_design`` subscription: a design name, an optional
+    simulation plan (wire form), and the transport's delivery callback.
+
+    ``last_sim`` remembers the previous simulation outcome (a canonical
+    JSON string) so notifications can report *deltas*: the full report is
+    pushed only when it changed since the last push to this watcher.
+    """
+
+    __slots__ = ("token", "design", "plan", "deliver", "last_sim")
+
+    def __init__(self, token: int, design: str, plan: Optional[dict], deliver) -> None:
+        self.token = token
+        self.design = design
+        self.plan = plan
+        self.deliver = deliver
+        self.last_sim: Optional[str] = None
+
+
 class CompileService:
     """Maps JSON requests onto warm compile state (threaded or multi-process).
 
@@ -91,6 +110,7 @@ class CompileService:
         max_cache_mb: Optional[float] = None,
         remote_cache: Optional[str] = None,
         options: Optional[Mapping[str, object]] = None,
+        parse_jobs: Optional[int] = None,
         drain_timeout: float = 30.0,
         backlog: int = 64,
         restart_budget: int = 3,
@@ -98,6 +118,9 @@ class CompileService:
         self.workers = int(workers) if workers else 0
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        self.parse_jobs = parse_jobs
+        if self.parse_jobs is not None and self.parse_jobs < 1:
+            raise ValueError(f"parse_jobs must be >= 1, got {parse_jobs}")
         self.pool: Optional[WorkerPool] = None
         if self.workers:
             if workspace is not None:
@@ -111,6 +134,7 @@ class CompileService:
                 max_cache_mb=max_cache_mb,
                 remote_cache=remote_cache,
                 options=options,
+                parse_jobs=parse_jobs,
                 backlog=backlog,
                 restart_budget=restart_budget,
             )
@@ -153,6 +177,13 @@ class CompileService:
         self._shutdowns_in_flight = 0
         self._method_counts: dict[str, int] = {}
         self._closed = False
+        # watch_design subscriptions: token -> _Watch.  Registered by the
+        # NDJSON transport (which owns the delivery callbacks) and notified
+        # from _handle_parsed after each successful update_file.
+        self._watch_lock = threading.Lock()
+        self._watches: dict[int, _Watch] = {}
+        self._next_watch_token = 0
+        self._notify_tasks: set["asyncio.Task[None]"] = set()
 
     # -- the request entry points ----------------------------------------------
 
@@ -202,20 +233,24 @@ class CompileService:
                 # The worker computes the full envelope (same dispatch code
                 # as in-process serving) and already stamped the id.
                 future = self.pool.submit(method, params, request_id)
-                return await asyncio.wrap_future(future)
-            in_executor = self._SIGNATURES[method][1]
-            if in_executor:
-                loop = asyncio.get_running_loop()
-                result = await loop.run_in_executor(
-                    self._executor, lambda: handler(self, params)
-                )
+                envelope = await asyncio.wrap_future(future)
             else:
-                result = handler(self, params)
+                in_executor = self._SIGNATURES[method][1]
+                if in_executor:
+                    loop = asyncio.get_running_loop()
+                    result = await loop.run_in_executor(
+                        self._executor, lambda: handler(self, params)
+                    )
+                else:
+                    result = handler(self, params)
+                envelope = protocol.success_envelope(request_id, result)
         except Exception as exc:
             return protocol.error_envelope(request_id, exc)
         finally:
             self._exit_request(method)
-        return protocol.success_envelope(request_id, result)
+        if method == "update_file" and envelope.get("ok"):
+            self._schedule_watch_notify(params.get("design"))
+        return envelope
 
     def handle_sync(self, message: Any) -> dict[str, Any]:
         """Blocking :meth:`handle` for transports/tests without a loop."""
@@ -341,6 +376,18 @@ class CompileService:
             )
         options = protocol.coerce_options(params.get("options"), "open_design")
         replace = bool(params.get("replace", True))
+        if self.parse_jobs and self.parse_jobs > 1:
+            # --parse-jobs pre-warming on the server path: fan the opened
+            # files' cold parses across a process pool so the design's
+            # first compile finds the per-file AST tier warm.  Parse errors
+            # are deliberately not raised here -- open_design stays lazy
+            # and broken files surface through get_diagnostics as always.
+            stages = getattr(self.workspace.cache, "stages", None)
+            if stages is not None:
+                try:
+                    stages.preload_units(files, jobs=self.parse_jobs)
+                except Exception:
+                    pass
         self.workspace.add_design(name, files, options, replace=replace)
         return {
             "design": name,
@@ -406,6 +453,38 @@ class CompileService:
             ],
         }
 
+    def _simulate_design(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        design = protocol.require_param(params, "design", str, "simulate_design")
+        plan = params.get("plan")
+        if plan is not None and not isinstance(plan, Mapping):
+            from repro.errors import TydiServerError
+
+            raise TydiServerError(
+                f"simulate_design: 'plan' must be a JSON object, "
+                f"got {type(plan).__name__}"
+            )
+        from repro.sim.harness import SimulationPlan
+
+        report = self.workspace.simulate(design, SimulationPlan.coerce(plan))
+        return {
+            "design": design,
+            "fingerprint": self.workspace.fingerprint(design),
+            "report": report.as_dict(),
+        }
+
+    def _watch_design(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        # Subscriptions need a connection to push event frames down; the
+        # NDJSON transport intercepts this method and registers the watch
+        # itself (see repro.server.transport).  Reaching this handler means
+        # the request came over HTTP or a one-shot dispatch.
+        from repro.errors import TydiServerError
+
+        protocol.require_param(params, "design", str, "watch_design")
+        raise TydiServerError(
+            "watch_design requires a streaming NDJSON connection "
+            "(the HTTP front and one-shot dispatch cannot push event frames)"
+        )
+
     def _get_report(self, params: Mapping[str, Any]) -> dict[str, Any]:
         if self.pool is not None:
             return self.pool.report()
@@ -452,6 +531,115 @@ class CompileService:
         self.shutdown_requested.set()
         return {"stopping": True, "drained": True}
 
+    # -- watch subscriptions ---------------------------------------------------
+
+    def add_watch(self, design: str, deliver, plan: Optional[Mapping] = None) -> int:
+        """Register one ``watch_design`` subscription.
+
+        ``deliver`` is a thread-safe callable taking one JSON-ready event
+        dict; it must never block -- the NDJSON transport hands in a
+        bounded drop-oldest queue.  ``plan`` is the wire-form simulation
+        plan (or ``None`` for the default plan).  Returns the watch token
+        to pass to :meth:`remove_watch` when the connection goes away.
+        """
+        plan_dict = dict(plan) if isinstance(plan, Mapping) else None
+        with self._watch_lock:
+            self._next_watch_token += 1
+            token = self._next_watch_token
+            self._watches[token] = _Watch(token, design, plan_dict, deliver)
+        return token
+
+    def remove_watch(self, token: int) -> None:
+        with self._watch_lock:
+            self._watches.pop(token, None)
+
+    def has_watches(self, design: object) -> bool:
+        with self._watch_lock:
+            return any(watch.design == design for watch in self._watches.values())
+
+    def _schedule_watch_notify(self, design: object) -> None:
+        """Fire-and-forget the post-mutation notification task.
+
+        Runs off the mutation's own request path so an ``update_file``
+        response is never delayed by the recompile + simulation behind its
+        watchers' notifications.
+        """
+        if not isinstance(design, str) or self.draining.is_set():
+            return
+        if not self.has_watches(design):
+            return
+        task = asyncio.get_running_loop().create_task(self._notify_watches(design))
+        self._notify_tasks.add(task)
+        task.add_done_callback(self._notify_tasks.discard)
+
+    async def _notify_watches(self, design: str) -> None:
+        """Push one diagnostics + sim-delta event to every watcher of a design.
+
+        Diagnostics and simulation reports are computed through the normal
+        dispatch path, so pool mode routes to the owning shard and the
+        ``sim:`` cache tier absorbs repeat plans; one simulation runs per
+        *distinct* plan even when many watchers share it.  The pushed
+        event always carries the diagnostics; the simulation report rides
+        along only when it changed since the last push to that watcher
+        (``sim_changed`` says which).
+        """
+        import json
+
+        with self._watch_lock:
+            watches = [w for w in self._watches.values() if w.design == design]
+        if not watches or self.draining.is_set():
+            return
+        diag_env = await self._handle_parsed(None, "get_diagnostics", {"design": design})
+        if diag_env.get("ok"):
+            diagnostics = diag_env.get("result", {}).get("diagnostics", [])
+        else:
+            # A design that no longer compiles answers get_diagnostics with
+            # an error envelope; fold it into the diagnostics shape so the
+            # watcher still sees what broke.
+            error = diag_env.get("error") or {}
+            diagnostics = [
+                {
+                    "severity": "error",
+                    "stage": error.get("stage"),
+                    "message": error.get("message"),
+                    "span": error.get("span"),
+                }
+            ]
+        sims: dict[str, dict[str, Any]] = {}
+        for watch in watches:
+            plan_key = json.dumps(watch.plan, sort_keys=True)
+            if plan_key not in sims:
+                sim_params: dict[str, Any] = {"design": design}
+                if watch.plan is not None:
+                    sim_params["plan"] = watch.plan
+                sims[plan_key] = await self._handle_parsed(
+                    None, "simulate_design", sim_params
+                )
+            envelope = sims[plan_key]
+            if envelope.get("ok"):
+                sim = {"report": envelope["result"]["report"], "error": None}
+                fingerprint = envelope["result"].get("fingerprint")
+            else:
+                sim = {"report": None, "error": envelope.get("error")}
+                fingerprint = None
+            marker = json.dumps(sim, sort_keys=True)
+            changed = marker != watch.last_sim
+            watch.last_sim = marker
+            event: dict[str, Any] = {
+                "event": "design_update",
+                "watch": watch.token,
+                "design": design,
+                "fingerprint": fingerprint,
+                "diagnostics": diagnostics,
+                "sim_changed": changed,
+            }
+            if changed:
+                event["sim"] = sim
+            try:
+                watch.deliver(event)
+            except Exception:  # pragma: no cover - dead connection callback
+                self.remove_watch(watch.token)
+
     # -- accounting ------------------------------------------------------------
 
     def _count(self, method: Optional[str], *, ok: bool) -> None:
@@ -492,6 +680,8 @@ class CompileService:
         "get_ir": _get_ir,
         "get_outputs": _get_outputs,
         "get_diagnostics": _get_diagnostics,
+        "simulate_design": _simulate_design,
+        "watch_design": _watch_design,
         "get_report": _get_report,
         "list_backends": _list_backends,
         "stats": _stats,
@@ -507,6 +697,8 @@ class CompileService:
         "get_ir": (("design",), True),
         "get_outputs": (("design", "target"), True),
         "get_diagnostics": (("design",), True),
+        "simulate_design": (("design", "plan"), True),
+        "watch_design": (("design", "plan"), False),
         "get_report": ((), True),
         "list_backends": ((), False),
         "stats": ((), True),
@@ -516,7 +708,7 @@ class CompileService:
     #: Methods rejected once draining: everything that would start new
     #: compile work or mutate design state.  ``ping`` / ``stats`` /
     #: ``list_backends`` stay up so operators can observe the drain.
-    _DRAIN_REJECTED = POOLED_METHODS | {"get_report"}
+    _DRAIN_REJECTED = POOLED_METHODS | {"get_report", "watch_design"}
 
 
 def _aggregate_worker_workspaces(pool_stats: Mapping[str, Any]) -> dict[str, Any]:

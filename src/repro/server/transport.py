@@ -41,8 +41,10 @@ import asyncio
 import contextlib
 import json
 import threading
-from typing import Any, Optional
+from collections import deque
+from typing import Any, Mapping, Optional
 
+from repro.server import protocol
 from repro.server.protocol import MAX_MESSAGE_BYTES, error_envelope
 from repro.server.service import CompileService
 
@@ -51,6 +53,79 @@ from repro.server.service import CompileService
 #: backpressure (the pool's bounded queues provide the structured-error
 #: form of backpressure at the next layer down).
 MAX_PIPELINE_REQUESTS = 64
+
+#: Pending watch-event bound per NDJSON connection: a slow reader drops
+#: the *oldest* undelivered events (each later frame carries a ``dropped``
+#: count) instead of buffering without bound or stalling the notifier.
+WATCH_QUEUE_DEPTH = 16
+
+
+class _WatchState:
+    """Per-connection ``watch_design`` state: tokens, queue, flusher.
+
+    The service's notifier threads call :meth:`deliver` (thread-safe,
+    never blocks); events land in a bounded drop-oldest queue on the
+    event loop and a single flusher task writes them as NDJSON frames
+    under the connection's write lock -- so event frames interleave with,
+    but never tear, pipelined response frames.  Event frames carry an
+    ``"event"`` key and ``"id": null``; clients pair responses by ``id``
+    and buffer anything with an ``"event"`` key.
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.loop = loop
+        self.writer = writer
+        self.write_lock = write_lock
+        self.tokens: list[int] = []
+        self.events: deque[dict[str, Any]] = deque()
+        self.dropped = 0
+        self.ready = asyncio.Event()
+        self.flusher: Optional["asyncio.Task[None]"] = None
+
+    def deliver(self, event: dict[str, Any]) -> None:
+        """Queue one event from any thread (the service's notifier)."""
+        self.loop.call_soon_threadsafe(self._push, event)
+
+    def _push(self, event: dict[str, Any]) -> None:
+        if len(self.events) >= WATCH_QUEUE_DEPTH:
+            self.events.popleft()
+            self.dropped += 1
+        self.events.append(event)
+        self.ready.set()
+
+    def ensure_flusher(self) -> None:
+        if self.flusher is None:
+            self.flusher = self.loop.create_task(self._flush())
+
+    async def _flush(self) -> None:
+        while True:
+            await self.ready.wait()
+            self.ready.clear()
+            while self.events:
+                frame = dict(self.events.popleft())
+                frame["id"] = None
+                if self.dropped:
+                    frame["dropped"] = self.dropped
+                    self.dropped = 0
+                try:
+                    async with self.write_lock:
+                        self.writer.write(_encode(frame))
+                        await self.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    return  # the peer went away; the read loop cleans up
+
+    def close(self, service: CompileService) -> None:
+        for token in self.tokens:
+            service.remove_watch(token)
+        self.tokens.clear()
+        if self.flusher is not None:
+            self.flusher.cancel()
+            self.flusher = None
 
 
 def _encode(envelope: dict[str, Any]) -> bytes:
@@ -200,6 +275,7 @@ class TydiServer:
         assert self._closing is not None
         write_lock = asyncio.Lock()
         slots = asyncio.Semaphore(MAX_PIPELINE_REQUESTS)
+        watch_state = _WatchState(asyncio.get_running_loop(), writer, write_lock)
         tasks: set["asyncio.Task[None]"] = set()
         line: Optional[bytes] = first_line
         error: Optional[BaseException] = None
@@ -209,7 +285,7 @@ class TydiServer:
                 if stripped:
                     await slots.acquire()
                     response_task = asyncio.create_task(
-                        self._respond_one(stripped, writer, write_lock, slots)
+                        self._respond_one(stripped, writer, write_lock, slots, watch_state)
                     )
                     tasks.add(response_task)
                     response_task.add_done_callback(tasks.discard)
@@ -221,6 +297,7 @@ class TydiServer:
         finally:
             if tasks:  # flush accepted work before the connection dies
                 await asyncio.gather(*tasks, return_exceptions=True)
+            watch_state.close(self.service)
         if error is not None:
             raise error
 
@@ -249,9 +326,22 @@ class TydiServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         slots: asyncio.Semaphore,
+        watch_state: Optional[_WatchState] = None,
     ) -> None:
         try:
-            envelope = await self._handle_raw(payload)
+            message: Any = None
+            try:
+                message = json.loads(payload)
+            except ValueError:
+                pass
+            if (
+                watch_state is not None
+                and isinstance(message, Mapping)
+                and message.get("method") == "watch_design"
+            ):
+                envelope = self._register_watch(message, watch_state)
+            else:
+                envelope = await self._handle_raw(payload)
             async with write_lock:
                 writer.write(_encode(envelope))
                 await writer.drain()
@@ -259,6 +349,63 @@ class TydiServer:
             pass  # the peer (or the transport) went away mid-response
         finally:
             slots.release()
+
+    def _register_watch(
+        self, message: Mapping[str, Any], watch_state: _WatchState
+    ) -> dict[str, Any]:
+        """Handle ``watch_design`` on a streaming connection.
+
+        This is the transport-level twin of the service handler (which can
+        only reject the method): the subscription is bound to *this*
+        connection's event queue, and torn down when the connection
+        closes.  Rejections during drain and parameter validation mirror
+        the service's behaviour so both paths answer identically.
+        """
+        import time as _time
+
+        start = _time.perf_counter()
+        request_id = protocol.recover_request_id(message)
+        try:
+            request_id, _, params = protocol.parse_request(message)
+            protocol.unknown_params_check(params, ("design", "plan"), "watch_design")
+            design = protocol.require_param(params, "design", str, "watch_design")
+            if self.service.draining.is_set():
+                from repro.errors import TydiDrainingError
+
+                raise TydiDrainingError(
+                    "service is draining for shutdown; 'watch_design' rejected"
+                )
+            plan = params.get("plan")
+            if plan is not None and not isinstance(plan, Mapping):
+                from repro.errors import TydiServerError
+
+                raise TydiServerError(
+                    f"watch_design: 'plan' must be a JSON object, "
+                    f"got {type(plan).__name__}"
+                )
+            from repro.sim.harness import SimulationPlan
+
+            SimulationPlan.coerce(plan)  # reject malformed plans up front
+            token = self.service.add_watch(design, watch_state.deliver, plan)
+            watch_state.tokens.append(token)
+            watch_state.ensure_flusher()
+            envelope = protocol.success_envelope(
+                request_id,
+                {
+                    "design": design,
+                    "watching": True,
+                    "watch": token,
+                    "queue_depth": WATCH_QUEUE_DEPTH,
+                },
+            )
+        except Exception as exc:
+            envelope = error_envelope(request_id, exc)
+        ok = bool(envelope.get("ok"))
+        self.service._count("watch_design", ok=ok)
+        self.service.metrics.record(
+            "watch_design", _time.perf_counter() - start, ok=ok
+        )
+        return envelope
 
     async def _handle_raw(self, payload: bytes) -> dict[str, Any]:
         try:

@@ -134,7 +134,9 @@ def worker_main(
         options=config.get("options"),
         label=f"worker-{index}",
     )
-    service = CompileService(workspace=workspace, jobs=1)
+    service = CompileService(
+        workspace=workspace, jobs=1, parse_jobs=config.get("parse_jobs")
+    )
     try:
         while True:
             message = read_frame(job_fd)

@@ -26,6 +26,13 @@ from repro.sim.behavior import (
 )
 from repro.sim.bottleneck import BottleneckReport, analyze_bottlenecks
 from repro.sim.deadlock import DeadlockReport, detect_deadlock
+from repro.sim.harness import (
+    SimulationPlan,
+    SimulationReport,
+    Stimulus,
+    report_from_trace,
+    run_simulation,
+)
 from repro.sim.testbench_gen import testbench_from_trace
 
 __all__ = [
@@ -43,5 +50,10 @@ __all__ = [
     "analyze_bottlenecks",
     "DeadlockReport",
     "detect_deadlock",
+    "SimulationPlan",
+    "SimulationReport",
+    "Stimulus",
+    "report_from_trace",
+    "run_simulation",
     "testbench_from_trace",
 ]

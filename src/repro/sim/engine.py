@@ -26,6 +26,11 @@ from repro.ir.model import Implementation, PortDirection, Project
 from repro.sim.packets import Packet, sequence_to_packets
 from repro.spec.logical_types import Stream
 
+#: Default simulation budgets, shared with :class:`repro.sim.harness.
+#: SimulationPlan` so plan-driven and direct runs agree on the limits.
+DEFAULT_MAX_TIME = 1_000_000
+DEFAULT_MAX_EVENTS = 5_000_000
+
 
 @dataclass
 class ChannelStats:
@@ -424,8 +429,23 @@ class Simulator:
 
         self.schedule(0, feeder)
 
-    def run(self, max_time: int = 1_000_000, max_events: int = 5_000_000) -> SimulationTrace:
-        """Process events until the queue drains (or a limit is hit)."""
+    def run(
+        self,
+        max_time: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> SimulationTrace:
+        """Process events until the queue drains.
+
+        Reaching ``max_time`` *truncates*: the run stops and returns the
+        trace recorded so far -- a deadlocked design keeps polling blocked
+        stimuli forever, so the time budget is how such a run ends and
+        reaches :func:`~repro.sim.deadlock.detect_deadlock`.  Exceeding
+        ``max_events`` is a livelock diagnosis: it raises a
+        :class:`TydiSimulationError` with the partial trace attached
+        (``exc.trace``) so the truncated run can still be analysed.
+        """
+        max_time = DEFAULT_MAX_TIME if max_time is None else max_time
+        max_events = DEFAULT_MAX_EVENTS if max_events is None else max_events
         # Give every behaviour a chance to initialise (constant generators
         # start emitting without any input).
         for component in self.components.values():
@@ -444,13 +464,18 @@ class Simulator:
             action()
             self._events_processed += 1
             if self._events_processed > max_events:
+                self._finalize_trace()
                 raise TydiSimulationError(
-                    f"simulation exceeded {max_events} events; possible livelock"
+                    f"simulation exceeded {max_events} events; possible livelock",
+                    trace=self.trace,
                 )
 
+        self._finalize_trace()
+        return self.trace
+
+    def _finalize_trace(self) -> None:
         self.trace.end_time = self.now
         self.trace.events_processed = self._events_processed
         for component in self.components.values():
             if component.state_log:
                 self.trace.state_logs[component.path] = list(component.state_log)
-        return self.trace

@@ -1,0 +1,559 @@
+"""The simulation harness: declarative plans and picklable reports.
+
+The engine (:mod:`repro.sim.engine`) is imperative -- construct a
+:class:`Simulator`, call ``drive`` per port, call ``run``, then run the
+analyses you want by hand.  That is fine for a script but useless for a
+service: a *served* simulation must be described by one value that can be
+fingerprinted (for the ``sim:`` stage-cache tier), shipped over the wire
+(JSON), and replayed bit-identically anywhere in the fleet.
+
+:class:`SimulationPlan` is that value -- the simulation sibling of
+:class:`repro.lang.compile.CompileOptions`: a frozen, normalised dataclass
+with a canonical :meth:`~SimulationPlan.fingerprint`.  :func:`run_simulation`
+executes a plan against a compiled project and returns a
+:class:`SimulationReport`: per-port throughput, output-latency percentiles,
+the bottleneck and deadlock analyses, the event/time counters and
+(optionally) the generated testbench.  The report is a plain picklable value
+(it survives the disk and remote cache tiers) with a deterministic JSON
+:meth:`~SimulationReport.as_dict` (what ``simulate_design`` puts on the
+wire).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import TydiInputError, did_you_mean
+from repro.sim.bottleneck import BottleneckReport, analyze_bottlenecks
+from repro.sim.deadlock import DeadlockReport, detect_deadlock
+from repro.sim.engine import (
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_MAX_TIME,
+    SimulationTrace,
+    Simulator,
+)
+
+#: The analyses a plan may request, in the order reports render them.
+KNOWN_ANALYSES = ("bottleneck", "deadlock")
+
+#: JSON-representable stimulus element types (a plan must survive the wire).
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _check_scalar(value: object, where: str) -> object:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise TydiInputError(
+            f"{where}: stimulus values must be JSON scalars "
+            f"(bool/int/float/str/null), got {type(value).__name__}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """One driven input port of a plan: ``values`` fed every ``interval``."""
+
+    port: str
+    values: tuple[object, ...] = ()
+    interval: int = 1
+    start_time: int = 0
+    #: Stream dimensionality override; ``None`` reads it off the port type.
+    dimensions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.port, str) or not self.port:
+            raise TydiInputError("stimulus port must be a non-empty string")
+        values = tuple(
+            _check_scalar(v, f"stimulus {self.port!r}") for v in self.values
+        )
+        object.__setattr__(self, "values", values)
+        if self.interval < 1:
+            raise TydiInputError(
+                f"stimulus {self.port!r}: interval must be >= 1, got {self.interval}"
+            )
+        if self.start_time < 0:
+            raise TydiInputError(
+                f"stimulus {self.port!r}: start_time must be >= 0, got {self.start_time}"
+            )
+
+    @classmethod
+    def coerce(cls, value: "Stimulus | Mapping[str, object]") -> "Stimulus":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            allowed = tuple(f.name for f in dataclasses.fields(cls))
+            for key in value:
+                if key not in allowed:
+                    raise TydiInputError(
+                        f"unknown stimulus key {key!r}"
+                        f"{did_you_mean(str(key), allowed)} "
+                        f"(valid keys: {', '.join(allowed)})"
+                    )
+            return cls(**value)  # type: ignore[arg-type]
+        raise TydiInputError(
+            f"a stimulus must be a Stimulus or a mapping, got {type(value).__name__}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "port": self.port,
+            "values": list(self.values),
+            "interval": self.interval,
+            "start_time": self.start_time,
+            "dimensions": self.dimensions,
+        }
+
+
+def _normalize_stimuli(value: object) -> tuple[Stimulus, ...]:
+    """Accept ``{port: values}``, a sequence of mappings / ``(port, values)``
+    pairs / :class:`Stimulus` instances; return the sorted-by-port tuple
+    normal form (one entry per port)."""
+    if value is None:
+        return ()
+    stimuli: list[Stimulus] = []
+    if isinstance(value, Mapping):
+        for port, values in value.items():
+            stimuli.append(Stimulus(port=str(port), values=tuple(values)))
+    elif isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        for index, entry in enumerate(value):
+            if isinstance(entry, (Stimulus, Mapping)):
+                stimuli.append(Stimulus.coerce(entry))
+            elif isinstance(entry, Sequence) and not isinstance(entry, (str, bytes)) and len(entry) == 2:
+                port, values = entry
+                stimuli.append(Stimulus(port=str(port), values=tuple(values)))
+            else:
+                raise TydiInputError(
+                    f"stimuli[{index}]: expected a Stimulus, a mapping or a "
+                    f"(port, values) pair, got {type(entry).__name__}"
+                )
+    else:
+        raise TydiInputError(
+            f"stimuli must be a mapping or a sequence, got {type(value).__name__}"
+        )
+    seen: set[str] = set()
+    for stimulus in stimuli:
+        if stimulus.port in seen:
+            raise TydiInputError(f"duplicate stimulus for port {stimulus.port!r}")
+        seen.add(stimulus.port)
+    return tuple(sorted(stimuli, key=lambda s: s.port))
+
+
+def _normalize_analyses(value: object) -> tuple[str, ...]:
+    if value is None:
+        return KNOWN_ANALYSES
+    if isinstance(value, str):
+        value = (value,)
+    names: list[str] = []
+    for name in value:  # type: ignore[union-attr]
+        if name not in KNOWN_ANALYSES:
+            raise TydiInputError(
+                f"unknown analysis {name!r}{did_you_mean(str(name), KNOWN_ANALYSES)} "
+                f"(valid analyses: {', '.join(KNOWN_ANALYSES)})"
+            )
+        if name not in names:
+            names.append(name)
+    # Canonical order: the KNOWN_ANALYSES order, not the caller's.
+    return tuple(name for name in KNOWN_ANALYSES if name in names)
+
+
+#: The stable field order of a plan -- the one definition
+#: :meth:`SimulationPlan.as_dict` and :meth:`SimulationPlan.from_kwargs`
+#: share with the ``sim:`` cache fingerprints.
+PLAN_FIELD_NAMES = (
+    "stimuli",
+    "channel_capacity",
+    "max_time",
+    "max_events",
+    "analyses",
+    "testbench",
+)
+
+
+@dataclass(frozen=True)
+class SimulationPlan:
+    """Every knob of one simulation run, as one frozen value.
+
+    The simulation sibling of :class:`repro.lang.compile.CompileOptions`:
+    normalised on construction (stimuli sort by port and become
+    :class:`Stimulus` tuples, analyses deduplicate into canonical order),
+    safe to share across threads, and content-addressed by
+    :meth:`fingerprint` -- the ``sim:`` cache tier keys a report on the
+    design's evaluate fingerprint *plus* this plan fingerprint.
+    """
+
+    stimuli: tuple[Stimulus, ...] = ()
+    channel_capacity: int = 2
+    max_time: int = DEFAULT_MAX_TIME
+    max_events: int = DEFAULT_MAX_EVENTS
+    analyses: tuple[str, ...] = KNOWN_ANALYSES
+    #: Record the observed transfers as a Tydi-IR testbench on the report.
+    testbench: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stimuli", _normalize_stimuli(self.stimuli))
+        object.__setattr__(self, "analyses", _normalize_analyses(self.analyses))
+        if self.channel_capacity < 1:
+            raise TydiInputError(
+                f"channel_capacity must be >= 1, got {self.channel_capacity}"
+            )
+        if self.max_time < 0 or self.max_events < 1:
+            raise TydiInputError(
+                "simulation budgets must be positive "
+                f"(max_time={self.max_time}, max_events={self.max_events})"
+            )
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: object) -> "SimulationPlan":
+        """Build a plan from keyword arguments, rejecting unknown names."""
+        for key in kwargs:
+            if key not in PLAN_FIELD_NAMES:
+                raise TydiInputError(
+                    f"unknown simulation plan key {key!r}"
+                    f"{did_you_mean(key, PLAN_FIELD_NAMES)} "
+                    f"(valid keys: {', '.join(PLAN_FIELD_NAMES)})"
+                )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def coerce(cls, value: "SimulationPlan | Mapping[str, object] | None") -> "SimulationPlan":
+        """Normalise ``None`` / a mapping / an instance to an instance."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_kwargs(**value)
+        raise TydiInputError(
+            f"a simulation plan must be a SimulationPlan, a mapping or None, "
+            f"got {type(value).__name__}"
+        )
+
+    def replace(self, **changes: object) -> "SimulationPlan":
+        for key in changes:
+            if key not in PLAN_FIELD_NAMES:
+                return self.from_kwargs(**changes)  # raises with did-you-mean
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON normal form (also what :meth:`fingerprint` hashes)."""
+        return {
+            "stimuli": [stimulus.as_dict() for stimulus in self.stimuli],
+            "channel_capacity": self.channel_capacity,
+            "max_time": self.max_time,
+            "max_events": self.max_events,
+            "analyses": list(self.analyses),
+            "testbench": self.testbench,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content address of this plan.
+
+        Shares the cache-format salt of :mod:`repro.pipeline.cache`, so a
+        schema or compiler bump orphans stored sim reports exactly like it
+        orphans every other stage artefact.
+        """
+        import repro
+        from repro.pipeline.cache import (
+            CACHE_VERSION,
+            STAGE_SCHEMA_VERSION,
+            canonical_option_repr,
+        )
+
+        hasher = hashlib.sha256()
+        hasher.update(
+            f"tydi-simplan-v{CACHE_VERSION}.{STAGE_SCHEMA_VERSION}:"
+            f"compiler-{repro.__version__}".encode()
+        )
+        normal = self.as_dict()
+        for key in sorted(normal):
+            hasher.update(b"\x00plan\x00")
+            hasher.update(key.encode())
+            hasher.update(b"=")
+            hasher.update(canonical_option_repr(normal[key]).encode())
+        return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+_PERCENTILES = (50, 90, 99)
+
+
+def _percentile(ordered: list[int], fraction: float) -> int:
+    """Nearest-rank percentile over a pre-sorted list (deterministic)."""
+    if not ordered:
+        return 0
+    rank = math.ceil(fraction * len(ordered))
+    index = min(len(ordered) - 1, max(0, rank - 1))
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class PortMetrics:
+    """Throughput and latency figures of one top-level output port."""
+
+    port: str
+    packets: int
+    #: Packets per cycle over the port's active window.
+    throughput: float
+    #: Arrival-time percentiles in cycles from t=0 (nearest rank); the pXX
+    #: figure reads "XX% of this port's packets had arrived by then".
+    latency: tuple[tuple[int, int], ...]
+    first_time: int
+    last_time: int
+
+    def latency_dict(self) -> dict[str, int]:
+        return {f"p{p}": value for p, value in self.latency}
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "packets": self.packets,
+            "throughput": self.throughput,
+            "latency": self.latency_dict(),
+            "first_time": self.first_time,
+            "last_time": self.last_time,
+        }
+
+
+def _port_metrics(port: str, events: list[tuple[int, object]]) -> PortMetrics:
+    times = sorted(time for time, _ in events)
+    packets = len(times)
+    if not times:
+        return PortMetrics(port, 0, 0.0, tuple((p, 0) for p in _PERCENTILES), 0, 0)
+    window = times[-1] - times[0] + 1
+    latency = tuple(
+        (p, _percentile(times, p / 100.0)) for p in _PERCENTILES
+    )
+    return PortMetrics(
+        port=port,
+        packets=packets,
+        throughput=packets / window,
+        latency=latency,
+        first_time=times[0],
+        last_time=times[-1],
+    )
+
+
+@dataclass
+class SimulationReport:
+    """Everything one plan-driven simulation run produced.
+
+    A plain picklable value: it round-trips through the disk and remote
+    cache tiers, and :meth:`as_dict` is the deterministic JSON shape the
+    ``simulate_design`` server method returns (two runs of the same design
+    and plan serialise byte-identically under ``json.dumps(...,
+    sort_keys=True)``).
+    """
+
+    verdict: str  # "ok" | "deadlock"
+    end_time: int
+    events_processed: int
+    plan_fingerprint: str
+    outputs: dict[str, list[object]] = field(default_factory=dict)
+    port_metrics: dict[str, PortMetrics] = field(default_factory=dict)
+    bottleneck: Optional[BottleneckReport] = None
+    deadlock: Optional[DeadlockReport] = None
+    testbench: Optional[object] = None
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.verdict == "deadlock"
+
+    def as_dict(self) -> dict[str, object]:
+        """The wire form: JSON-safe and deterministic."""
+        bottleneck = None
+        if self.bottleneck is not None:
+            bottleneck = {
+                "total_time": self.bottleneck.total_time,
+                "bottleneck_component": self.bottleneck.bottleneck_component(),
+                "worst": [
+                    {
+                        "channel": entry.channel,
+                        "source": entry.source,
+                        "sink": entry.sink,
+                        "packets": entry.packets,
+                        "average_queue_wait": entry.average_queue_wait,
+                        "blocked_sends": entry.blocked_sends,
+                        "blocked_time": entry.blocked_time,
+                        "congestion_score": entry.congestion_score(),
+                    }
+                    for entry in self.bottleneck.worst(5)
+                ],
+            }
+        deadlock = None
+        if self.deadlock is not None:
+            deadlock = {
+                "deadlocked": self.deadlock.deadlocked,
+                "stalled": [
+                    {
+                        "channel": stall.channel,
+                        "source": stall.source,
+                        "sink": stall.sink,
+                        "queued_packets": stall.queued_packets,
+                        "pending_packets": stall.pending_packets,
+                    }
+                    for stall in self.deadlock.stalled
+                ],
+                "waiting_components": list(self.deadlock.waiting_components),
+                "wait_cycles": [list(cycle) for cycle in self.deadlock.wait_cycles],
+                "wait_edges": [list(edge) for edge in self.deadlock.wait_edges],
+            }
+        testbench = None
+        if self.testbench is not None:
+            vectors = getattr(self.testbench, "vectors", {}) or {}
+            testbench = {
+                "drives": sum(
+                    len(vector.events)
+                    for vector in vectors.values()
+                    if vector.direction == "drive"
+                ),
+                "expects": sum(
+                    len(vector.events)
+                    for vector in vectors.values()
+                    if vector.direction == "expect"
+                ),
+            }
+        return {
+            "verdict": self.verdict,
+            "end_time": self.end_time,
+            "events_processed": self.events_processed,
+            "plan_fingerprint": self.plan_fingerprint,
+            "outputs": {port: list(values) for port, values in sorted(self.outputs.items())},
+            "ports": {
+                port: metrics.as_dict()
+                for port, metrics in sorted(self.port_metrics.items())
+            },
+            "bottleneck": bottleneck,
+            "deadlock": deadlock,
+            "testbench": testbench,
+        }
+
+    def to_dot(self, project) -> str:
+        """Render the run over the design netlist, reusing the analysis DOT.
+
+        A deadlocked run renders the deadlock report (stall participants
+        plus the wait-for cluster); a healthy run renders the bottleneck
+        highlight.  Requires the corresponding analysis to have been in the
+        plan's ``analyses``.
+        """
+        from repro.errors import TydiSimulationError
+
+        if self.deadlocked and self.deadlock is not None:
+            return self.deadlock.to_dot(project)
+        if self.bottleneck is not None:
+            return self.bottleneck.to_dot(project)
+        if self.deadlock is not None:
+            return self.deadlock.to_dot(project)
+        raise TydiSimulationError(
+            "report has no analysis to render; include 'bottleneck' or "
+            "'deadlock' in the plan's analyses"
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"simulation verdict: {self.verdict} "
+            f"({self.events_processed} event(s), {self.end_time} cycle(s))"
+        ]
+        for port, metrics in sorted(self.port_metrics.items()):
+            latency = ", ".join(
+                f"p{p}={value}" for p, value in metrics.latency
+            )
+            lines.append(
+                f"  {port}: {metrics.packets} packet(s), "
+                f"{metrics.throughput:.3f} packets/cycle, latency {latency}"
+            )
+        if self.deadlock is not None and self.deadlock.deadlocked:
+            lines.append("  " + self.deadlock.summary().replace("\n", "\n  "))
+        elif self.bottleneck is not None:
+            culprit = self.bottleneck.bottleneck_component()
+            if culprit:
+                lines.append(f"  bottleneck component: {culprit}")
+        return "\n".join(lines)
+
+
+def run_simulation(
+    project,
+    plan: "SimulationPlan | Mapping[str, object] | None" = None,
+    *,
+    behaviors: Optional[dict[str, object]] = None,
+    top: Optional[str] = None,
+) -> SimulationReport:
+    """Execute one :class:`SimulationPlan` against a compiled project.
+
+    Elaborates through the existing :class:`Simulator`, drives the plan's
+    stimuli, runs the requested analyses and folds everything into a
+    :class:`SimulationReport`.  Budget exhaustion propagates as the
+    engine's structured :class:`~repro.errors.TydiSimulationError` (partial
+    trace attached); so do elaboration failures (e.g. an external
+    implementation without a behaviour).
+
+    ``behaviors`` passes instance-path / implementation-name overrides
+    straight to the engine -- note that behaviour objects are not part of
+    the plan fingerprint, so override-driven runs must not be cached (the
+    :class:`repro.workspace.Workspace` query only caches declarative runs).
+    """
+    plan = SimulationPlan.coerce(plan)
+    simulator = Simulator(
+        project,
+        top=top,
+        channel_capacity=plan.channel_capacity,
+        behaviors=behaviors,
+    )
+    for stimulus in plan.stimuli:
+        simulator.drive(
+            stimulus.port,
+            list(stimulus.values),
+            dimensions=stimulus.dimensions,
+            interval=stimulus.interval,
+            start_time=stimulus.start_time,
+        )
+    trace = simulator.run(max_time=plan.max_time, max_events=plan.max_events)
+    return report_from_trace(simulator, trace, plan)
+
+
+def report_from_trace(
+    simulator: Simulator,
+    trace: SimulationTrace,
+    plan: SimulationPlan,
+) -> SimulationReport:
+    """Fold a finished (or truncated) run into a :class:`SimulationReport`.
+
+    Split out of :func:`run_simulation` so callers that already hold a
+    simulator/trace pair -- e.g. :meth:`repro.queries.base.TpchQuery.
+    simulate`, or error handlers analysing the partial trace attached to a
+    budget-exhaustion error -- get the same report shape.
+    """
+    bottleneck = (
+        analyze_bottlenecks(trace) if "bottleneck" in plan.analyses else None
+    )
+    deadlock = (
+        detect_deadlock(simulator, trace) if "deadlock" in plan.analyses else None
+    )
+    testbench = None
+    if plan.testbench:
+        from repro.sim.testbench_gen import testbench_from_trace
+
+        testbench = testbench_from_trace(simulator, trace)
+    verdict = "deadlock" if deadlock is not None and deadlock.deadlocked else "ok"
+    return SimulationReport(
+        verdict=verdict,
+        end_time=trace.end_time,
+        events_processed=trace.events_processed,
+        plan_fingerprint=plan.fingerprint(),
+        outputs={
+            port: trace.output_values(port) for port in sorted(trace.outputs)
+        },
+        port_metrics={
+            port: _port_metrics(port, events)
+            for port, events in sorted(trace.outputs.items())
+        },
+        bottleneck=bottleneck,
+        deadlock=deadlock,
+        testbench=testbench,
+    )

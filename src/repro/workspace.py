@@ -116,6 +116,7 @@ class _Design:
         "memo_result",
         "memo_error",
         "extra_outputs",
+        "sim_reports",
         "built_file_keys",
     )
 
@@ -131,6 +132,9 @@ class _Design:
         #: Lazily-emitted backend outputs beyond ``options.targets``,
         #: keyed by backend name; cleared whenever the memo turns over.
         self.extra_outputs: dict[str, dict[str, str]] = {}
+        #: Memoised simulation reports keyed by plan fingerprint, valid for
+        #: the current ``memo_key``; cleared whenever the memo turns over.
+        self.sim_reports: dict[str, object] = {}
         #: Per-file fingerprints of the last *successful* build (None until
         #: one succeeds); drives the changed/unchanged file reporting.
         self.built_file_keys: Optional[dict[str, str]] = None
@@ -154,6 +158,7 @@ class _Design:
         self.memo_result = None
         self.memo_error = None
         self.extra_outputs.clear()
+        self.sim_reports.clear()
 
 
 class Workspace:
@@ -401,6 +406,7 @@ class Workspace:
                 exc.__traceback__ = None
                 entry.memo_error = exc
                 entry.extra_outputs.clear()
+                entry.sim_reports.clear()
                 entry.built_file_keys = None
                 raise
             self._fold_success(entry, key, result)
@@ -442,6 +448,47 @@ class Workspace:
                 files = backend.emit(result.project)
             entry.extra_outputs[target] = files
             return files
+
+    def simulate(self, name: str, plan=None):
+        """The design's :class:`~repro.sim.harness.SimulationReport` under
+        one :class:`~repro.sim.harness.SimulationPlan`.
+
+        A lazy memoised query like :meth:`ir`/:meth:`outputs`: computed on
+        first demand per (design content, plan) pair, memoised until the
+        design's fingerprint moves, and -- when the workspace owns a stage
+        cache -- served through the ``sim:`` cache tier (memory -> disk ->
+        remote L2, keyed on evaluate fingerprint + plan fingerprint), so a
+        repeat simulation of an unchanged design is a cache hit fleet-wide.
+
+        ``plan`` is a :class:`~repro.sim.harness.SimulationPlan`, a mapping
+        of its fields, or ``None`` for the default plan.  Compilation
+        failures raise exactly like :meth:`result`; simulation failures
+        (missing behaviours, budget exhaustion) raise a structured
+        :class:`~repro.errors.TydiSimulationError` and are never memoised.
+        """
+        from repro.sim.harness import SimulationPlan, run_simulation
+
+        plan = SimulationPlan.coerce(plan)
+        entry = self._design(name)
+        result = self.result(name)  # takes/releases the design lock
+        with entry.lock:
+            plan_fp = plan.fingerprint()
+            cached = entry.sim_reports.get(plan_fp)
+            if cached is not None:
+                return cached
+            stage_cache = getattr(self.cache, "stages", None)
+            if stage_cache is not None:
+                key = stage_cache.sim_key(
+                    entry.normalized_sources(), entry.options.as_dict(), plan
+                )
+                report = stage_cache.cached_simulation(
+                    key, lambda: run_simulation(result.project, plan)
+                )
+                stage_cache.enforce_disk_budget()
+            else:
+                report = run_simulation(result.project, plan)
+            entry.sim_reports[plan_fp] = report
+            return report
 
     def cached_result(self, name: str) -> Optional["CompilationResult"]:
         """The memoised result if it is fresh and successful, else ``None``.
@@ -652,6 +699,7 @@ class Workspace:
         entry.memo_result = result
         entry.memo_error = None
         entry.extra_outputs.clear()
+        entry.sim_reports.clear()
         entry.built_file_keys = entry.file_keys()
 
     def _job_for(self, entry: _Design) -> "CompileJob":

@@ -179,7 +179,11 @@ def test_pooled_methods_cover_every_design_addressed_method():
         for name, (param_names, _) in CompileService._SIGNATURES.items()
         if "design" in param_names
     }
-    assert design_addressed == set(POOLED_METHODS)
+    # watch_design is the one deliberate exception: the subscription is
+    # per NDJSON connection so it lives on the parent, and the events it
+    # pushes come from get_diagnostics/simulate_design calls that *do*
+    # route to the owning shard.
+    assert design_addressed == set(POOLED_METHODS) | {"watch_design"}
 
 
 # -- lifespan: crash, respawn, replay, budget ----------------------------------

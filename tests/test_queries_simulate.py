@@ -200,3 +200,27 @@ class TestCraftedDataset:
         assert query.golden(tables) == 0.0
         result, _, _ = query.simulate(tables)
         assert result == 0.0
+
+
+class TestHarnessReports:
+    """The paper's five evaluated queries through the simulation harness:
+    every design simulates deadlock-free and folds into a picklable
+    :class:`~repro.sim.harness.SimulationReport`."""
+
+    @pytest.mark.parametrize("name", ["q1", "q3", "q5", "q6", "q19"])
+    def test_query_simulates_deadlock_free(self, name, tpch_tables):
+        report = QUERIES[name].simulate_report(tpch_tables)
+        assert report.verdict == "ok" and not report.deadlocked
+        assert report.deadlock is not None and not report.deadlock.deadlocked
+        assert report.events_processed > 0
+        assert report.outputs, f"{name} produced no output streams"
+        wire = report.as_dict()
+        assert wire["deadlock"]["deadlocked"] is False
+
+    def test_report_plan_defaults_match_simulate(self, tpch_tables):
+        query = QUERIES["q6"]
+        result, _, _ = query.simulate(tpch_tables)
+        report = query.simulate_report(tpch_tables)
+        plan = query.default_plan()
+        assert report.plan_fingerprint == plan.fingerprint()
+        assert result == pytest.approx(query.golden(tpch_tables), rel=1e-9)

@@ -1,0 +1,296 @@
+"""Tests for the simulation harness (:mod:`repro.sim.harness`).
+
+Three layers: :class:`SimulationPlan` normalisation and fingerprinting,
+:func:`run_simulation` end to end over a healthy and a deadlocking design,
+and the engine's structured budget-exhaustion errors (partial trace
+attached, still analysable through :func:`report_from_trace`).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import TydiInputError, TydiSimulationError
+from repro.lang.compile import compile_project
+from repro.sim import (
+    SimulationPlan,
+    SimulationReport,
+    Simulator,
+    Stimulus,
+    report_from_trace,
+    run_simulation,
+)
+from repro.sim.harness import KNOWN_ANALYSES, PLAN_FIELD_NAMES
+
+ADD_TEN_PIPELINE = """
+type num = Stream(Bit(32), d=1);
+streamlet top_s { values: num in, total: num out, }
+impl top_i of top_s {
+    instance ten(const_int_generator_i<type num, 10>),
+    instance add(adder_i<type num, type num>),
+    instance acc(sum_i<type num, type num>),
+    values => add.lhs,
+    ten.output => add.rhs,
+    add.output => acc.input,
+    acc.output => total,
+}
+top top_i;
+"""
+
+# Drive only one operand of a two-input adder: the design deadlocks.
+HALF_ADDER = """
+type num = Stream(Bit(8), d=1);
+streamlet top_s { a: num in, b: num in, o: num out, }
+impl top_i of top_s {
+    instance add(adder_i<type num, type num>),
+    a => add.lhs,
+    b => add.rhs,
+    add.output => o,
+}
+top top_i;
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline_project():
+    return compile_project(ADD_TEN_PIPELINE).project
+
+
+@pytest.fixture(scope="module")
+def half_adder_project():
+    return compile_project(HALF_ADDER).project
+
+
+def plan_with_values(values, **kwargs) -> SimulationPlan:
+    return SimulationPlan(stimuli={"values": values}, **kwargs)
+
+
+class TestStimulus:
+    def test_coerce_mapping(self):
+        stimulus = Stimulus.coerce({"port": "values", "values": [1, 2]})
+        assert stimulus.port == "values"
+        assert stimulus.values == (1, 2)
+        assert stimulus.interval == 1 and stimulus.start_time == 0
+
+    def test_unknown_key_rejected_with_suggestion(self):
+        with pytest.raises(TydiInputError, match="unknown stimulus key 'intervall'"):
+            Stimulus.coerce({"port": "p", "intervall": 2})
+
+    def test_non_scalar_values_rejected(self):
+        with pytest.raises(TydiInputError, match="JSON scalars"):
+            Stimulus(port="p", values=(object(),))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"port": ""},
+            {"port": "p", "interval": 0},
+            {"port": "p", "start_time": -1},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(TydiInputError):
+            Stimulus(**kwargs)
+
+
+class TestPlanNormalization:
+    def test_stimuli_mapping_form_sorts_by_port(self):
+        plan = SimulationPlan(stimuli={"b": [2], "a": [1]})
+        assert [s.port for s in plan.stimuli] == ["a", "b"]
+        assert all(isinstance(s, Stimulus) for s in plan.stimuli)
+
+    def test_stimuli_pair_and_mapping_entries(self):
+        plan = SimulationPlan(
+            stimuli=[("b", [2]), {"port": "a", "values": [1], "interval": 3}]
+        )
+        assert [s.port for s in plan.stimuli] == ["a", "b"]
+        assert plan.stimuli[0].interval == 3
+
+    def test_duplicate_stimulus_port_rejected(self):
+        with pytest.raises(TydiInputError, match="duplicate stimulus"):
+            SimulationPlan(stimuli=[("p", [1]), ("p", [2])])
+
+    def test_bogus_stimuli_entry_rejected(self):
+        with pytest.raises(TydiInputError, match=r"stimuli\[0\]"):
+            SimulationPlan(stimuli=[42])
+
+    def test_analyses_deduplicate_into_canonical_order(self):
+        plan = SimulationPlan(analyses=("deadlock", "bottleneck", "deadlock"))
+        assert plan.analyses == KNOWN_ANALYSES
+
+    def test_single_analysis_string_accepted(self):
+        assert SimulationPlan(analyses="deadlock").analyses == ("deadlock",)
+
+    def test_unknown_analysis_rejected_with_suggestion(self):
+        with pytest.raises(TydiInputError, match="unknown analysis 'bottlenek'"):
+            SimulationPlan(analyses=("bottlenek",))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"channel_capacity": 0},
+            {"max_events": 0},
+            {"max_time": -1},
+        ],
+    )
+    def test_invalid_budgets_rejected(self, kwargs):
+        with pytest.raises(TydiInputError):
+            SimulationPlan(**kwargs)
+
+    def test_from_kwargs_rejects_unknown_key(self):
+        with pytest.raises(TydiInputError, match="unknown simulation plan key 'bogus'"):
+            SimulationPlan.from_kwargs(bogus=1)
+
+    def test_coerce_forms(self):
+        default = SimulationPlan.coerce(None)
+        assert default == SimulationPlan()
+        instance = SimulationPlan(channel_capacity=4)
+        assert SimulationPlan.coerce(instance) is instance
+        assert SimulationPlan.coerce({"channel_capacity": 4}) == instance
+        with pytest.raises(TydiInputError, match="must be a SimulationPlan"):
+            SimulationPlan.coerce(42)
+
+    def test_replace_checks_keys(self):
+        plan = SimulationPlan()
+        assert plan.replace(channel_capacity=8).channel_capacity == 8
+        with pytest.raises(TydiInputError, match="unknown simulation plan key"):
+            plan.replace(chanel_capacity=8)
+
+    def test_as_dict_covers_every_field(self):
+        assert tuple(SimulationPlan().as_dict()) == PLAN_FIELD_NAMES
+
+
+class TestFingerprint:
+    def test_equal_plans_fingerprint_identically(self):
+        a = SimulationPlan(stimuli={"p": [1, 2]}, analyses=("deadlock", "bottleneck"))
+        b = SimulationPlan(
+            stimuli=[{"port": "p", "values": [1, 2]}],
+            analyses=("bottleneck", "deadlock"),
+        )
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_any_field_change_moves_the_fingerprint(self):
+        base = SimulationPlan()
+        variants = [
+            base.replace(channel_capacity=3),
+            base.replace(max_time=123),
+            base.replace(max_events=456),
+            base.replace(analyses=("deadlock",)),
+            base.replace(testbench=True),
+            base.replace(stimuli={"p": [1]}),
+        ]
+        fingerprints = {base.fingerprint()} | {v.fingerprint() for v in variants}
+        assert len(fingerprints) == len(variants) + 1
+
+    def test_json_round_trip_preserves_the_fingerprint(self):
+        plan = plan_with_values([1, 2, 3], channel_capacity=4)
+        wire = json.loads(json.dumps(plan.as_dict()))
+        assert SimulationPlan.coerce(wire).fingerprint() == plan.fingerprint()
+
+
+class TestRunSimulation:
+    def test_healthy_run(self, pipeline_project):
+        plan = plan_with_values([1, 2, 3])
+        report = run_simulation(pipeline_project, plan)
+        assert report.verdict == "ok" and not report.deadlocked
+        assert report.outputs == {"total": [36]}
+        assert report.plan_fingerprint == plan.fingerprint()
+        metrics = report.port_metrics["total"]
+        assert metrics.packets == 1
+        assert set(metrics.latency_dict()) == {"p50", "p90", "p99"}
+        assert report.bottleneck is not None and report.deadlock is not None
+        assert not report.deadlock.deadlocked
+
+    def test_mapping_plan_accepted(self, pipeline_project):
+        report = run_simulation(
+            pipeline_project, {"stimuli": {"values": [1, 2, 3]}}
+        )
+        assert report.outputs == {"total": [36]}
+
+    def test_repeat_runs_serialise_byte_identically(self, pipeline_project):
+        plan = plan_with_values([5, 6, 7], channel_capacity=3)
+        first = run_simulation(pipeline_project, plan)
+        second = run_simulation(pipeline_project, plan)
+        assert json.dumps(first.as_dict(), sort_keys=True) == json.dumps(
+            second.as_dict(), sort_keys=True
+        )
+
+    def test_report_pickle_round_trip(self, pipeline_project):
+        report = run_simulation(pipeline_project, plan_with_values([1, 2, 3]))
+        clone = pickle.loads(pickle.dumps(report))
+        assert isinstance(clone, SimulationReport)
+        assert clone.as_dict() == report.as_dict()
+
+    def test_analyses_subset_skips_the_other_report(self, pipeline_project):
+        report = run_simulation(
+            pipeline_project, plan_with_values([1], analyses=("deadlock",))
+        )
+        assert report.bottleneck is None and report.deadlock is not None
+        assert report.as_dict()["bottleneck"] is None
+
+    def test_no_analyses_makes_to_dot_unrenderable(self, pipeline_project):
+        report = run_simulation(
+            pipeline_project, plan_with_values([1], analyses=())
+        )
+        assert report.bottleneck is None and report.deadlock is None
+        with pytest.raises(TydiSimulationError, match="no analysis to render"):
+            report.to_dot(pipeline_project)
+
+    def test_healthy_run_renders_bottleneck_dot(self, pipeline_project):
+        report = run_simulation(pipeline_project, plan_with_values([1, 2, 3]))
+        assert "digraph" in report.to_dot(pipeline_project)
+
+    def test_deadlock_verdict(self, half_adder_project):
+        # A deadlocked design polls its blocked stimulus until max_time;
+        # keep the budget small so the test stays fast.
+        plan = SimulationPlan(stimuli={"a": [1, 2, 3]}, max_time=2_000)
+        report = run_simulation(half_adder_project, plan)
+        assert report.verdict == "deadlock" and report.deadlocked
+        assert "add" in report.deadlock.waiting_components
+        dot = report.to_dot(half_adder_project)
+        assert "digraph" in dot
+        assert "deadlock" in report.summary()
+
+    def test_testbench_recorded_on_demand(self, pipeline_project):
+        report = run_simulation(
+            pipeline_project, plan_with_values([1, 2], testbench=True)
+        )
+        assert report.testbench is not None
+        wire = report.as_dict()["testbench"]
+        assert wire is not None and wire["drives"] >= 1
+
+    def test_summary_mentions_ports(self, pipeline_project):
+        report = run_simulation(pipeline_project, plan_with_values([1, 2, 3]))
+        summary = report.summary()
+        assert "simulation verdict: ok" in summary
+        assert "total:" in summary
+
+
+class TestBudgets:
+    def test_event_budget_exhaustion_is_structured(self, pipeline_project):
+        with pytest.raises(TydiSimulationError) as excinfo:
+            run_simulation(
+                pipeline_project,
+                plan_with_values(list(range(50)), max_events=10),
+            )
+        error = excinfo.value
+        assert error.stage == "simulate"
+        assert error.trace is not None
+        assert error.trace.events_processed > 0
+
+    def test_partial_trace_still_folds_into_a_report(self, pipeline_project):
+        plan = plan_with_values(list(range(50)), max_events=10)
+        simulator = Simulator(
+            pipeline_project, channel_capacity=plan.channel_capacity
+        )
+        for stimulus in plan.stimuli:
+            simulator.drive(stimulus.port, list(stimulus.values))
+        with pytest.raises(TydiSimulationError) as excinfo:
+            simulator.run(max_time=plan.max_time, max_events=plan.max_events)
+        report = report_from_trace(simulator, excinfo.value.trace, plan)
+        assert report.plan_fingerprint == plan.fingerprint()
+        assert report.events_processed == excinfo.value.trace.events_processed

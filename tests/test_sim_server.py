@@ -1,0 +1,349 @@
+"""Differential tests of simulation as a service.
+
+The subsystem's contract: a ``simulate_design`` verdict served over the
+wire is byte-identical -- under ``json.dumps(..., sort_keys=True)`` -- to a
+direct :func:`repro.sim.harness.run_simulation` over the same sources and
+plan, *including* the structured error envelopes of designs that cannot
+simulate.  On top of the differential: the ``watch_design`` subscription
+flow over NDJSON, drain rejection, and the pooled (multi-process) path.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import TydiError
+from repro.lang.compile import compile_sources
+from repro.server import (
+    CompileClient,
+    CompileService,
+    RemoteCompileError,
+    ServerThread,
+    http_post,
+)
+from repro.sim import SimulationPlan, run_simulation
+from repro.testing import build_random_design
+
+
+def sim_source(constant: int) -> str:
+    """A simulable add-constant/accumulate pipeline (stdlib primitives only)."""
+    return f"""
+type num = Stream(Bit(32), d=1);
+streamlet top_s {{ values: num in, total: num out, }}
+impl top_i of top_s {{
+    instance k(const_int_generator_i<type num, {constant}>),
+    instance add(adder_i<type num, type num>),
+    instance acc(sum_i<type num, type num>),
+    values => add.lhs,
+    k.output => add.rhs,
+    add.output => acc.input,
+    acc.output => total,
+}}
+top top_i;
+"""
+
+
+def fuzz_corpus() -> list[tuple[str, dict[str, str], object]]:
+    """A deterministic fuzzed corpus: simulable pipelines under fuzzed
+    plans, plus random chain designs whose external implementations have
+    no behaviours (the structured-error half of the differential)."""
+    rng = random.Random(20260808)
+    corpus: list[tuple[str, dict[str, str], object]] = []
+    for index in range(4):
+        constant = rng.randint(1, 50)
+        values = [rng.randint(0, 99) for _ in range(rng.randint(1, 6))]
+        plan = {
+            "stimuli": {"values": values},
+            "channel_capacity": rng.choice([1, 2, 4]),
+        }
+        corpus.append((f"pipe{index}", {"pipe.td": sim_source(constant)}, plan))
+    for index in range(3):
+        sources = build_random_design(rng)
+        files = {filename: text for text, filename in sources}
+        corpus.append((f"chain{index}", files, None))
+    return corpus
+
+
+def direct_outcome(files: dict[str, str], plan: object) -> tuple[str, object]:
+    """What a direct in-process simulation of the corpus entry produces:
+    ``("ok", <canonical report JSON>)`` or ``("error", {type, stage,
+    rendered})`` -- the two shapes the service must reproduce exactly."""
+    sources = [(text, filename) for filename, text in sorted(files.items())]
+    result = compile_sources(sources, cache=None)
+    try:
+        report = run_simulation(result.project, SimulationPlan.coerce(plan))
+    except TydiError as exc:
+        return "error", {
+            "type": type(exc).__name__,
+            "stage": exc.stage,
+            "rendered": exc.render(),
+        }
+    return "ok", json.dumps(report.as_dict(), sort_keys=True)
+
+
+def call(service: CompileService, method: str, **params):
+    message = {"id": 1, "method": method}
+    if params:
+        message["params"] = params
+    return service.handle_sync(message)
+
+
+@pytest.fixture
+def service():
+    service = CompileService(jobs=2)
+    yield service
+    service.close()
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "name,files,plan",
+        fuzz_corpus(),
+        ids=[name for name, _, _ in fuzz_corpus()],
+    )
+    def test_served_verdict_matches_direct_simulation(
+        self, service, name, files, plan
+    ):
+        kind, expected = direct_outcome(files, plan)
+        assert call(service, "open_design", design=name, files=files)["ok"]
+        params = {"design": name}
+        if plan is not None:
+            params["plan"] = plan
+        envelope = call(service, "simulate_design", **params)
+        if kind == "ok":
+            assert envelope["ok"], envelope
+            assert envelope["result"]["design"] == name
+            assert (
+                json.dumps(envelope["result"]["report"], sort_keys=True)
+                == expected
+            )
+        else:
+            assert not envelope["ok"]
+            error = envelope["error"]
+            assert error["type"] == expected["type"]
+            assert error["stage"] == expected["stage"]
+            assert error["rendered"] == expected["rendered"]
+
+    def test_tpch_design_error_envelope_matches_direct(self, service):
+        # TPC-H designs need data-bound reader behaviours, which cannot
+        # travel in a plan: the served path must fail with exactly the
+        # structured error a direct plan-driven run raises.
+        from repro.queries import QUERIES
+
+        query = QUERIES["q6"]
+        files = {filename: text for text, filename in query.sources()}
+        kind, expected = direct_outcome(files, None)
+        assert kind == "error" and expected["stage"] == "simulate"
+        assert call(service, "open_design", design="q6", files=files)["ok"]
+        envelope = call(service, "simulate_design", design="q6")
+        assert not envelope["ok"]
+        assert envelope["error"]["type"] == expected["type"]
+        assert envelope["error"]["rendered"] == expected["rendered"]
+
+    def test_repeat_simulation_is_memoised_and_identical(self, service):
+        call(service, "open_design", design="d", files={"d.td": sim_source(10)})
+        plan = {"stimuli": {"values": [1, 2, 3]}}
+        first = call(service, "simulate_design", design="d", plan=plan)
+        second = call(service, "simulate_design", design="d", plan=plan)
+        assert first["result"] == second["result"]
+
+    def test_compile_error_surfaces_as_compile_stage(self, service):
+        call(service, "open_design", design="broken", files={"x.td": "type ?! = ;"})
+        envelope = call(service, "simulate_design", design="broken")
+        assert not envelope["ok"]
+        assert envelope["error"]["stage"] == "parse"
+
+
+class TestServiceValidation:
+    def test_plan_must_be_a_mapping(self, service):
+        call(service, "open_design", design="d", files={"d.td": sim_source(1)})
+        envelope = call(service, "simulate_design", design="d", plan=[1, 2])
+        assert not envelope["ok"]
+        assert envelope["error"]["stage"] == "server"
+
+    def test_unknown_plan_key_is_an_input_error(self, service):
+        call(service, "open_design", design="d", files={"d.td": sim_source(1)})
+        envelope = call(
+            service, "simulate_design", design="d", plan={"bogus": 1}
+        )
+        assert not envelope["ok"]
+        assert "unknown simulation plan key" in envelope["error"]["rendered"]
+
+    def test_watch_design_rejected_off_stream(self, service):
+        # One-shot dispatch (and the HTTP front) cannot push event frames.
+        call(service, "open_design", design="d", files={"d.td": sim_source(1)})
+        envelope = call(service, "watch_design", design="d")
+        assert not envelope["ok"]
+        assert "streaming" in envelope["error"]["message"]
+
+    def test_draining_service_rejects_simulation(self, service):
+        call(service, "open_design", design="d", files={"d.td": sim_source(1)})
+        service.draining.set()
+        envelope = call(service, "simulate_design", design="d")
+        assert not envelope["ok"]
+        assert envelope["error"]["type"] == "TydiDrainingError"
+
+    def test_ping_lists_the_new_methods(self, service):
+        methods = call(service, "ping")["result"]["methods"]
+        assert "simulate_design" in methods and "watch_design" in methods
+
+
+class TestOverTheWire:
+    PLAN = {"stimuli": {"values": [1, 2, 3]}}
+
+    def test_ndjson_simulation_round_trip(self):
+        with ServerThread() as server:
+            with CompileClient(*server.address) as client:
+                client.open_design("d", files={"d.td": sim_source(10)})
+                result = client.simulate_design("d", self.PLAN)
+                assert result["report"]["verdict"] == "ok"
+                assert result["report"]["outputs"] == {"total": [36]}
+                _, expected = direct_outcome({"d.td": sim_source(10)}, self.PLAN)
+                assert json.dumps(result["report"], sort_keys=True) == expected
+
+    def test_ndjson_bad_plan_raises_remote_error(self):
+        with ServerThread() as server:
+            with CompileClient(*server.address) as client:
+                client.open_design("d", files={"d.td": sim_source(10)})
+                with pytest.raises(RemoteCompileError) as excinfo:
+                    client.simulate_design("d", {"bogus": 1})
+                assert excinfo.value.remote_type == "TydiInputError"
+
+    def test_http_post_simulation(self):
+        with ServerThread() as server:
+            host, port = server.address
+            http_post(
+                host,
+                port,
+                {
+                    "id": 1,
+                    "method": "open_design",
+                    "params": {"design": "d", "files": {"d.td": sim_source(10)}},
+                },
+            )
+            envelope = http_post(
+                host,
+                port,
+                {
+                    "id": 2,
+                    "method": "simulate_design",
+                    "params": {"design": "d", "plan": self.PLAN},
+                },
+            )
+            assert envelope["ok"]
+            assert envelope["result"]["report"]["outputs"] == {"total": [36]}
+
+    def test_http_watch_design_is_rejected(self):
+        with ServerThread() as server:
+            host, port = server.address
+            envelope = http_post(
+                host, port, {"id": 1, "method": "watch_design", "params": {"design": "d"}}
+            )
+            assert not envelope["ok"]
+            assert "streaming" in envelope["error"]["message"]
+
+
+class TestWatchDesign:
+    PLAN = {"stimuli": {"values": [1, 2, 3]}}
+
+    def test_update_pushes_diagnostics_and_sim_delta(self):
+        with ServerThread() as server:
+            with CompileClient(*server.address) as client:
+                client.open_design("d", files={"d.td": sim_source(10)})
+                ack = client.watch_design("d", self.PLAN)
+                assert ack["watching"] and ack["watch"] >= 1
+                assert ack["queue_depth"] >= 1
+
+                client.update_file("d", "d.td", sim_source(20))
+                event = client.next_event(timeout=10)
+                assert event is not None
+                assert event["event"] == "design_update"
+                assert event["design"] == "d"
+                assert event["diagnostics"] == []
+                assert event["sim_changed"] is True
+                assert event["sim"]["error"] is None
+                assert event["sim"]["report"]["outputs"] == {"total": [66]}
+
+    def test_unchanged_simulation_is_not_repushed(self):
+        with ServerThread() as server:
+            with CompileClient(*server.address) as client:
+                client.open_design("d", files={"d.td": sim_source(10)})
+                client.watch_design("d", self.PLAN)
+                client.update_file("d", "d.td", sim_source(20))
+                first = client.next_event(timeout=10)
+                assert first["sim_changed"] is True
+                # A comment-only edit moves the fingerprint but not the
+                # simulation outcome: the event must say so and carry no
+                # report payload.
+                client.update_file("d", "d.td", sim_source(20) + "// touched\n")
+                second = client.next_event(timeout=10)
+                assert second["sim_changed"] is False
+                assert "sim" not in second
+
+    def test_broken_edit_pushes_diagnostics_and_sim_error(self):
+        with ServerThread() as server:
+            with CompileClient(*server.address) as client:
+                client.open_design("d", files={"d.td": sim_source(10)})
+                client.watch_design("d", self.PLAN)
+                client.update_file("d", "d.td", "type ?! = ;")
+                event = client.next_event(timeout=10)
+                assert event["diagnostics"], "broken design must diagnose"
+                assert event["sim_changed"] is True
+                assert event["sim"]["report"] is None
+                assert event["sim"]["error"]["type"] == "TydiSyntaxError"
+
+    def test_watch_requires_design_param(self):
+        with ServerThread() as server:
+            with CompileClient(*server.address) as client:
+                with pytest.raises(RemoteCompileError):
+                    client.request("watch_design")
+                with pytest.raises(RemoteCompileError):
+                    client.request("watch_design", design="d", plan=[1])
+
+    def test_unwatched_design_updates_push_nothing(self):
+        with ServerThread() as server:
+            with CompileClient(*server.address) as client:
+                client.open_design("d", files={"d.td": sim_source(10)})
+                client.open_design("other", files={"o.td": sim_source(5)})
+                client.watch_design("d", self.PLAN)
+                client.update_file("other", "o.td", sim_source(6))
+                assert client.next_event(timeout=0.5) is None
+
+
+class TestPooledSimulation:
+    PLAN = {"stimuli": {"values": [1, 2, 3]}}
+
+    def test_pool_mode_matches_direct(self, tmp_path):
+        service = CompileService(workers=2, cache_dir=tmp_path)
+        try:
+            with ServerThread(service) as server:
+                with CompileClient(*server.address) as client:
+                    client.open_design("d", files={"d.td": sim_source(10)})
+                    result = client.simulate_design("d", self.PLAN)
+                    _, expected = direct_outcome(
+                        {"d.td": sim_source(10)}, self.PLAN
+                    )
+                    assert (
+                        json.dumps(result["report"], sort_keys=True) == expected
+                    )
+                    repeat = client.simulate_design("d", self.PLAN)
+                    assert repeat == result
+        finally:
+            service.close()
+
+    def test_pool_mode_watch_flow(self, tmp_path):
+        service = CompileService(workers=2, cache_dir=tmp_path)
+        try:
+            with ServerThread(service) as server:
+                with CompileClient(*server.address) as client:
+                    client.open_design("d", files={"d.td": sim_source(10)})
+                    client.watch_design("d", self.PLAN)
+                    client.update_file("d", "d.td", sim_source(30))
+                    event = client.next_event(timeout=15)
+                    assert event is not None
+                    assert event["sim"]["report"]["outputs"] == {"total": [96]}
+        finally:
+            service.close()
