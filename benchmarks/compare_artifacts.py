@@ -40,6 +40,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "remote-cache.json": ("speedup",),
     "cold-compile.json": ("speedup",),
     "sim-service.json": ("speedup",),
+    "emit-parallel.json": ("speedup",),
 }
 
 

@@ -12,19 +12,23 @@ The CI replacement for the old single-request server smoke job.  It:
    ``get_diagnostics`` / ``get_outputs`` mixed in), plus a simulable
    pipeline per client driven through ``simulate_design`` under fuzzed
    plans and occasional edits (the ``sim:`` tier under concurrency),
-3. then runs the same load against a ``--baseline-workers`` daemon and
+3. runs an IR round-trip smoke against the still-warm daemon: a design's
+   emitted Tydi-IR document is re-opened via ``open_ir_design`` and both
+   designs must produce byte-identical outputs over the wire,
+4. then runs the same load against a ``--baseline-workers`` daemon and
    compares aggregate warm request throughput,
-4. then (unless ``--no-remote``) runs a third phase against a daemon
+5. then (unless ``--no-remote``) runs a third phase against a daemon
    wired to a real ``tydi-cachesvc`` subprocess via ``--remote-cache``,
    and **kills the cache server halfway through the load** -- proving the
    remote L2 tier degrades to local-only without a single failed request,
-5. asserts the ops invariants: **zero worker restarts** under healthy
+6. asserts the ops invariants: **zero worker restarts** under healthy
    load, **no protocol-level failures** (compile errors from fuzzed edits
    are expected and counted separately) *including through the mid-soak
-   cache kill*, a **clean drain** on shutdown (``drained: true`` and exit
-   code 0), and -- with ``--assert-floor`` -- the multi-worker daemon
-   serving >= ``--floor`` x the baseline's requests/s,
-6. writes one JSON artifact (``--output``) that CI uploads.
+   cache kill*, the **IR round trip holding in every phase**, a **clean
+   drain** on shutdown (``drained: true`` and exit code 0), and -- with
+   ``--assert-floor`` -- the multi-worker daemon serving >= ``--floor`` x
+   the baseline's requests/s,
+7. writes one JSON artifact (``--output``) that CI uploads.
 
 ``--assert-floor`` is passed only in CI (4-vCPU runners); locally on small
 machines the soak still proves correctness and the clean drain, and the
@@ -141,6 +145,28 @@ class CacheDaemon:
         if self.proc.poll() is None:
             self.proc.kill()
             self.proc.wait(timeout=10)
+
+
+def ir_roundtrip_smoke(host: str, port: int) -> dict:
+    """One IR round trip through the live daemon.
+
+    Opens a language design, re-opens its emitted Tydi-IR document via
+    ``open_ir_design``, and requires the outputs of both designs to be
+    byte-identical -- the interchange correctness spine
+    ``emit(ingest(emit(P))) == emit(P)``, exercised over a real TCP
+    connection against the pool that just survived the soak load.
+    """
+    sources = build_random_design(random.Random(99))
+    with CompileClient(host, port, connect_retry_for=10) as client:
+        client.open_design("smoke_lang", files={f: t for t, f in sources})
+        document = next(iter(client.get_outputs("smoke_lang", "tydi-ir").values()))
+        client.open_ir_design("smoke_ir", document)
+        identical = all(
+            client.get_outputs("smoke_lang", target)
+            == client.get_outputs("smoke_ir", target)
+            for target in ("vhdl", "tydi-ir")
+        )
+    return {"ok": identical, "document_bytes": len(document)}
 
 
 def tpch_jobs() -> list:
@@ -294,6 +320,7 @@ def soak(
     try:
         load = run_load(daemon.host, daemon.port, clients=clients,
                         duration=duration, seed=seed)
+        roundtrip = ir_roundtrip_smoke(daemon.host, daemon.port)
         with CompileClient(daemon.host, daemon.port, connect_retry_for=5) as client:
             server_stats = client.stats()
         reply, exit_code = daemon.shutdown()
@@ -305,6 +332,7 @@ def soak(
         "workers": workers,
         **load,
         "server_requests": server_stats["server"]["requests"],
+        "ir_roundtrip": roundtrip,
         "worker_restarts": pool_stats.get("restarts", 0),
         "shutdown": reply,
         "exit_code": exit_code,
@@ -448,6 +476,11 @@ def main(argv: list[str] | None = None) -> int:
             problems.append(f"{tag}: implausibly few requests ({phase['requests']})")
         if not phase.get("simulate_requests"):
             problems.append(f"{tag}: no simulate_design traffic")
+        if not phase.get("ir_roundtrip", {}).get("ok"):
+            problems.append(
+                f"{tag}: IR round-trip smoke failed "
+                f"(open_ir_design outputs diverged from the source design)"
+            )
     if args.assert_floor and ratio < args.floor:
         problems.append(
             f"throughput ratio {ratio:.2f}x below the {args.floor}x floor"

@@ -12,8 +12,9 @@ that boundary pluggable:
   backend-output cache keys units by.
 * :mod:`repro.backends.registry` -- name -> backend lookup with
   ``repro.backends`` entry-point discovery for third-party emitters.
-* Built-ins: ``vhdl`` (:mod:`repro.backends.vhdl`), ``ir``
-  (:mod:`repro.backends.ir_text`) and ``dot``
+* Built-ins: ``vhdl`` (:mod:`repro.backends.vhdl`), ``verilog``
+  (:mod:`repro.backends.verilog`), ``ir`` (:mod:`repro.backends.ir_text`),
+  ``tydi-ir`` (:mod:`repro.backends.tydi_ir`) and ``dot``
   (:mod:`repro.backends.dot`).
 
 The compile pipeline threads targets through every layer: ``compile_sources
@@ -27,6 +28,7 @@ See ``docs/backends.md``.
 from repro.backends.base import Backend, BackendOptions, implementation_fingerprint
 from repro.backends.options import (
     coerce_option_value,
+    option_schema,
     options_for_backend,
     parse_backend_opt_specs,
 )
@@ -43,6 +45,8 @@ from repro.backends.registry import (
 # Importing the built-in modules registers them.
 from repro.backends.dot import DotBackend, DotBackendOptions
 from repro.backends.ir_text import IrTextBackend, IrTextBackendOptions
+from repro.backends.tydi_ir import TydiIrBackend, TydiIrBackendOptions
+from repro.backends.verilog import VerilogBackendOptions, VerilogFilesBackend
 from repro.backends.vhdl import VhdlBackendOptions, VhdlFilesBackend
 
 __all__ = [
@@ -53,6 +57,10 @@ __all__ = [
     "ENTRY_POINT_GROUP",
     "IrTextBackend",
     "IrTextBackendOptions",
+    "TydiIrBackend",
+    "TydiIrBackendOptions",
+    "VerilogBackendOptions",
+    "VerilogFilesBackend",
     "VhdlBackendOptions",
     "VhdlFilesBackend",
     "available_backends",
@@ -61,6 +69,7 @@ __all__ = [
     "get_backend",
     "implementation_fingerprint",
     "iter_backends",
+    "option_schema",
     "options_for_backend",
     "parse_backend_opt_specs",
     "register_backend",

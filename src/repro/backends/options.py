@@ -105,6 +105,35 @@ def options_for_backend(backend_cls, values: Mapping[str, object]):
     return options_type(**resolved)
 
 
+def option_schema(backend_cls) -> list[dict[str, object]]:
+    """Describe a backend's option knobs as JSON-ready ``{name, type, default}``.
+
+    The introspection behind ``--list-backends`` and the served
+    ``list_backends`` method: one entry per field of the backend's frozen
+    options dataclass, in declaration order.  ``type`` is the name of the
+    default value's runtime type (backend options are all-defaults
+    dataclasses, so the default *is* the type authority -- the same rule
+    :func:`coerce_option_value` applies to string input); ``default`` is
+    the default value itself, with tuples rendered as lists so the entry
+    survives a JSON round trip unchanged.
+    """
+    schema: list[dict[str, object]] = []
+    for field in dataclasses.fields(backend_cls.options_type):
+        default = (
+            field.default
+            if field.default is not dataclasses.MISSING
+            else field.default_factory()  # type: ignore[misc]
+        )
+        schema.append(
+            {
+                "name": field.name,
+                "type": type(default).__name__,
+                "default": list(default) if isinstance(default, tuple) else default,
+            }
+        )
+    return schema
+
+
 def parse_backend_opt_specs(specs: Sequence[str]) -> dict[str, dict[str, str]]:
     """Parse repeatable ``name.key=value`` specs into ``{name: {key: value}}``.
 

@@ -27,6 +27,16 @@ outputs stream to stdout when no ``--out-dir`` is given:
     $ tydi-compile --target dot --backend-opt dot.rankdir=TB design.td
     $ tydi-compile --target vhdl --target ir --target dot --out-dir out/ design.td
 
+``--from-ir`` swaps the frontend: the sources are Tydi-IR interchange
+documents (:mod:`repro.interchange`, e.g. a previous ``--target tydi-ir``
+emission) compiled through the ingest pipeline, so a design can round-trip
+out of one session and into another without its Tydi-lang sources:
+
+.. code-block:: console
+
+    $ tydi-compile --target tydi-ir --out-dir out/ design.td
+    $ tydi-compile --from-ir --target vhdl --out-dir out2/ out/tydi-ir/design.tir
+
 Both modes run through one :class:`repro.workspace.Workspace` session, and
 ``--watch`` keeps that session alive: the loop polls the source files
 (``--watch-interval`` seconds), feeds real changes through
@@ -58,6 +68,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="Compile Tydi-lang sources to Tydi-IR and VHDL.",
     )
     parser.add_argument("sources", nargs="*", help="Tydi-lang source files (.td)")
+    parser.add_argument(
+        "--from-ir",
+        action="store_true",
+        help="treat the sources as Tydi-IR interchange documents (.tir, e.g. "
+        "a previous --target tydi-ir emission) and compile them through the "
+        "ingest pipeline instead of the Tydi-lang frontend; single mode "
+        "takes exactly one document, --batch one per source",
+    )
     parser.add_argument("--top", help="name of the top-level implementation", default=None)
     parser.add_argument("--no-stdlib", action="store_true", help="do not include the standard library")
     parser.add_argument("--no-sugaring", action="store_true", help="disable duplicator/voider insertion")
@@ -164,6 +182,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "the per-file AST cache before compilation (uses an in-memory "
         "cache when no --cache-dir is configured)",
     )
+    perf.add_argument(
+        "--emit-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="emit cold backend units across N worker processes (uses an "
+        "in-memory stage cache when no --cache-dir is configured; cache "
+        "hits and assembly stay in-process)",
+    )
     sim = parser.add_argument_group("simulation")
     sim.add_argument(
         "--simulate",
@@ -266,10 +293,11 @@ def _build_cache(args: argparse.Namespace):
         max_disk_bytes = int(args.max_cache_mb * 1024 * 1024)
     remote = getattr(args, "remote_cache", None)
     if not args.cache_dir and not remote:
-        # --parse-jobs warms the per-file AST tier, which needs *some*
-        # cache to warm; a memory-only one keeps the flag useful without
-        # forcing --cache-dir.
-        if getattr(args, "parse_jobs", None):
+        # --parse-jobs warms the per-file AST tier and --emit-jobs fans the
+        # backend-unit tier out, both of which need *some* stage cache; a
+        # memory-only one keeps the flags useful without forcing
+        # --cache-dir.
+        if getattr(args, "parse_jobs", None) or getattr(args, "emit_jobs", None):
             from repro.pipeline import CompilationCache
 
             return CompilationCache()
@@ -281,6 +309,20 @@ def _build_cache(args: argparse.Namespace):
         max_disk_bytes=max_disk_bytes,
         remote=remote,
     )
+
+
+def _apply_emit_jobs(workspace, args: argparse.Namespace) -> None:
+    """Point the session's stage cache at ``--emit-jobs`` worker processes.
+
+    A no-op without the flag; ``_build_cache`` guarantees a stage cache
+    exists whenever the flag is set.
+    """
+    jobs = getattr(args, "emit_jobs", None)
+    if not jobs:
+        return
+    stage_cache = getattr(workspace.cache, "stages", None) if workspace.cache else None
+    if stage_cache is not None:
+        stage_cache.emit_jobs = jobs
 
 
 def _preload_parse(workspace, sources, args: argparse.Namespace) -> None:
@@ -348,6 +390,7 @@ def _run_batch(args: argparse.Namespace) -> int:
     # One workspace session per invocation; --watch keeps it alive below,
     # feeding edited sources through update_file and re-querying.
     workspace = Workspace(cache=_build_cache(args))
+    _apply_emit_jobs(workspace, args)
     cache = workspace.cache
 
     # An unreadable file is one failed *design*, not a reason to abort the
@@ -373,13 +416,22 @@ def _run_batch(args: argparse.Namespace) -> int:
             )
             continue
         readable_sources.append((text, str(path)))
-        workspace.add_design(
-            name,
-            ((text, str(path)),),
-            _design_options(args, name, targets, backend_opts),
-        )
+        if args.from_ir:
+            workspace.add_ir_design(
+                name,
+                text,
+                _design_options(args, name, targets, backend_opts),
+                filename=str(path),
+            )
+        else:
+            workspace.add_design(
+                name,
+                ((text, str(path)),),
+                _design_options(args, name, targets, backend_opts),
+            )
 
-    _preload_parse(workspace, readable_sources, args)
+    if not args.from_ir:
+        _preload_parse(workspace, readable_sources, args)
 
     outcome = workspace.compile_all(executor=args.executor, jobs=args.jobs).batch
 
@@ -475,9 +527,17 @@ def _run_batch(args: argparse.Namespace) -> int:
     # their content via update_file the moment they become readable.
     for name, path in design_paths.items():
         if name not in workspace:
-            workspace.add_design(
-                name, (), _design_options(args, name, targets, backend_opts)
-            )
+            if args.from_ir:
+                workspace.add_ir_design(
+                    name,
+                    "",
+                    _design_options(args, name, targets, backend_opts),
+                    filename=str(path),
+                )
+            else:
+                workspace.add_design(
+                    name, (), _design_options(args, name, targets, backend_opts)
+                )
     watched = {
         name: {str(path): path} for name, path in design_paths.items()
     }
@@ -510,11 +570,27 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _list_backends() -> int:
-    from repro.backends import available_backends, backend_class
+def _list_backends(as_json: bool = False) -> int:
+    from repro.backends import available_backends, backend_class, option_schema
 
-    for name in available_backends():
-        print(f"{name:8s} {backend_class(name).description}")
+    entries = [
+        {
+            "name": name,
+            "description": backend_class(name).description,
+            "options": option_schema(backend_class(name)),
+        }
+        for name in available_backends()
+    ]
+    if as_json:
+        print(json.dumps({"backends": entries}, indent=2))
+        return 0
+    for entry in entries:
+        print(f"{entry['name']:8s} {entry['description']}")
+        for option in entry["options"]:
+            print(
+                f"         --backend-opt {entry['name']}.{option['name']}=... "
+                f"({option['type']}, default {option['default']!r})"
+            )
     return 0
 
 
@@ -647,13 +723,20 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         if args.list_backends:
-            return _list_backends()
+            return _list_backends(args.json_output)
         if not args.sources:
             build_arg_parser().error("at least one source file is required")
         if args.watch and args.json_output:
             raise _CliInputError("--watch cannot be combined with --json")
         if args.parse_jobs is not None and args.parse_jobs < 1:
             raise _CliInputError("--parse-jobs must be >= 1")
+        if args.emit_jobs is not None and args.emit_jobs < 1:
+            raise _CliInputError("--emit-jobs must be >= 1")
+        if args.from_ir and not args.batch and len(args.sources) != 1:
+            raise _CliInputError(
+                "--from-ir takes exactly one interchange document "
+                "(use --batch for several)"
+            )
         if args.sim_plan and not args.simulate:
             raise _CliInputError("--sim-plan requires --simulate")
         if args.simulate and args.batch:
@@ -683,7 +766,11 @@ def _run_single(args: argparse.Namespace) -> int:
     backend_opts = _resolve_backend_options(args)
 
     workspace = Workspace(cache=_build_cache(args))
-    _preload_parse(workspace, sources, args)
+    _apply_emit_jobs(workspace, args)
+    if not args.from_ir:
+        # Pre-parsing is a Tydi-lang frontend warm-up; interchange
+        # documents never touch the parse tier.
+        _preload_parse(workspace, sources, args)
 
     # When target outputs stream to stdout (no --out-dir), the stage log
     # moves to stderr so e.g. `tydi-compile --target dot x.td | dot -Tsvg`
@@ -692,9 +779,18 @@ def _run_single(args: argparse.Namespace) -> int:
     log_stream = sys.stderr if emit_to_stdout else sys.stdout
 
     try:
-        workspace.add_design(
-            "design", sources, _design_options(args, "design", targets, backend_opts)
-        )
+        if args.from_ir:
+            text, filename = sources[0]
+            workspace.add_ir_design(
+                "design",
+                text,
+                _design_options(args, "design", targets, backend_opts),
+                filename=filename,
+            )
+        else:
+            workspace.add_design(
+                "design", sources, _design_options(args, "design", targets, backend_opts)
+            )
     except TydiError as exc:
         print(f"error ({exc.stage}): {exc.render()}", file=sys.stderr)
         return 1

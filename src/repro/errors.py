@@ -16,6 +16,8 @@ can distinguish *which stage* of the pipeline rejected the input:
   expansion, assertion failures and other evaluation-time problems.
 * :class:`TydiDRCError` -- design-rule-check violations (type equality on
   connections, port usage counts, clock-domain mismatches).
+* :class:`TydiIngestError` -- malformed Tydi-IR interchange documents
+  rejected by the ingest frontend (:mod:`repro.interchange`).
 * :class:`TydiBackendError` -- Tydi-IR emission or VHDL generation problems.
 * :class:`TydiSimulationError` -- simulator configuration or runtime errors.
 * :class:`TydiServerError` -- compile-service protocol violations (malformed
@@ -112,6 +114,18 @@ class TydiDRCError(TydiError):
     """Raised when the design-rule check rejects an evaluated design."""
 
     stage = "drc"
+
+
+class TydiIngestError(TydiError):
+    """Raised by the Tydi-IR interchange frontend (:mod:`repro.interchange`)
+    when an IR document cannot be parsed back into a
+    :class:`repro.ir.model.Project`: lexical or syntactic problems, malformed
+    logical-type expressions, and referential-integrity failures of the
+    ingested design.  Carries the document location of the offending token,
+    so remote callers receive the same ``file:line:col`` envelopes the
+    Tydi-lang frontend produces."""
+
+    stage = "ingest"
 
 
 class TydiBackendError(TydiError):

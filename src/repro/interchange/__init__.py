@@ -1,0 +1,50 @@
+"""Tydi-IR interchange: a complete textual form of the object model.
+
+The public Tydi intermediate representation of the companion IR paper is
+both an *emit target* and an *ingest frontend*.  This package provides the
+bridge in each direction:
+
+* :mod:`repro.interchange.emit` -- render a compiled
+  :class:`~repro.ir.model.Project` as one canonical interchange document
+  (full logical-type syntax, metadata literals, declaration order
+  preserved).  The registered ``tydi-ir`` backend
+  (:mod:`repro.backends.tydi_ir`) wraps this with per-implementation unit
+  caching.
+* :mod:`repro.interchange.parse` -- :func:`load_ir`, parsing a document
+  back into the evaluated object model with per-document type interning,
+  so ingested designs flow through the existing sugar/DRC/backend stages.
+* :mod:`repro.interchange.pipeline` -- :func:`compile_ir_document`, the
+  ingest twin of the Figure-3 pipeline, producing an ordinary
+  :class:`~repro.lang.compile.CompilationResult`.
+
+The correctness spine is the byte-identical round trip
+``emit(ingest(emit(P))) == emit(P)``, asserted over fuzzed and TPC-H
+designs by ``tests/test_interchange_roundtrip.py``.  Grammar and
+guarantees: ``docs/interchange.md``.
+"""
+
+from repro.interchange.emit import (
+    FORMAT_VERSION,
+    emit_document,
+    emit_implementation_block,
+    emit_streamlet_block,
+    render_value,
+)
+from repro.interchange.parse import load_ir
+from repro.interchange.pipeline import (
+    compile_ir_document,
+    ingest_stage,
+    roundtrip_document,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "compile_ir_document",
+    "emit_document",
+    "emit_implementation_block",
+    "emit_streamlet_block",
+    "ingest_stage",
+    "load_ir",
+    "render_value",
+    "roundtrip_document",
+]

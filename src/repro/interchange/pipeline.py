@@ -1,0 +1,126 @@
+"""The ingest pipeline: IR documents through the sugar/DRC/backend stages.
+
+:func:`compile_ir_document` is the ingest twin of
+:func:`repro.lang.compile.run_pipeline`: instead of parse + evaluate it runs
+one **ingest** stage (:func:`ingest_stage`, wrapping
+:func:`repro.interchange.parse.load_ir`), then composes the *same* sugar,
+DRC, IR and backend stage functions the Tydi-lang frontend uses.  The
+result is an ordinary :class:`~repro.lang.compile.CompilationResult`, so
+everything downstream -- ``Workspace`` queries, served methods, backend
+emission, simulation -- treats an ingested design exactly like a compiled
+one.
+
+Option semantics: an IR document is already evaluated, so the
+evaluate-only options (``top`` / ``top_args`` / ``include_stdlib`` /
+``project_name``) are ignored -- the document itself carries the project
+name and top declaration.  ``sugaring`` / ``run_drc`` / ``strict_drc`` /
+``targets`` / ``backend_options`` apply as usual.  Re-sugaring an already
+sugared (or any DRC-clean) design is a no-op: duplicators/voiders are only
+inserted for fan-out or unused outputs, which a DRC-clean design does not
+have.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DiagnosticSink
+from repro.interchange.parse import load_ir
+from repro.ir.model import Project
+from repro.lang.compile import (
+    IR_STAGE_DETAIL,
+    CompilationResult,
+    CompilationStage,
+    CompileOptions,
+    backend_stage,
+    drc_stage,
+    sugar_stage,
+)
+from repro.profiling import PROFILER
+
+
+def ingest_stage(
+    text: str, *, filename: str = "<tydi-ir>"
+) -> tuple[Project, CompilationStage]:
+    """The ingest stage: one IR document to a validated :class:`Project`.
+
+    The stage-log entry mirrors the evaluate stage's statistics line, so
+    logs of ingested and compiled designs read uniformly.
+    """
+    with PROFILER.stage("ingest"):
+        project = load_ir(text, filename=filename)
+    stats = project.statistics()
+    entry = CompilationStage(
+        "ingest",
+        f"ingested {stats['streamlets']} streamlet(s), "
+        f"{stats['implementations']} implementation(s), "
+        f"{stats['instances']} instance(s), {stats['connections']} connection(s)",
+    )
+    return project, entry
+
+
+def compile_ir_document(
+    text: str,
+    options: "CompileOptions | dict | None" = None,
+    *,
+    filename: str = "<tydi-ir>",
+    stage_cache=None,
+) -> CompilationResult:
+    """Ingest one IR document and run the downstream pipeline stages.
+
+    This is the uncached reference composition; the staged twin with a
+    memoised ingest tier is :meth:`repro.pipeline.stages.StageCache.
+    compile_ir`, differential-tested byte-identical against this one.
+    ``stage_cache`` only serves the backend stage's per-implementation unit
+    outputs (pass a :class:`~repro.pipeline.stages.StageCache`).
+    """
+    resolved = CompileOptions.coerce(options)
+    diagnostics = DiagnosticSink()
+    stages: list[CompilationStage] = []
+
+    project, ingest_entry = ingest_stage(text, filename=filename)
+    stages.append(ingest_entry)
+
+    sugaring_report = None
+    if resolved.sugaring:
+        sugaring_report, sugar_entry = sugar_stage(project, diagnostics)
+        stages.append(sugar_entry)
+
+    drc_report = None
+    if resolved.run_drc:
+        drc_report, drc_entry = drc_stage(project, diagnostics, strict=resolved.strict_drc)
+        stages.append(drc_entry)
+
+    stages.append(CompilationStage("ir", IR_STAGE_DETAIL))
+
+    outputs, backend_entries = backend_stage(
+        project,
+        resolved.targets,
+        backend_options=resolved.backend_options,
+        stage_cache=stage_cache,
+    )
+    stages.extend(backend_entries)
+
+    return CompilationResult(
+        project=project,
+        diagnostics=diagnostics,
+        stages=stages,
+        sugaring=sugaring_report,
+        drc=drc_report,
+        units=[],
+        outputs=outputs,
+    )
+
+
+def roundtrip_document(project: Project) -> str:
+    """Emit, ingest and re-emit one project (test/debug helper).
+
+    Returns the re-emitted document; callers assert it equals the first
+    emission -- the correctness spine of the interchange subsystem.
+    """
+    from repro.interchange.emit import emit_document
+
+    return emit_document(load_ir(emit_document(project)))
+
+
+__all__ = ["compile_ir_document", "ingest_stage", "roundtrip_document"]

@@ -69,7 +69,13 @@ CACHE_VERSION = 2
 #: :class:`repro.sim.harness.SimulationReport` keyed on evaluate fingerprint
 #: plus plan fingerprint); the salt bump keeps pre-sim stores from mixing
 #: with the new namespace layout.
-STAGE_SCHEMA_VERSION = 6
+#: v7: the stage cache gained the ``iringest:`` tier (pickled post-ingest
+#: projects of Tydi-IR interchange documents, keyed on the document
+#: fingerprint; see :meth:`repro.pipeline.stages.StageCache.compile_ir`),
+#: and the ``Project`` pickle layout may now carry interned interchange
+#: types; the salt bump keeps pre-interchange stores from mixing with the
+#: new namespace layout.
+STAGE_SCHEMA_VERSION = 7
 
 #: Default directory name for the on-disk store.
 DEFAULT_CACHE_DIR = ".tydi-cache"

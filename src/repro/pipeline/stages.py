@@ -25,6 +25,10 @@ reusable.  :class:`StageCache` exploits exactly that structure:
   :meth:`StageCache.cached_parse` (all hits) and keeps the pickled payload
   small -- the project is typically an order of magnitude lighter than the
   ASTs it was evaluated from.
+* **Ingest snapshot cache** -- the post-ingest state of a Tydi-IR
+  interchange document (:meth:`StageCache.compile_ir`) is pickled and keyed
+  on the document fingerprint (``iringest-<key>.pkl``), so re-opening the
+  same document skips parsing and referential validation entirely.
 * **Per-implementation backend-output cache** -- every requested output
   backend's unit files (one implementation's VHDL file, IR section, DOT
   cluster; see :mod:`repro.backends`) are memoised under the
@@ -115,6 +119,24 @@ def file_fingerprint(text: str, filename: str) -> str:
     return hasher.hexdigest()
 
 
+#: Per-process state of the parallel-emit pool: the (project, backend) pair
+#: every task of one :meth:`StageCache.emit_backend` call shares, shipped
+#: once through the pool initializer instead of once per task.
+_EMIT_WORKER_STATE: dict[str, object] = {}
+
+
+def _emit_pool_init(payload: bytes) -> None:
+    project, backend = pickle.loads(payload)
+    _EMIT_WORKER_STATE["project"] = project
+    _EMIT_WORKER_STATE["backend"] = backend
+
+
+def _emit_one_unit(implementation_name: str) -> dict[str, str]:
+    project = _EMIT_WORKER_STATE["project"]
+    backend = _EMIT_WORKER_STATE["backend"]
+    return backend.emit_unit(project, project.implementations[implementation_name])
+
+
 @dataclass
 class StageStats:
     """Counters describing how a :class:`StageCache` has been used."""
@@ -123,6 +145,8 @@ class StageStats:
     parse_misses: int = 0
     evaluate_hits: int = 0
     evaluate_misses: int = 0
+    ingest_hits: int = 0
+    ingest_misses: int = 0
     backend_hits: int = 0
     backend_misses: int = 0
     sim_hits: int = 0
@@ -138,6 +162,8 @@ class StageStats:
             "parse_misses": self.parse_misses,
             "evaluate_hits": self.evaluate_hits,
             "evaluate_misses": self.evaluate_misses,
+            "ingest_hits": self.ingest_hits,
+            "ingest_misses": self.ingest_misses,
             "backend_hits": self.backend_hits,
             "backend_misses": self.backend_misses,
             "sim_hits": self.sim_hits,
@@ -151,6 +177,7 @@ class StageStats:
     def reset(self) -> None:
         self.parse_hits = self.parse_misses = 0
         self.evaluate_hits = self.evaluate_misses = 0
+        self.ingest_hits = self.ingest_misses = 0
         self.backend_hits = self.backend_misses = 0
         self.sim_hits = self.sim_misses = 0
         self.disk_hits = self.disk_stores = self.disk_errors = 0
@@ -191,21 +218,27 @@ class StageCache:
         *,
         max_parse_entries: int = 512,
         max_evaluate_entries: int = 64,
+        max_ingest_entries: int = 64,
         max_backend_entries: int = 1024,
         max_sim_entries: int = 128,
         cache_dir: Optional[str | Path] = None,
         max_disk_bytes: Optional[int] = None,
         remote: Optional[object] = None,
+        emit_jobs: Optional[int] = None,
     ) -> None:
         if (
             max_parse_entries < 1
             or max_evaluate_entries < 1
+            or max_ingest_entries < 1
             or max_backend_entries < 1
             or max_sim_entries < 1
         ):
             raise ValueError("stage cache LRU capacities must be >= 1")
+        if emit_jobs is not None and emit_jobs < 1:
+            raise ValueError("emit_jobs must be >= 1")
         self.max_parse_entries = max_parse_entries
         self.max_evaluate_entries = max_evaluate_entries
+        self.max_ingest_entries = max_ingest_entries
         self.max_backend_entries = max_backend_entries
         self.max_sim_entries = max_sim_entries
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -215,11 +248,19 @@ class StageCache:
 
             remote = RemoteCacheClient.from_url(remote)
         self.remote = remote
+        #: Worker-process count for cold backend-unit emission in
+        #: :meth:`emit_backend` (``None`` / ``1``: serial).  An execution
+        #: policy, *not* part of any fingerprint: parallel and serial
+        #: emission produce byte-identical units.
+        self.emit_jobs = emit_jobs
         self.stats = StageStats()
         self._parse: OrderedDict[str, SourceUnit] = OrderedDict()
         #: Snapshots are held as pickle *bytes* so cached state can never be
         #: mutated through an aliased object; every use deserialises fresh.
         self._evaluate: OrderedDict[str, bytes] = OrderedDict()
+        #: Post-ingest projects of Tydi-IR interchange documents, pickled
+        #: for the same aliasing reason (sugar/DRC mutate the project).
+        self._ingest: OrderedDict[str, bytes] = OrderedDict()
         #: Per-implementation backend unit outputs ({filename: text}); plain
         #: string payloads, safe to share across compilations.
         self._backend: OrderedDict[str, dict[str, str]] = OrderedDict()
@@ -256,6 +297,20 @@ class StageCache:
         for text, filename in normalize_sources(sources):
             hasher.update(b"\x00unit\x00")
             hasher.update(file_fingerprint(text, filename).encode())
+        return hasher.hexdigest()
+
+    def ingest_key(self, text: str) -> str:
+        """Snapshot key of one Tydi-IR interchange document: its fingerprint.
+
+        The document *is* the complete post-evaluate state (no options
+        participate -- the evaluate-only options are ignored by ingest, and
+        the downstream ones key nothing before sugar), so the content hash
+        plus the stage salt fully addresses the ingested project.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(_stage_salt().encode())
+        hasher.update(b"\x00iringest\x00")
+        hasher.update(text.encode())
         return hasher.hexdigest()
 
     def sim_key(
@@ -396,6 +451,15 @@ class StageCache:
         key = self.backend_unit_key(
             backend, implementation_fingerprint(project, implementation)
         )
+        files = self._backend_unit_lookup(key)
+        if files is not None:
+            return files
+        files = backend.emit_unit(project, implementation)
+        self._backend_unit_store(key, files)
+        return files
+
+    def _backend_unit_lookup(self, key: str) -> Optional[dict[str, str]]:
+        """Probe the backend-unit tiers (memory -> disk -> remote) only."""
         with self._lock:
             files = self._backend.get(key)
             if files is not None:
@@ -415,12 +479,14 @@ class StageCache:
                 self.stats.backend_hits += 1
                 self._insert(self._backend, key, files, self.max_backend_entries)
             return files
-        files = backend.emit_unit(project, implementation)
+        return None
+
+    def _backend_unit_store(self, key: str, files: dict[str, str]) -> None:
+        """Record one freshly emitted unit in every tier (a miss)."""
         with self._lock:
             self.stats.backend_misses += 1
             self._insert(self._backend, key, files, self.max_backend_entries)
         self._disk_store(self._backend_path(key), files, namespace="backend", key=key)
-        return files
 
     def cached_simulation(self, key: str, compute):
         """One plan-driven simulation report, through the ``sim:`` tier.
@@ -467,18 +533,69 @@ class StageCache:
         Byte-identical to ``backend.emit(project)`` (same assemble over the
         same units -- the composition law of :class:`repro.backends.base.
         Backend`), but every unchanged implementation's unit output is
-        served from the cache.
+        served from the cache.  When :attr:`emit_jobs` is > 1, the *cold*
+        units are emitted across a process pool (backends are pure, so
+        per-unit emission is embarrassingly parallel); results are inserted
+        exactly as serial misses would have been, so the cache tiers and
+        stats read identically either way.
 
         Disk stores defer their budget pass to the caller (the single
         per-compile pass in :meth:`compile`); standalone callers with a
         ``max_disk_bytes`` budget should call :meth:`enforce_disk_budget`
         after a burst of emissions.
         """
-        units = {
-            name: self.cached_backend_unit(project, implementation, backend)
-            for name, implementation in project.implementations.items()
-        }
+        from repro.backends import implementation_fingerprint
+
+        units: dict[str, Optional[dict[str, str]]] = {}
+        cold: list[tuple[str, str]] = []
+        for name, implementation in project.implementations.items():
+            key = self.backend_unit_key(
+                backend, implementation_fingerprint(project, implementation)
+            )
+            files = self._backend_unit_lookup(key)
+            if files is None:
+                cold.append((name, key))
+            units[name] = files
+        if cold:
+            names = [name for name, _ in cold]
+            jobs = self.emit_jobs
+            emitted = None
+            if jobs is not None and jobs > 1 and len(names) > 1:
+                emitted = self._emit_units_parallel(project, backend, names, jobs)
+            if emitted is None:
+                emitted = {
+                    name: backend.emit_unit(project, project.implementations[name])
+                    for name in names
+                }
+            for name, key in cold:
+                files = emitted[name]
+                self._backend_unit_store(key, files)
+                units[name] = files
         return backend.assemble(project, backend.emit_shared(project), units)
+
+    def _emit_units_parallel(
+        self, project, backend, names: list[str], jobs: int
+    ) -> Optional[dict[str, dict[str, str]]]:
+        """Emit the named implementations' units across a process pool.
+
+        The (project, backend) pair is pickled once and shipped to each
+        worker through the pool initializer; tasks are just implementation
+        names.  Returns ``None`` when the project cannot be pickled (e.g.
+        simulation behaviours holding closures) -- the caller falls back to
+        serial emission.  Emission errors propagate unchanged.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            payload = pickle.dumps((project, backend), protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError):
+            return None
+        workers = max(1, min(jobs, len(names)))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_emit_pool_init, initargs=(payload,)
+        ) as pool:
+            emitted = list(pool.map(_emit_one_unit, names))
+        return dict(zip(names, emitted))
 
     def compile(
         self,
@@ -569,6 +686,80 @@ class StageCache:
             outputs=outputs,
         )
 
+    def compile_ir(
+        self,
+        text: str,
+        options: "Mapping[str, object] | CompileOptions | None" = None,
+        *,
+        filename: str = "<tydi-ir>",
+    ) -> CompilationResult:
+        """Run the ingest pipeline with a memoised ingest stage.
+
+        The staged twin of :func:`repro.interchange.pipeline.
+        compile_ir_document`: the post-ingest project (plus its stage-log
+        entry) is pickled under :meth:`ingest_key` -- the ``iringest`` tier
+        -- so re-opening the same document skips parsing and validation
+        entirely; sugar/DRC re-run on a fresh deserialised copy, and the
+        backend stage rides the per-implementation unit cache as usual.
+        Byte-identical to the uncached composition, as the differential
+        suite asserts.  Ingest errors propagate unchanged and are never
+        cached.
+        """
+        from repro.interchange.pipeline import ingest_stage
+
+        if isinstance(options, CompileOptions):
+            options = options.as_dict()
+        options = dict(options or {})
+
+        key = self.ingest_key(text)
+        snapshot = self._load_ingest_snapshot(key)
+        if snapshot is not None:
+            project, ingest_entry = snapshot
+            with self._lock:
+                self.stats.ingest_hits += 1
+        else:
+            project, ingest_entry = ingest_stage(text, filename=filename)
+            with self._lock:
+                self.stats.ingest_misses += 1
+            # Snapshot *before* sugaring: sugar/DRC mutate the project, and
+            # the stored bytes must stay the pristine post-ingest state.
+            self._store_ingest_snapshot(key, (project, ingest_entry))
+
+        diagnostics = DiagnosticSink()
+        stages: list[CompilationStage] = [ingest_entry]
+
+        sugaring_report = None
+        if options.get("sugaring", True):
+            sugaring_report, sugar_entry = sugar_stage(project, diagnostics)
+            stages.append(sugar_entry)
+
+        drc_report = None
+        if options.get("run_drc", True):
+            drc_report, drc_entry = drc_stage(
+                project, diagnostics, strict=options.get("strict_drc", True)
+            )
+            stages.append(drc_entry)
+
+        stages.append(CompilationStage("ir", IR_STAGE_DETAIL))
+
+        outputs, backend_entries = backend_stage(
+            project,
+            normalize_targets(options.get("targets", ())),
+            backend_options=options.get("backend_options", ()),
+            stage_cache=self,
+        )
+        stages.extend(backend_entries)
+        self.enforce_disk_budget()
+        return CompilationResult(
+            project=project,
+            diagnostics=diagnostics,
+            stages=stages,
+            sugaring=sugaring_report,
+            drc=drc_report,
+            units=[],
+            outputs=outputs,
+        )
+
     # -- maintenance ----------------------------------------------------------
 
     def clear(self, *, disk: bool = False) -> None:
@@ -576,6 +767,7 @@ class StageCache:
         with self._lock:
             self._parse.clear()
             self._evaluate.clear()
+            self._ingest.clear()
             self._backend.clear()
             self._sim.clear()
         if disk and self.cache_dir is not None:
@@ -593,6 +785,7 @@ class StageCache:
             return (
                 len(self._parse)
                 + len(self._evaluate)
+                + len(self._ingest)
                 + len(self._backend)
                 + len(self._sim)
             )
@@ -616,6 +809,11 @@ class StageCache:
             return None
         return self.cache_dir / STAGE_DIR_NAME / f"eval-{key}.pkl"
 
+    def _ingest_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / STAGE_DIR_NAME / f"iringest-{key}.pkl"
+
     def _backend_path(self, key: str) -> Optional[Path]:
         if self.cache_dir is None:
             return None
@@ -627,25 +825,79 @@ class StageCache:
         return self.cache_dir / STAGE_DIR_NAME / f"sim-{key}.pkl"
 
     def _load_snapshot(self, key: str):
+        """Load one evaluate snapshot (fresh deserialisation per use)."""
+        return self._load_pickled_snapshot(
+            key,
+            table=self._evaluate,
+            capacity=self.max_evaluate_entries,
+            path=self._eval_path(key),
+            namespace="eval",
+        )
+
+    def _store_snapshot(self, key: str, snapshot: tuple) -> None:
+        self._store_pickled_snapshot(
+            key,
+            snapshot,
+            table=self._evaluate,
+            capacity=self.max_evaluate_entries,
+            path=self._eval_path(key),
+            namespace="eval",
+        )
+
+    def _load_ingest_snapshot(self, key: str):
+        """Load one post-ingest snapshot (fresh deserialisation per use)."""
+        return self._load_pickled_snapshot(
+            key,
+            table=self._ingest,
+            capacity=self.max_ingest_entries,
+            path=self._ingest_path(key),
+            namespace="iringest",
+        )
+
+    def _store_ingest_snapshot(self, key: str, snapshot: tuple) -> None:
+        self._store_pickled_snapshot(
+            key,
+            snapshot,
+            table=self._ingest,
+            capacity=self.max_ingest_entries,
+            path=self._ingest_path(key),
+            namespace="iringest",
+        )
+
+    def _load_pickled_snapshot(
+        self,
+        key: str,
+        *,
+        table: OrderedDict,
+        capacity: int,
+        path: Optional[Path],
+        namespace: str,
+    ):
+        """The shared snapshot read path (memory -> disk -> remote).
+
+        Snapshots are held as pickle bytes in every tier, so each call
+        deserialises a fresh object graph -- cached state can never be
+        mutated through an aliased reference.
+        """
         payload: Optional[bytes] = None
         from_remote = False
         with self._lock:
-            payload = self._evaluate.get(key)
+            payload = table.get(key)
             if payload is not None:
-                self._evaluate.move_to_end(key)
+                table.move_to_end(key)
         if payload is None:
-            payload = self._disk_read(self._eval_path(key))
+            payload = self._disk_read(path)
             if payload is not None:
                 with self._lock:
                     self.stats.disk_hits += 1
-                    self._insert(self._evaluate, key, payload, self.max_evaluate_entries)
+                    self._insert(table, key, payload, capacity)
             else:
-                payload = self._remote_get("eval", key)
+                payload = self._remote_get(namespace, key)
                 if payload is None:
                     return None
                 from_remote = True
                 with self._lock:
-                    self._insert(self._evaluate, key, payload, self.max_evaluate_entries)
+                    self._insert(table, key, payload, capacity)
         try:
             snapshot = pickle.loads(payload)
         except (pickle.PickleError, EOFError, AttributeError, ImportError, ValueError):
@@ -654,22 +906,29 @@ class StageCache:
             # it is rebuilt.
             with self._lock:
                 self.stats.disk_errors += 1
-                self._evaluate.pop(key, None)
+                table.pop(key, None)
             if from_remote:
-                self._note_remote_corrupt("eval", key)
-            else:
-                path = self._eval_path(key)
-                if path is not None:
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
+                self._note_remote_corrupt(namespace, key)
+            elif path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
             return None
         if from_remote:
-            self._promote_to_disk(self._eval_path(key), payload)
+            self._promote_to_disk(path, payload)
         return snapshot
 
-    def _store_snapshot(self, key: str, snapshot: tuple) -> None:
+    def _store_pickled_snapshot(
+        self,
+        key: str,
+        snapshot: tuple,
+        *,
+        table: OrderedDict,
+        capacity: int,
+        path: Optional[Path],
+        namespace: str,
+    ) -> None:
         try:
             payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
         except (pickle.PickleError, TypeError):
@@ -677,8 +936,7 @@ class StageCache:
                 self.stats.disk_errors += 1
             return
         with self._lock:
-            self._insert(self._evaluate, key, payload, self.max_evaluate_entries)
-        path = self._eval_path(key)
+            self._insert(table, key, payload, capacity)
         if path is not None:
             try:
                 atomic_write_bytes(path, payload)
@@ -687,7 +945,7 @@ class StageCache:
             except OSError:
                 with self._lock:
                     self.stats.disk_errors += 1
-        self._remote_put("eval", key, payload)
+        self._remote_put(namespace, key, payload)
 
     def _disk_read(self, path: Optional[Path]) -> Optional[bytes]:
         if path is None:

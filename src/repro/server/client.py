@@ -248,6 +248,20 @@ class CompileClient:
             params["options"] = dict(options)
         return self.request("open_design", **params)
 
+    def open_ir_design(
+        self,
+        design: str,
+        text: str,
+        *,
+        options: Optional[Mapping[str, Any]] = None,
+        replace: bool = True,
+    ) -> dict[str, Any]:
+        """Open a design from one Tydi-IR interchange document (``.tir``)."""
+        params: dict[str, Any] = {"design": design, "text": text, "replace": replace}
+        if options is not None:
+            params["options"] = dict(options)
+        return self.request("open_ir_design", **params)
+
     def update_file(self, design: str, filename: str, text: str) -> dict[str, Any]:
         return self.request("update_file", design=design, filename=filename, text=text)
 

@@ -55,6 +55,7 @@ from repro.server.worker import read_frame, worker_main, write_frame
 POOLED_METHODS = frozenset(
     {
         "open_design",
+        "open_ir_design",
         "update_file",
         "remove_file",
         "remove_design",
@@ -149,9 +150,11 @@ class _Worker:
         self.dispatched = 0
         self.errors = 0
         self.dead = False  # restart budget exhausted: shard answers errors
-        #: Mirror of the shard's design state -- ``{name: (files, options)}``
-        #: -- maintained from successful mutations, replayed on respawn.
-        self.designs: dict[str, tuple[dict[str, str], Optional[dict]]] = {}
+        #: Mirror of the shard's design state -- ``{name: (files, options,
+        #: kind)}`` where ``kind`` is ``"lang"`` (``open_design``) or
+        #: ``"ir"`` (``open_ir_design``) -- maintained from successful
+        #: mutations, replayed on respawn through the matching open method.
+        self.designs: dict[str, tuple[dict[str, str], Optional[dict], str]] = {}
         self.thread = threading.Thread(
             target=self._run, name=f"tydi-pool-{index}", daemon=True
         )
@@ -322,11 +325,19 @@ class _Worker:
 
     def _replay(self) -> bool:
         """Re-open every mirrored design in a fresh worker (FIFO, awaited)."""
-        for name, (files, options) in self.designs.items():
-            params: dict[str, Any] = {"design": name, "files": files, "replace": True}
+        for name, (files, options, kind) in self.designs.items():
+            params: dict[str, Any] = {"design": name, "replace": True}
+            if kind == "ir":
+                if not files:  # document removed: nothing to replay
+                    continue
+                method = "open_ir_design"
+                params["text"] = next(iter(files.values()))
+            else:
+                method = "open_design"
+                params["files"] = files
             if options is not None:
                 params["options"] = options
-            request = {"id": None, "method": "open_design", "params": params}
+            request = {"id": None, "method": method, "params": params}
             reply = self._exchange(("job", -1, request))
             if reply is None:
                 return False  # died during replay: caller loops on budget
@@ -349,6 +360,14 @@ class _Worker:
             self.designs[design] = (
                 {filename: text for text, filename in normalized},
                 dict(options) if isinstance(options, Mapping) else None,
+                "lang",
+            )
+        elif method == "open_ir_design":
+            options = params.get("options")
+            self.designs[design] = (
+                {f"{design}.tir": str(params.get("text", ""))},
+                dict(options) if isinstance(options, Mapping) else None,
+                "ir",
             )
         elif method == "update_file":
             entry = self.designs.get(design)

@@ -395,6 +395,27 @@ class CompileService:
             "fingerprint": self.workspace.fingerprint(name),
         }
 
+    def _open_ir_design(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Open a design from one Tydi-IR interchange document.
+
+        The served twin of :meth:`~repro.workspace.Workspace.add_ir_design`:
+        the document text replaces Tydi-lang sources as the design's input,
+        everything downstream (``get_outputs``, ``get_diagnostics``,
+        ``simulate_design``) works unchanged.  In pool mode the request is
+        routed to the owning shard and mirrored for crash replay just like
+        ``open_design``.
+        """
+        name = protocol.require_param(params, "design", str, "open_ir_design")
+        text = protocol.require_param(params, "text", str, "open_ir_design")
+        options = protocol.coerce_options(params.get("options"), "open_ir_design")
+        replace = bool(params.get("replace", True))
+        self.workspace.add_ir_design(name, text, options, replace=replace)
+        return {
+            "design": name,
+            "files": sorted(self.workspace.files(name)),
+            "fingerprint": self.workspace.fingerprint(name),
+        }
+
     def _update_file(self, params: Mapping[str, Any]) -> dict[str, Any]:
         design = protocol.require_param(params, "design", str, "update_file")
         filename = protocol.require_param(params, "filename", str, "update_file")
@@ -491,11 +512,15 @@ class CompileService:
         return dict(self.workspace.report())
 
     def _list_backends(self, params: Mapping[str, Any]) -> dict[str, Any]:
-        from repro.backends import available_backends, backend_class
+        from repro.backends import available_backends, backend_class, option_schema
 
         return {
             "backends": [
-                {"name": name, "description": backend_class(name).description}
+                {
+                    "name": name,
+                    "description": backend_class(name).description,
+                    "options": option_schema(backend_class(name)),
+                }
                 for name in available_backends()
             ]
         }
@@ -674,6 +699,7 @@ class CompileService:
     _METHODS = {
         "ping": _ping,
         "open_design": _open_design,
+        "open_ir_design": _open_ir_design,
         "update_file": _update_file,
         "remove_file": _remove_file,
         "remove_design": _remove_design,
@@ -691,6 +717,7 @@ class CompileService:
     _SIGNATURES: dict[str, tuple[tuple[str, ...], bool]] = {
         "ping": ((), False),
         "open_design": (("design", "files", "options", "replace"), True),
+        "open_ir_design": (("design", "text", "options", "replace"), True),
         "update_file": (("design", "filename", "text"), True),
         "remove_file": (("design", "filename"), True),
         "remove_design": (("design",), True),

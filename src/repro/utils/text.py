@@ -15,6 +15,7 @@ from typing import Iterable
 _COMMENT_PREFIXES = {
     "tydi": ("//",),
     "vhdl": ("--",),
+    "verilog": ("//",),
     "sql": ("--",),
     "python": ("#",),
 }
@@ -51,7 +52,8 @@ def count_loc(text: str, language: str = "tydi") -> int:
     text:
         Source text.
     language:
-        One of ``"tydi"``, ``"vhdl"``, ``"sql"``, ``"python"``; controls which
+        One of ``"tydi"``, ``"vhdl"``, ``"verilog"``, ``"sql"``, ``"python"``;
+        controls which
         line-comment prefix is ignored.  Tydi-lang ``/* */`` block comments are
         stripped before counting.
     """

@@ -1,0 +1,24 @@
+"""Tydi-IR to Verilog backend.
+
+The second HDL target of the toolchain: the same lowering discipline as the
+VHDL backend (:mod:`repro.vhdl`) rendered in Verilog-2001:
+
+* every streamlet becomes a ``module`` whose ports are the ready/valid
+  physical-stream signal groups derived from its logical types (the
+  language-independent expansion of :mod:`repro.vhdl.signals` /
+  :mod:`repro.spec.physical`),
+* every structural implementation becomes a module body with per-connection
+  interconnect wires and named-port instantiations,
+* external implementations (including the standard-library primitives, whose
+  behavioural generators are VHDL-only) become annotated stub modules with
+  safe handshake tie-offs.
+
+The registered ``verilog`` backend (:mod:`repro.backends.verilog`) wraps
+this engine in the ``emit_shared`` / ``emit_unit`` / ``assemble``
+composition law, so its per-implementation units ride the backend-output
+cache exactly like VHDL units do.
+"""
+
+from repro.verilog.backend import VerilogBackend, generate_verilog
+
+__all__ = ["VerilogBackend", "generate_verilog"]

@@ -111,6 +111,7 @@ class _Design:
         "name",
         "files",
         "options",
+        "kind",
         "lock",
         "memo_key",
         "memo_result",
@@ -120,10 +121,21 @@ class _Design:
         "built_file_keys",
     )
 
-    def __init__(self, name: str, files: dict[str, str], options: CompileOptions) -> None:
+    def __init__(
+        self,
+        name: str,
+        files: dict[str, str],
+        options: CompileOptions,
+        *,
+        kind: str = "lang",
+    ) -> None:
         self.name = name
         self.files = files  # filename -> source text, insertion-ordered
         self.options = options
+        #: Frontend of this design: ``"lang"`` (Tydi-lang sources through
+        #: parse+evaluate) or ``"ir"`` (one Tydi-IR interchange document
+        #: through the ingest frontend, :mod:`repro.interchange`).
+        self.kind = kind
         self.lock = threading.RLock()
         #: Fingerprint the memo below belongs to (None: never computed).
         self.memo_key: Optional[str] = None
@@ -143,7 +155,17 @@ class _Design:
         return tuple((text, filename) for filename, text in self.files.items())
 
     def fingerprint(self) -> str:
-        return self.options.fingerprint(self.normalized_sources())
+        fingerprint = self.options.fingerprint(self.normalized_sources())
+        if self.kind != "lang":
+            # Salt non-lang kinds: the same bytes as a Tydi-lang source and
+            # as an interchange document are different artefacts and must
+            # never share a memo/cache identity.
+            import hashlib
+
+            return hashlib.sha256(
+                f"kind={self.kind}\x00{fingerprint}".encode()
+            ).hexdigest()
+        return fingerprint
 
     def file_keys(self) -> dict[str, str]:
         from repro.pipeline.stages import file_fingerprint
@@ -303,9 +325,58 @@ class Workspace:
             with existing.lock:
                 existing.files = file_map
                 existing.options = resolved
+                existing.kind = "lang"
             # Move the replaced design to the end: compile_all order then
             # mirrors the caller's latest job order (what the incremental
             # adapter relies on for report ordering).
+            self._designs[name] = self._designs.pop(name)
+
+    def add_ir_design(
+        self,
+        name: str,
+        text: str,
+        options: CompileOptions | Mapping[str, object] | None = None,
+        *,
+        replace: bool = False,
+        filename: Optional[str] = None,
+    ) -> None:
+        """Register a design whose frontend is one Tydi-IR interchange document.
+
+        The document (e.g. a ``tydi-ir`` backend emission, see
+        :mod:`repro.interchange`) is stored as the design's single file
+        (``filename``, default ``<name>.tir``; the CLI passes the real
+        path so ingest diagnostics name it) and compiled through the
+        ingest pipeline instead of parse+evaluate; every downstream query
+        -- :meth:`result`, :meth:`outputs`, :meth:`simulate`,
+        :meth:`report` -- then behaves exactly as for a Tydi-lang design.
+        ``update_file`` on the stored filename swaps the document; the
+        evaluate-only options (``top`` / ``include_stdlib`` / ...) are
+        ignored, as the document itself carries the project name and top
+        declaration.
+        """
+        if not isinstance(name, str) or not name:
+            raise TydiWorkspaceError(f"design name must be a non-empty string, got {name!r}")
+        if not isinstance(text, str):
+            raise TydiWorkspaceError(
+                f"add_ir_design expects the document as a string, got {type(text).__name__}"
+            )
+        resolved = (
+            self.default_options if options is None else CompileOptions.coerce(options)
+        )
+        file_map = {filename or f"{name}.tir": text}
+        with self._lock:
+            existing = self._designs.get(name)
+            if existing is not None and not replace:
+                raise TydiWorkspaceError(
+                    f"design {name!r} already exists (pass replace=True to update it)"
+                )
+            if existing is None:
+                self._designs[name] = _Design(name, file_map, resolved, kind="ir")
+                return
+            with existing.lock:
+                existing.files = file_map
+                existing.options = resolved
+                existing.kind = "ir"
             self._designs[name] = self._designs.pop(name)
 
     def add_job(self, job: "CompileJob", *, replace: bool = False) -> None:
@@ -524,6 +595,7 @@ class Workspace:
                 designs[name] = {
                     "files": len(entry.files),
                     "status": status,
+                    "kind": entry.kind,
                     "targets": list(entry.options.targets),
                 }
         cache_stats, stage_stats = self._cache_snapshots()
@@ -645,6 +717,7 @@ class Workspace:
             designs = list(self._designs.values())
 
         dirty: list[tuple[_Design, "CompileJob", str]] = []
+        ir_outcomes: list["JobResult"] = []
         for entry in designs:
             with entry.lock:
                 key = entry.fingerprint()
@@ -652,7 +725,6 @@ class Workspace:
                     report.reused.append(entry.name)
                     report.results[entry.name] = entry.memo_result
                     continue
-                job = self._job_for(entry)
                 current = entry.file_keys()
                 previous = entry.built_file_keys or {}
                 report.changed_files[entry.name] = [
@@ -665,7 +737,13 @@ class Workspace:
                     for filename, fkey in current.items()
                     if previous.get(filename) == fkey
                 ]
-                dirty.append((entry, job, key))
+                if entry.kind == "ir":
+                    # IR designs compile inline (through the memoised ingest
+                    # tier) with the same per-design error isolation; the
+                    # job engine's CompileJob shape is Tydi-lang-only.
+                    ir_outcomes.append(self._compile_ir_inline(entry, key, report))
+                    continue
+                dirty.append((entry, self._job_for(entry), key))
 
         report.batch = run_jobs(
             [job for _, job, _ in dirty],
@@ -673,6 +751,10 @@ class Workspace:
             executor=executor or self.executor,
             max_workers=jobs if jobs is not None else self.jobs,
         )
+        # Batch consumers (tydi-compile --batch, the CI soak) read
+        # report.batch.results; the inline IR compiles ride along as
+        # synthetic job results so an all---from-ir batch is not invisible.
+        report.batch.results.extend(ir_outcomes)
         for (entry, _job, key), outcome in zip(dirty, report.batch.results):
             with entry.lock:
                 still_current = entry.fingerprint() == key
@@ -692,6 +774,42 @@ class Workspace:
         return report
 
     # -- internals -------------------------------------------------------------
+
+    def _compile_ir_inline(
+        self, entry: _Design, key: str, report: BuildReport
+    ) -> "JobResult":
+        """Compile one dirty IR design during ``compile_all`` (lock held).
+
+        Folds the outcome into the report *and* returns a synthetic
+        :class:`~repro.pipeline.batch.JobResult` (placeholder job, real
+        timing) for the report's batch view.
+        """
+        import time as _time
+
+        from repro.errors import TydiError
+        from repro.pipeline.batch import CompileJob, JobResult
+
+        placeholder = CompileJob(name=entry.name, sources=())
+        start = _time.perf_counter()
+        try:
+            result = self._compute(entry)
+        except TydiError as exc:
+            report.failed[entry.name] = exc.render()
+            entry.drop_memo()
+            entry.built_file_keys = None
+            return JobResult(
+                job=placeholder,
+                error=exc.render(),
+                error_stage=exc.stage,
+                error_type=type(exc).__name__,
+                elapsed=_time.perf_counter() - start,
+            )
+        report.compiled.append(entry.name)
+        report.results[entry.name] = result
+        self._fold_success(entry, key, result)
+        return JobResult(
+            job=placeholder, result=result, elapsed=_time.perf_counter() - start
+        )
 
     def _fold_success(self, entry: _Design, key: str, result: "CompilationResult") -> None:
         """Install a successful build as the design's memo (lock held)."""
@@ -729,6 +847,8 @@ class Workspace:
         first, then the staged pipeline (when the cache carries one), then
         the monolithic reference pipeline.
         """
+        if entry.kind == "ir":
+            return self._compute_ir(entry)
         normalized = entry.normalized_sources()
         options_dict = entry.options.as_dict()
         cache = self.cache
@@ -746,3 +866,25 @@ class Workspace:
         if cache is not None:
             cache.put(cache_key, result)
         return result
+
+    def _compute_ir(self, entry: _Design) -> "CompilationResult":
+        """One IR design's compile through the ingest pipeline (lock held).
+
+        Goes through the stage cache's memoised ingest tier when the
+        workspace owns one (:meth:`repro.pipeline.stages.StageCache.
+        compile_ir`); the whole-result cache is deliberately bypassed --
+        the ingest snapshot plus the backend-unit tier already cover
+        everything reusable, and the session memo serves repeat queries.
+        """
+        if not entry.files:
+            raise TydiWorkspaceError(
+                f"IR design {entry.name!r} has no document (was its file removed?)"
+            )
+        filename, text = next(iter(entry.files.items()))
+        options_dict = entry.options.as_dict()
+        stage_cache = getattr(self.cache, "stages", None) if self.cache is not None else None
+        if stage_cache is not None:
+            return stage_cache.compile_ir(text, options_dict, filename=filename)
+        from repro.interchange.pipeline import compile_ir_document
+
+        return compile_ir_document(text, entry.options, filename=filename)

@@ -23,6 +23,22 @@ from repro.testing import (  # noqa: F401 - shared differential-harness builders
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the pinned expectations under tests/golden/ from the "
+        "current outputs instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    """Whether this run regenerates the golden files (``--update-golden``)."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def tpch_tables():
     """A small, seeded TPC-H dataset shared by the integration tests."""

@@ -43,7 +43,7 @@ def project():
 class TestRegistry:
     def test_builtins_registered(self):
         names = available_backends()
-        assert {"vhdl", "ir", "dot"} <= set(names)
+        assert {"vhdl", "verilog", "ir", "tydi-ir", "dot"} <= set(names)
         assert names == sorted(names)
 
     def test_get_backend_instantiates_with_default_options(self):
@@ -52,10 +52,10 @@ class TestRegistry:
         assert backend.options == DotBackendOptions()
 
     def test_unknown_backend_names_available(self):
-        with pytest.raises(TydiBackendError, match="unknown backend 'verilog'"):
-            get_backend("verilog")
+        with pytest.raises(TydiBackendError, match="unknown backend 'systemc'"):
+            get_backend("systemc")
         with pytest.raises(TydiBackendError, match="vhdl"):
-            get_backend("verilog")
+            get_backend("systemc")
 
     def test_register_and_unregister_custom_backend(self, project):
         class NullBackend(Backend):

@@ -231,17 +231,36 @@ class TestCliBackends:
     def test_list_backends(self, capsys):
         assert main(["--list-backends"]) == 0
         out = capsys.readouterr().out
-        for name in ("vhdl", "ir", "dot"):
+        for name in ("vhdl", "verilog", "ir", "tydi-ir", "dot"):
             assert name in out
+        # Each backend's option schema rides along (name, type, default).
+        assert "--backend-opt dot.rankdir=..." in out
+        assert "(str, default 'LR')" in out
+
+    def test_list_backends_json(self, capsys):
+        import json as json_module
+
+        assert main(["--list-backends", "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload["backends"]}
+        assert {"vhdl", "verilog", "ir", "tydi-ir", "dot"} <= set(by_name)
+        dot_options = {option["name"]: option for option in by_name["dot"]["options"]}
+        assert dot_options["rankdir"] == {
+            "name": "rankdir",
+            "type": "str",
+            "default": "LR",
+        }
+        assert dot_options["show_types"]["type"] == "bool"
+        assert by_name["vhdl"]["options"] == []
 
     def test_no_sources_without_list_backends_errors(self):
         with pytest.raises(SystemExit):
             main([])
 
     def test_unknown_target_clean_error(self, design_file, capsys):
-        assert main([str(design_file), "--target", "verilog"]) == 1
+        assert main([str(design_file), "--target", "systemc"]) == 1
         err = capsys.readouterr().err
-        assert "unknown backend 'verilog'" in err and "vhdl" in err
+        assert "unknown backend 'systemc'" in err and "vhdl" in err
 
     def test_single_target_streams_to_stdout(self, design_file, capsys):
         """`tydi-compile --target dot x.td | dot -Tsvg` must pipe clean DOT:
@@ -385,9 +404,9 @@ class TestCliBackendOpts:
 
     def test_backend_opt_unknown_backend_clean_error(self, design_file, capsys):
         assert main([
-            str(design_file), "--target", "dot", "--backend-opt", "verilog.x=1",
+            str(design_file), "--target", "dot", "--backend-opt", "systemc.x=1",
         ]) == 1
-        assert "unknown backend 'verilog'" in capsys.readouterr().err
+        assert "unknown backend 'systemc'" in capsys.readouterr().err
 
     def test_backend_opt_malformed_spec_clean_error(self, design_file, capsys):
         assert main([str(design_file), "--backend-opt", "rankdir=TB"]) == 1

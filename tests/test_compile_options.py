@@ -141,8 +141,8 @@ class TestCompileOptions:
 
 class TestBackendOptionBuilding:
     def test_unknown_backend_name_rejected_up_front(self):
-        with pytest.raises(TydiBackendError, match="unknown backend 'verilog'"):
-            CompileOptions(backend_options={"verilog": {"x": "1"}})
+        with pytest.raises(TydiBackendError, match="unknown backend 'systemc'"):
+            CompileOptions(backend_options={"systemc": {"x": "1"}})
 
     def test_unknown_key_gets_did_you_mean(self):
         with pytest.raises(TydiBackendError, match="did you mean 'rankdir'"):

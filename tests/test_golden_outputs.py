@@ -1,0 +1,110 @@
+"""Golden expect-tests: pinned backend outputs and TPC-H simulation shapes.
+
+Two corpora of committed expectations under ``tests/golden/``:
+
+* ``backends/`` -- every registered built-in backend's full ``{filename:
+  text}`` emission over a pinned slice of the fuzzed-design corpus.  Any
+  byte drift in any emitter fails loudly with a diffable JSON artefact.
+* ``sim/`` -- plan-level expectations for the five TPC-H queries: the
+  simulation verdict plus per-port packet counts and throughput.
+
+Regenerate intentionally with ``pytest --update-golden`` (the run rewrites
+the files and then passes against them); review the diff like any other
+code change.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.backends import available_backends, get_backend
+from repro.lang.compile import compile_sources
+from repro.testing import build_chain_design, build_random_design
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The pinned corpus slice: stable names -> design builders.  Seeds are
+#: frozen; changing them is a golden regeneration, not a code change.
+CORPUS = {
+    "chain4": lambda: build_chain_design(4),
+    "fuzz7100": lambda: build_random_design(random.Random(7100)),
+    "fuzz7101": lambda: build_random_design(random.Random(7101)),
+}
+
+#: Every built-in backend is pinned; a new registration must add goldens.
+BACKENDS = ("dot", "ir", "tydi-ir", "verilog", "vhdl")
+
+
+@functools.lru_cache(maxsize=None)
+def _corpus_project(design: str):
+    return compile_sources(CORPUS[design](), include_stdlib=False).project
+
+
+def _check_or_update(path: pathlib.Path, payload, update: bool):
+    """Compare ``payload`` against the pinned JSON at ``path`` (or rewrite it)."""
+    text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden file {path.relative_to(GOLDEN_DIR.parent)}; "
+            f"run `pytest --update-golden` and commit the result"
+        )
+    pinned = json.loads(path.read_text())
+    assert payload == pinned, (
+        f"{path.name} drifted from the pinned expectation; if the change is "
+        f"intentional, regenerate with `pytest --update-golden` and review "
+        f"the diff"
+    )
+
+
+def test_every_builtin_backend_is_pinned():
+    """A newly registered built-in must join the golden corpus."""
+    assert tuple(available_backends()) == tuple(sorted(BACKENDS))
+
+
+@pytest.mark.parametrize("design", sorted(CORPUS))
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_backend_output_matches_golden(design, backend_name, update_golden):
+    project = _corpus_project(design)
+    files = get_backend(backend_name).emit(project)
+    path = GOLDEN_DIR / "backends" / f"{design}--{backend_name}.json"
+    _check_or_update(path, dict(files), update_golden)
+
+
+def _sim_expectation(report) -> dict:
+    """The pinned plan-level shape: verdict + per-port packets/throughput."""
+    document = report.as_dict()
+    return {
+        "verdict": document["verdict"],
+        "ports": {
+            port: {
+                "packets": counters["packets"],
+                "throughput": round(counters["throughput"], 6),
+            }
+            for port, counters in sorted(document["ports"].items())
+        },
+    }
+
+
+def _query_names():
+    from repro.queries import ALL_QUERIES
+
+    return [query.name for query in ALL_QUERIES]
+
+
+@pytest.mark.parametrize("query_name", _query_names())
+def test_tpch_simulation_matches_golden(query_name, tpch_tables, update_golden):
+    from repro.queries import ALL_QUERIES
+
+    (query,) = [q for q in ALL_QUERIES if q.name == query_name]
+    report = query.simulate_report(tpch_tables)
+    path = GOLDEN_DIR / "sim" / f"{query_name}.json"
+    _check_or_update(path, _sim_expectation(report), update_golden)

@@ -239,7 +239,7 @@ class TestBackendTargets:
 
     def test_unknown_target_is_isolated_error(self):
         compiler = BatchCompiler(executor="serial")
-        jobs = [make_jobs(1)[0].with_options(targets=("verilog",))]
+        jobs = [make_jobs(1)[0].with_options(targets=("systemc",))]
         outcome = compiler.compile_batch(jobs)
         assert not outcome.ok
         entry = outcome.results[0]

@@ -358,6 +358,47 @@ class TestBackendTier:
         assert plain != highlighted
         assert cache.stats.backend_misses == 2 * len(result.project.implementations)
 
+    def test_options_token_change_invalidates_without_fingerprint_change(self):
+        """A new options ``token()`` alone must miss the unit cache.
+
+        The implementation fingerprint is content-addressed over the
+        emission subgraph, so it cannot see backend options; the unit key
+        folds the token in separately.  If it ever stopped doing so, a
+        ``--backend-opt`` change would silently serve stale artefacts.
+        """
+        from repro.backends import (
+            DotBackendOptions,
+            get_backend,
+            implementation_fingerprint,
+        )
+
+        cache = StageCache()
+        result = cache.compile([TYPES, DESIGN], OPTIONS)
+        project = result.project
+        plain_backend = get_backend("dot")
+        tweaked_backend = get_backend("dot", DotBackendOptions(rankdir="TB"))
+        assert plain_backend.options.token() != tweaked_backend.options.token()
+
+        for impl in project.implementations.values():
+            fingerprint = implementation_fingerprint(project, impl)
+            # Same content address under both option sets...
+            assert cache.backend_unit_key(
+                plain_backend, fingerprint
+            ) != cache.backend_unit_key(tweaked_backend, fingerprint)
+
+        cache.emit_backend(project, plain_backend)
+        assert cache.stats.backend_misses == len(project.implementations)
+        cache.stats.reset()
+        # The changed token is a full miss, not a stale hit...
+        cache.emit_backend(project, tweaked_backend)
+        assert cache.stats.backend_misses == len(project.implementations)
+        assert cache.stats.backend_hits == 0
+        cache.stats.reset()
+        # ...and the original options are still warm.
+        cache.emit_backend(project, plain_backend)
+        assert cache.stats.backend_hits == len(project.implementations)
+        assert cache.stats.backend_misses == 0
+
     def test_disk_tier_round_trip(self, tmp_path):
         options = {**OPTIONS, "targets": ("vhdl",)}
         writer = StageCache(cache_dir=tmp_path)

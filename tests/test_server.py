@@ -213,8 +213,13 @@ class TestService:
         assert not call(service, "get_ir", design="d")["ok"]
 
     def test_list_backends(self, service):
-        names = [b["name"] for b in call(service, "list_backends")["result"]["backends"]]
-        assert {"vhdl", "ir", "dot"} <= set(names)
+        backends = call(service, "list_backends")["result"]["backends"]
+        by_name = {b["name"]: b for b in backends}
+        assert {"vhdl", "verilog", "ir", "tydi-ir", "dot"} <= set(by_name)
+        # The option schemas ride along for remote --backend-opt tooling.
+        dot_options = {o["name"]: o for o in by_name["dot"]["options"]}
+        assert dot_options["rankdir"]["default"] == "LR"
+        assert by_name["tydi-ir"]["options"] == []
 
     def test_shutdown_sets_event(self, service):
         envelope = call(service, "shutdown")
